@@ -1,0 +1,41 @@
+//! Experiment: Figs. 18/19 — abbreviation expansion, cycle detection, and
+//! UNITe signature derivation versus equation-chain length.
+//!
+//! Series printed: time vs. chain length for (a) `⌊τ⌋_D` expansion plus
+//! the acyclicity check, and (b) full UNITe type checking of a unit whose
+//! interface requires expanding the chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{alias_chain, alias_chain_unit};
+use units::{expand_ty, type_of, Level, Ty};
+
+fn run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependency_analysis");
+    group.sample_size(30);
+    for n in [4usize, 16, 64, 256] {
+        let eqs = alias_chain(n);
+        let target = Ty::var(format!("a{}", n - 1));
+        group.bench_with_input(
+            BenchmarkId::new("expand", n),
+            &(eqs.clone(), target),
+            |b, (eqs, t)| {
+                b.iter(|| {
+                    eqs.check_acyclic().unwrap();
+                    black_box(expand_ty(t, eqs).unwrap())
+                })
+            },
+        );
+    }
+    for n in [4usize, 16, 64] {
+        let unit = alias_chain_unit(n);
+        group.bench_with_input(BenchmarkId::new("unite_check", n), &unit, |b, u| {
+            b.iter(|| black_box(type_of(u, Level::Equations).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, run);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Experiment: §4.1.6 — the compiled cells backend against the Fig. 11
+//! substitution reducer on the even/odd counting workload (Fig. 12).
+//!
+//! Series printed: time vs. counting depth for both backends. Expected
+//! shape: the compiled backend wins by a widening factor as depth grows —
+//! substitution copies the λ body at every β-step, while the cells
+//! backend reads one cell per call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::even_odd_program;
+use units::{Backend, Program, Strictness};
+
+fn run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invoke_backends");
+    group.sample_size(20);
+    for depth in [25i64, 100, 400] {
+        let program =
+            Program::from_expr(even_odd_program(depth)).with_strictness(Strictness::MzScheme);
+        group.bench_with_input(BenchmarkId::new("compiled", depth), &program, |b, p| {
+            b.iter(|| black_box(p.run_unchecked(Backend::Compiled).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("reducer", depth), &program, |b, p| {
+            b.iter(|| black_box(p.run_unchecked(Backend::Reducer).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, run);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Experiment: Figs. 8/11 — cost of `compound` linking as the number and
+//! shape of linked units grows, on both semantics.
+//!
+//! Series printed: time vs. N for chain / star / cycle link graphs.
+//! Expected shape: the cells backend links in time linear in the graph
+//! size; the substitution reducer pays the textual merge (α-renaming and
+//! substitution), growing super-linearly — which is exactly why §4.1.6
+//! compiles units instead of rewriting them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{chain_program, cycle_program, star_program};
+use units::{Backend, Program, Strictness};
+
+fn run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_reduction");
+    group.sample_size(20);
+    for (shape, make) in [
+        ("chain", chain_program as fn(usize) -> units::Expr),
+        ("star", star_program as fn(usize) -> units::Expr),
+        ("cycle", cycle_program as fn(usize) -> units::Expr),
+    ] {
+        for n in [2usize, 4, 8, 16] {
+            let program = Program::from_expr(make(n)).with_strictness(Strictness::MzScheme);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shape}/compiled"), n),
+                &program,
+                |b, p| b.iter(|| black_box(p.run_unchecked(Backend::Compiled).unwrap())),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shape}/reducer"), n),
+                &program,
+                |b, p| b.iter(|| black_box(p.run_unchecked(Backend::Reducer).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, run);
+criterion_main!(benches);

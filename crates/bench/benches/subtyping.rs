@@ -1,0 +1,36 @@
+//! Experiment: Figs. 14/17 — signature subtype checks on wide and deeply
+//! nested signatures.
+//!
+//! Series printed: time vs. export width (specific ≤ general with 8 extra
+//! exports on the specific side), and time vs. nesting depth for
+//! reflexive checks on signature-in-signature types.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{deep_signature, wide_signature};
+use units::{subtype, Equations, Ty};
+
+fn run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subtyping");
+    group.sample_size(30);
+    for width in [4usize, 16, 64, 256] {
+        let specific = Ty::sig(wide_signature(width, 8));
+        let general = Ty::sig(wide_signature(width, 0));
+        group.bench_with_input(
+            BenchmarkId::new("width", width),
+            &(specific, general),
+            |b, (s, g)| b.iter(|| black_box(subtype(&Equations::new(), s, g).is_ok())),
+        );
+    }
+    for depth in [2usize, 4, 8, 16] {
+        let ty = deep_signature(depth);
+        group.bench_with_input(BenchmarkId::new("depth", depth), &ty, |b, t| {
+            b.iter(|| black_box(subtype(&Equations::new(), t, t).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, run);
+criterion_main!(benches);

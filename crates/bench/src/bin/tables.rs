@@ -1,0 +1,201 @@
+//! Prints every experiment's series as aligned text tables — the
+//! numbers recorded in EXPERIMENTS.md. Criterion gives rigorous
+//! statistics (`cargo bench`); this binary gives the at-a-glance shape:
+//! who wins, by what factor, and how each system scales.
+//!
+//! Run with: `cargo run --release -p bench --bin tables`
+
+use std::time::Instant;
+
+use bench::{
+    alias_chain, alias_chain_unit, chain_program, cycle_program, deep_signature,
+    even_odd_program, one_unit, plugin_signature, plugin_source, repeated_invoke, star_program,
+    wide_signature, wide_typed_unit,
+};
+use units::{
+    check_program, expand_ty, subtype, type_of, Archive, Backend, CheckOptions, Equations,
+    Level, Program, Strictness, Ty,
+};
+
+/// Median wall time of `runs` executions, in microseconds.
+fn time_us(runs: u32, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn header(title: &str) {
+    println!("\n== {title} {}", "=".repeat(60usize.saturating_sub(title.len())));
+}
+
+fn main() {
+    let runs = 9;
+
+    header("link_reduction (Figs. 8/11): linking time vs. graph size");
+    println!("{:>6} {:>8} {:>14} {:>14} {:>8}", "shape", "units", "compiled µs", "reducer µs", "ratio");
+    for (shape, make) in [
+        ("chain", chain_program as fn(usize) -> units::Expr),
+        ("star", star_program as fn(usize) -> units::Expr),
+        ("cycle", cycle_program as fn(usize) -> units::Expr),
+    ] {
+        for n in [2usize, 4, 8, 16] {
+            let p = Program::from_expr(make(n)).with_strictness(Strictness::MzScheme);
+            let c = time_us(runs, || {
+                p.run_unchecked(Backend::Compiled).unwrap();
+            });
+            let r = time_us(runs, || {
+                p.run_unchecked(Backend::Reducer).unwrap();
+            });
+            println!("{shape:>6} {n:>8} {c:>14.1} {r:>14.1} {:>8.1}", r / c);
+        }
+    }
+
+    header("invoke_backends (§4.1.6): compiled vs. substitution");
+    println!("{:>8} {:>14} {:>14} {:>8}", "depth", "compiled µs", "reducer µs", "ratio");
+    for depth in [25i64, 100, 400, 1600] {
+        let p = Program::from_expr(even_odd_program(depth)).with_strictness(Strictness::MzScheme);
+        let c = time_us(runs, || {
+            p.run_unchecked(Backend::Compiled).unwrap();
+        });
+        let r = time_us(runs, || {
+            p.run_unchecked(Backend::Reducer).unwrap();
+        });
+        println!("{depth:>8} {c:>14.1} {r:>14.1} {:>8.1}", r / c);
+    }
+
+    header("instantiation (§4.1.6): per-instance cost stays flat");
+    println!("{:>10} {:>14} {:>16}", "instances", "total µs", "per-instance µs");
+    for count in [1usize, 10, 100, 1000] {
+        let p = Program::from_expr(repeated_invoke(one_unit(), count))
+            .with_strictness(Strictness::MzScheme);
+        let t = time_us(runs, || {
+            p.run_unchecked(Backend::Compiled).unwrap();
+        });
+        println!("{count:>10} {t:>14.1} {:>16.3}", t / count as f64);
+    }
+
+    header("typecheck (Fig. 15): cost vs. interface width / graph size");
+    println!("{:>14} {:>8} {:>12}", "series", "size", "µs");
+    for width in [4usize, 16, 64, 256] {
+        let unit = wide_typed_unit(width);
+        let t = time_us(runs, || {
+            type_of(&unit, Level::Constructed).unwrap();
+        });
+        println!("{:>14} {width:>8} {t:>12.1}", "unit_width");
+    }
+    for n in [4usize, 16, 64] {
+        let program = chain_program(n);
+        let t = time_us(runs, || {
+            check_program(
+                &program,
+                CheckOptions { level: Level::Untyped, strictness: Strictness::MzScheme },
+            )
+            .unwrap();
+        });
+        println!("{:>14} {n:>8} {t:>12.1}", "context_chain");
+    }
+
+    header("ablation: valuability analysis / merge α-renaming");
+    println!("{:>22} {:>8} {:>12}", "series", "size", "µs");
+    for n in [16usize, 64] {
+        let program = chain_program(n);
+        for (label, strictness) in
+            [("paper", Strictness::Paper), ("mzscheme", Strictness::MzScheme)]
+        {
+            let t = time_us(runs, || {
+                check_program(&program, CheckOptions { level: Level::Untyped, strictness })
+                    .unwrap();
+            });
+            println!("{:>22} {n:>8} {t:>12.1}", format!("valuability/{label}"));
+        }
+    }
+    for n in [4usize, 8, 16] {
+        for (label, make) in [
+            ("merge/disjoint", chain_program as fn(usize) -> units::Expr),
+            ("merge/colliding", bench::colliding_chain_program as fn(usize) -> units::Expr),
+        ] {
+            let p = Program::from_expr(make(n)).with_strictness(Strictness::MzScheme);
+            let t = time_us(runs, || {
+                p.run_unchecked(Backend::Reducer).unwrap();
+            });
+            println!("{:>22} {n:>8} {t:>12.1}", label);
+        }
+    }
+
+    header("subtyping (Figs. 14/17): wide and deep signatures");
+    println!("{:>8} {:>8} {:>12}", "series", "size", "µs");
+    for width in [4usize, 16, 64, 256] {
+        let specific = Ty::sig(wide_signature(width, 8));
+        let general = Ty::sig(wide_signature(width, 0));
+        let t = time_us(runs, || {
+            subtype(&Equations::new(), &specific, &general).unwrap();
+        });
+        println!("{:>8} {width:>8} {t:>12.1}", "width");
+    }
+    for depth in [2usize, 4, 8, 16] {
+        let ty = deep_signature(depth);
+        let t = time_us(runs, || {
+            subtype(&Equations::new(), &ty, &ty).unwrap();
+        });
+        println!("{:>8} {depth:>8} {t:>12.1}", "depth");
+    }
+
+    header("dependency_analysis (Figs. 18/19): expansion & UNITe checking");
+    println!("{:>12} {:>8} {:>12}", "series", "chain", "µs");
+    for n in [4usize, 16, 64, 256] {
+        let eqs = alias_chain(n);
+        let target = Ty::var(format!("a{}", n - 1));
+        let t = time_us(runs, || {
+            eqs.check_acyclic().unwrap();
+            expand_ty(&target, &eqs).unwrap();
+        });
+        println!("{:>12} {n:>8} {t:>12.1}", "expand");
+    }
+    for n in [4usize, 16, 64] {
+        let unit = alias_chain_unit(n);
+        let t = time_us(runs, || {
+            type_of(&unit, Level::Equations).unwrap();
+        });
+        println!("{:>12} {n:>8} {t:>12.1}", "unite_check");
+    }
+
+    header("dynlink (Fig. 7 / §3.4): per-load cost of checked loading");
+    println!("{:>10} {:>16} {:>16}", "archive", "load+check µs", "load+run µs");
+    for count in [1usize, 8, 64] {
+        let mut archive = Archive::new();
+        for i in 0..count {
+            archive.publish(format!("p{i}"), plugin_source(i));
+        }
+        let expected = plugin_signature();
+        let t_load = time_us(runs, || {
+            archive.load("p0", &expected, CheckOptions::typed(Level::Constructed)).unwrap();
+        });
+        let t_run = time_us(runs, || {
+            let unit = archive
+                .load("p0", &expected, CheckOptions::typed(Level::Constructed))
+                .unwrap();
+            let program = Program::from_expr(units::Expr::app(
+                units::Expr::invoke(units_kernel::InvokeExpr {
+                    target: unit,
+                    ty_links: vec![],
+                    val_links: vec![(
+                        "log".into(),
+                        units::parse_expr("(lambda (s) void)").unwrap(),
+                    )],
+                }),
+                vec![units::Expr::int(1)],
+            ))
+            .with_strictness(Strictness::MzScheme);
+            program.run_unchecked(Backend::Compiled).unwrap();
+        });
+        println!("{count:>10} {t_load:>16.1} {t_run:>16.1}");
+    }
+
+    println!("\nDone. Record these series in EXPERIMENTS.md.");
+}

@@ -1,0 +1,428 @@
+//! The production evaluator: environment-based, with units compiled to
+//! shared code over reference cells (paper §4.1.6).
+//!
+//! "Units are compiled by transforming them into functions. The unit's
+//! imported and exported variables are implemented as first-class
+//! reference cells that are externally created and passed to the function
+//! when the unit is invoked. … there exists a single copy of the
+//! definition and initialization code regardless of how many times the
+//! unit is linked or invoked."
+//!
+//! Evaluating `unit …` captures the (shared) source and the lexical
+//! environment; `compound` evaluates its constituents and records the
+//! wiring after checking the Fig. 11 side conditions; `invoke` wires
+//! cells through the whole link graph (see [`crate::instantiate`]), runs
+//! every definition in order, then every initialization expression, and
+//! returns the last initialization value.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use units_kernel::{DataRole, Expr, TypeDefn};
+use units_runtime::{
+    apply_prim, new_cell, AtomicUnit, Binding, Closure, DataOpValue, Env,
+    LinkedUnit, Machine, RuntimeError, UnitValue, Value, VariantValue,
+};
+
+use crate::instantiate::invoke_unit;
+
+/// Evaluates a closed program in the empty environment.
+///
+/// # Errors
+///
+/// Returns any [`RuntimeError`] the program signals.
+///
+/// # Examples
+///
+/// ```
+/// use units_compile::evaluate_program;
+/// use units_runtime::{Machine, Value};
+/// use units_syntax::parse_expr;
+///
+/// let program = parse_expr("(invoke (unit (import) (export) (init (* 6 7))))").unwrap();
+/// let v = evaluate_program(&program, &mut Machine::new()).unwrap();
+/// assert!(v.observably_eq(&Value::Int(42)));
+/// ```
+pub fn evaluate_program(expr: &Expr, machine: &mut Machine) -> Result<Value, RuntimeError> {
+    eval(expr, &Env::new(), machine)
+}
+
+/// Evaluates an expression in an environment.
+///
+/// # Errors
+///
+/// Returns any [`RuntimeError`] the expression signals.
+pub fn eval(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, RuntimeError> {
+    machine.step()?;
+    match expr {
+        Expr::Var(x) => match env.lookup(x) {
+            Some(Binding::Val(v)) => Ok(v.clone()),
+            Some(Binding::Cell(c)) => match &*c.borrow() {
+                Some(v) => Ok(v.clone()),
+                None => Err(RuntimeError::UndefinedRead { name: x.clone() }),
+            },
+            None => Err(RuntimeError::Unbound { name: x.clone() }),
+        },
+        Expr::Lit(lit) => Ok(match lit {
+            units_kernel::Lit::Int(n) => Value::Int(*n),
+            units_kernel::Lit::Bool(b) => Value::Bool(*b),
+            units_kernel::Lit::Str(s) => Value::Str(Rc::from(&**s)),
+            units_kernel::Lit::Void => Value::Void,
+        }),
+        Expr::Prim(op, _tys) => Ok(Value::Prim(*op)),
+        Expr::Lambda(lam) => {
+            Ok(Value::Closure(Rc::new(Closure { lambda: lam.clone(), env: env.clone() })))
+        }
+        Expr::App(f, args) => {
+            let func = eval(f, env, machine)?;
+            let mut arg_vals = Vec::with_capacity(args.len());
+            for a in args {
+                arg_vals.push(eval(a, env, machine)?);
+            }
+            apply(func, arg_vals, machine)
+        }
+        Expr::If(c, t, e) => match eval(c, env, machine)? {
+            Value::Bool(true) => eval(t, env, machine),
+            Value::Bool(false) => eval(e, env, machine),
+            other => Err(RuntimeError::WrongType {
+                expected: "a boolean",
+                found: other.to_string(),
+            }),
+        },
+        Expr::Seq(es) => {
+            let mut last = Value::Void;
+            for e in es {
+                last = eval(e, env, machine)?;
+            }
+            Ok(last)
+        }
+        Expr::Let(bindings, body) => {
+            let mut frame = Vec::with_capacity(bindings.len());
+            for b in bindings {
+                frame.push((b.name.clone(), Binding::Val(eval(&b.expr, env, machine)?)));
+            }
+            eval(body, &env.extend(frame), machine)
+        }
+        Expr::Letrec(lr) => {
+            let (inner, cells) = bind_letrec_frame(&lr.types, &lr.vals, env, machine);
+            for (defn, cell) in lr.vals.iter().zip(&cells) {
+                let v = eval(&defn.body, &inner, machine)?;
+                *cell.borrow_mut() = Some(v);
+            }
+            eval(&lr.body, &inner, machine)
+        }
+        Expr::Set(target, value) => {
+            let Expr::Var(x) = &**target else {
+                return Err(RuntimeError::WrongType {
+                    expected: "an assignable variable",
+                    found: "a machine-internal form".to_string(),
+                });
+            };
+            let v = eval(value, env, machine)?;
+            match env.lookup(x) {
+                Some(Binding::Cell(c)) => {
+                    *c.borrow_mut() = Some(v);
+                    Ok(Value::Void)
+                }
+                Some(Binding::Val(_)) => Err(RuntimeError::WrongType {
+                    expected: "an assignable (definition) variable",
+                    found: format!("immutable binding `{x}`"),
+                }),
+                None => Err(RuntimeError::Unbound { name: x.clone() }),
+            }
+        }
+        Expr::Tuple(items) => {
+            let mut vs = Vec::with_capacity(items.len());
+            for i in items {
+                vs.push(eval(i, env, machine)?);
+            }
+            Ok(Value::Tuple(Rc::new(vs)))
+        }
+        Expr::Proj(i, e) => match eval(e, env, machine)? {
+            Value::Tuple(items) => items
+                .get(*i)
+                .cloned()
+                .ok_or(RuntimeError::BadProjection { index: *i, width: items.len() }),
+            other => {
+                Err(RuntimeError::WrongType { expected: "a tuple", found: other.to_string() })
+            }
+        },
+        Expr::Unit(u) => Ok(Value::Unit(Rc::new(UnitValue::Atomic(AtomicUnit {
+            source: u.clone(),
+            env: env.clone(),
+        })))),
+        Expr::Compound(c) => {
+            let mut links = Vec::with_capacity(c.links.len());
+            for (i, link) in c.links.iter().enumerate() {
+                let unit = as_unit(eval(&link.expr, env, machine)?)?;
+                // Fig. 11 side conditions, checked at link time: the
+                // constituent needs no more than the `with` clause grants…
+                for name in unit.imports().vals.iter().map(|p| &p.name) {
+                    if link.with.val_port(name).is_none() {
+                        return Err(RuntimeError::ExcessImport { name: name.clone() });
+                    }
+                }
+                // …and provides at least what the clause promises.
+                for name in link.provides.vals.iter().map(|p| &p.name) {
+                    if unit.exports().val_port(name).is_none() {
+                        return Err(RuntimeError::MissingProvide { name: name.clone() });
+                    }
+                }
+                let _ = i;
+                links.push(units_runtime::LinkedConstituent {
+                    unit,
+                    with: link.with.clone(),
+                    provides: link.provides.clone(),
+                    renames: link.renames.clone(),
+                });
+            }
+            Ok(Value::Unit(Rc::new(UnitValue::Linked(LinkedUnit {
+                imports: c.imports.clone(),
+                exports: c.exports.clone(),
+                links,
+            }))))
+        }
+        Expr::Invoke(inv) => {
+            let unit = as_unit(eval(&inv.target, env, machine)?)?;
+            let mut supplied = HashMap::with_capacity(inv.val_links.len());
+            for (name, e) in &inv.val_links {
+                supplied.insert(name.clone(), eval(e, env, machine)?);
+            }
+            invoke_unit(&unit, &supplied, machine)
+        }
+        Expr::Seal(e, sig) => {
+            let unit = as_unit(eval(e, env, machine)?)?;
+            // Imports may only be narrowed, exports only restricted.
+            for port in &unit.imports().vals {
+                if sig.imports.val_port(&port.name).is_none() {
+                    return Err(RuntimeError::SealFailure {
+                        reason: format!("unit imports `{}`, signature does not", port.name),
+                    });
+                }
+            }
+            for port in &sig.exports.vals {
+                if unit.exports().val_port(&port.name).is_none() {
+                    return Err(RuntimeError::SealFailure {
+                        reason: format!("signature exports `{}`, unit does not", port.name),
+                    });
+                }
+            }
+            Ok(Value::Unit(Rc::new(UnitValue::Restricted {
+                inner: unit,
+                exports: sig.exports.clone(),
+            })))
+        }
+        Expr::Loc(_) | Expr::CellRef(_) | Expr::Data(_) | Expr::Variant(_) => {
+            Err(RuntimeError::WrongType {
+                expected: "a source expression",
+                found: "a machine-internal form".to_string(),
+            })
+        }
+    }
+}
+
+fn as_unit(v: Value) -> Result<Rc<UnitValue>, RuntimeError> {
+    match v {
+        Value::Unit(u) => Ok(u),
+        other => Err(RuntimeError::WrongType { expected: "a unit", found: other.to_string() }),
+    }
+}
+
+/// Builds the recursive frame for a `letrec` or unit body: fresh cells for
+/// value definitions and freshly instantiated datatype operations.
+/// Returns the extended environment and the definition cells in order.
+pub(crate) fn bind_letrec_frame(
+    types: &[TypeDefn],
+    vals: &[units_kernel::ValDefn],
+    env: &Env,
+    machine: &mut Machine,
+) -> (Env, Vec<units_runtime::CellRef>) {
+    let mut frame = Vec::new();
+    for td in types {
+        if let TypeDefn::Data(d) = td {
+            let instance = machine.fresh_instance();
+            for (tag, v) in d.variants.iter().enumerate() {
+                frame.push((
+                    v.ctor.clone(),
+                    Binding::Val(Value::Data(Rc::new(DataOpValue {
+                        ty_name: d.name.clone(),
+                        instance,
+                        role: DataRole::Construct(tag),
+                    }))),
+                ));
+                frame.push((
+                    v.dtor.clone(),
+                    Binding::Val(Value::Data(Rc::new(DataOpValue {
+                        ty_name: d.name.clone(),
+                        instance,
+                        role: DataRole::Deconstruct(tag),
+                    }))),
+                ));
+            }
+            frame.push((
+                d.predicate.clone(),
+                Binding::Val(Value::Data(Rc::new(DataOpValue {
+                    ty_name: d.name.clone(),
+                    instance,
+                    role: DataRole::Predicate,
+                }))),
+            ));
+        }
+    }
+    let mut cells = Vec::with_capacity(vals.len());
+    for defn in vals {
+        let cell = new_cell();
+        frame.push((defn.name.clone(), Binding::Cell(cell.clone())));
+        cells.push(cell);
+    }
+    (env.extend(frame), cells)
+}
+
+/// What a body evaluation steps to: a final value, or a call in tail
+/// position (bounced on [`apply`]'s trampoline so that loops written as
+/// tail recursion — the only loops the language has — run in constant
+/// Rust stack).
+enum Tail {
+    Done(Value),
+    Call(Value, Vec<Value>),
+}
+
+/// Evaluates an expression, returning a tail call unbounced when the
+/// expression ends in one. Tail positions: an application itself, `if`
+/// branches, the last expression of a `begin`, and `let`/`letrec` bodies.
+fn eval_tail(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Tail, RuntimeError> {
+    machine.step()?;
+    match expr {
+        Expr::App(f, args) => {
+            let func = eval(f, env, machine)?;
+            let mut arg_vals = Vec::with_capacity(args.len());
+            for a in args {
+                arg_vals.push(eval(a, env, machine)?);
+            }
+            Ok(Tail::Call(func, arg_vals))
+        }
+        Expr::If(c, t, e) => match eval(c, env, machine)? {
+            Value::Bool(true) => eval_tail(t, env, machine),
+            Value::Bool(false) => eval_tail(e, env, machine),
+            other => Err(RuntimeError::WrongType {
+                expected: "a boolean",
+                found: other.to_string(),
+            }),
+        },
+        Expr::Seq(es) => {
+            let (last, init) = es.split_last().expect("Seq is non-empty");
+            for e in init {
+                eval(e, env, machine)?;
+            }
+            eval_tail(last, env, machine)
+        }
+        Expr::Let(bindings, body) => {
+            let mut frame = Vec::with_capacity(bindings.len());
+            for b in bindings {
+                frame.push((b.name.clone(), Binding::Val(eval(&b.expr, env, machine)?)));
+            }
+            eval_tail(body, &env.extend(frame), machine)
+        }
+        Expr::Letrec(lr) => {
+            let (inner, cells) = bind_letrec_frame(&lr.types, &lr.vals, env, machine);
+            for (defn, cell) in lr.vals.iter().zip(&cells) {
+                let v = eval(&defn.body, &inner, machine)?;
+                *cell.borrow_mut() = Some(v);
+            }
+            eval_tail(&lr.body, &inner, machine)
+        }
+        other => Ok(Tail::Done(eval(other, env, machine)?)),
+    }
+}
+
+/// Applies a value to arguments (shared by `App` evaluation and the
+/// dynamic-linking machinery). Closure applications run on a trampoline,
+/// so mutual tail recursion — e.g. Fig. 12's even/odd units — consumes no
+/// Rust stack.
+///
+/// # Errors
+///
+/// Returns a [`RuntimeError`] if the callee is not applicable or the
+/// application violates its contract.
+pub fn apply(
+    mut func: Value,
+    mut args: Vec<Value>,
+    machine: &mut Machine,
+) -> Result<Value, RuntimeError> {
+    loop {
+        match func {
+            Value::Closure(closure) => {
+                if closure.arity() != args.len() {
+                    return Err(RuntimeError::Arity {
+                        expected: closure.arity(),
+                        found: args.len(),
+                    });
+                }
+                let frame = closure
+                    .lambda
+                    .params
+                    .iter()
+                    .zip(args)
+                    .map(|(p, v)| (p.name.clone(), Binding::Val(v)))
+                    .collect();
+                let env = closure.env.extend(frame);
+                match eval_tail(&closure.lambda.body, &env, machine)? {
+                    Tail::Done(v) => return Ok(v),
+                    Tail::Call(f, a) => {
+                        func = f;
+                        args = a;
+                    }
+                }
+            }
+            Value::Prim(op) => return apply_prim(op, &args, machine),
+            Value::Data(op) => return apply_data(&op, args),
+            other => return Err(RuntimeError::NotAFunction { found: other.to_string() }),
+        }
+    }
+}
+
+fn apply_data(op: &DataOpValue, mut args: Vec<Value>) -> Result<Value, RuntimeError> {
+    if args.len() != 1 {
+        return Err(RuntimeError::Arity { expected: 1, found: args.len() });
+    }
+    let arg = args.pop().expect("len checked");
+    match op.role {
+        DataRole::Construct(tag) => Ok(Value::Variant(Rc::new(VariantValue {
+            ty_name: op.ty_name.clone(),
+            instance: op.instance,
+            tag,
+            payload: arg,
+        }))),
+        DataRole::Deconstruct(tag) => {
+            let v = expect_own_variant(op, arg)?;
+            if v.tag != tag {
+                return Err(RuntimeError::WrongVariant {
+                    ty_name: op.ty_name.clone(),
+                    expected: tag,
+                    found: v.tag,
+                });
+            }
+            Ok(v.payload.clone())
+        }
+        DataRole::Predicate => {
+            let v = expect_own_variant(op, arg)?;
+            Ok(Value::Bool(v.tag == 0))
+        }
+    }
+}
+
+fn expect_own_variant(
+    op: &DataOpValue,
+    arg: Value,
+) -> Result<Rc<VariantValue>, RuntimeError> {
+    match arg {
+        Value::Variant(v) if v.ty_name == op.ty_name && v.instance == op.instance => Ok(v),
+        Value::Variant(v) if v.ty_name == op.ty_name => {
+            Err(RuntimeError::ForeignInstance { ty_name: op.ty_name.clone() })
+        }
+        other => Err(RuntimeError::WrongType {
+            expected: "a datatype value of the defining instance",
+            found: other.to_string(),
+        }),
+    }
+}

@@ -1,0 +1,422 @@
+//! Wiring and invocation: the cells protocol of §4.1.6.
+//!
+//! Invoking a unit proceeds in three phases, mirroring the merged-`letrec`
+//! semantics of Fig. 11:
+//!
+//! 1. **wire** — walk the link graph creating one cell per interface
+//!    name: import cells come from the invoker, each constituent's
+//!    exported definitions *are* the cells its consumers read ("a closure
+//!    that propagates import and export cells to the constituent units,
+//!    creating new cells … for variables … hidden by the compound unit");
+//! 2. **run definitions** — every constituent's definitions evaluate in
+//!    link order, filling their cells (mutually recursive references work
+//!    because λ-bodies read cells lazily);
+//! 3. **run initializations** — every initialization expression runs in
+//!    link order; the last one's value is the result of the invocation.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use units_kernel::Symbol;
+use units_runtime::{
+    filled_cell, new_cell, Binding, CellRef, Env, Machine, RuntimeError, UnitValue, Value,
+};
+
+use crate::eval::{bind_letrec_frame, eval};
+
+/// One atomic constituent, wired and awaiting its definition/init phases.
+pub(crate) struct Pending {
+    env: Env,
+    source: Rc<units_kernel::UnitExpr>,
+    def_cells: Vec<CellRef>,
+}
+
+impl Pending {
+    fn run_defs(&self, machine: &mut Machine) -> Result<(), RuntimeError> {
+        for (defn, cell) in self.source.vals.iter().zip(&self.def_cells) {
+            let v = eval(&defn.body, &self.env, machine)?;
+            *cell.borrow_mut() = Some(v);
+        }
+        Ok(())
+    }
+
+    fn run_init(&self, machine: &mut Machine) -> Result<Value, RuntimeError> {
+        eval(&self.source.init, &self.env, machine)
+    }
+}
+
+/// Invokes a unit, satisfying its imports from `supplied` (empty for a
+/// complete program). Returns the last initialization expression's value;
+/// exports are ignored ("The variables exported by a program are
+/// ignored").
+///
+/// # Errors
+///
+/// [`RuntimeError::UnsatisfiedImport`] when `supplied` misses an import;
+/// any error the definitions or initializations raise.
+pub fn invoke_unit(
+    unit: &UnitValue,
+    supplied: &HashMap<Symbol, Value>,
+    machine: &mut Machine,
+) -> Result<Value, RuntimeError> {
+    let mut import_cells = HashMap::with_capacity(unit.imports().vals.len());
+    for port in &unit.imports().vals {
+        match supplied.get(&port.name) {
+            Some(v) => {
+                import_cells.insert(port.name.clone(), filled_cell(v.clone()));
+            }
+            None => return Err(RuntimeError::UnsatisfiedImport { name: port.name.clone() }),
+        }
+    }
+    let mut pendings = Vec::new();
+    wire(unit, &import_cells, &HashMap::new(), machine, &mut pendings)?;
+    for p in &pendings {
+        p.run_defs(machine)?;
+    }
+    let mut result = Value::Void;
+    for p in &pendings {
+        result = p.run_init(machine)?;
+    }
+    Ok(result)
+}
+
+/// Recursively wires a unit: `imports` supplies a cell per import name,
+/// `wanted_exports` lists the cells the caller wants this unit's exports
+/// to fill. Appends the atomic constituents to `out` in initialization
+/// order.
+pub(crate) fn wire(
+    unit: &UnitValue,
+    imports: &HashMap<Symbol, CellRef>,
+    wanted_exports: &HashMap<Symbol, CellRef>,
+    machine: &mut Machine,
+    out: &mut Vec<Pending>,
+) -> Result<(), RuntimeError> {
+    match unit {
+        UnitValue::Restricted { inner, exports } => {
+            // Only visible exports may be requested.
+            for name in wanted_exports.keys() {
+                if exports.val_port(name).is_none() {
+                    return Err(RuntimeError::MissingProvide { name: name.clone() });
+                }
+            }
+            wire(inner, imports, wanted_exports, machine, out)
+        }
+        UnitValue::Atomic(atomic) => {
+            let source = &atomic.source;
+            // Every import must be supplied.
+            let mut frame = Vec::new();
+            for port in &source.imports.vals {
+                let cell = imports
+                    .get(&port.name)
+                    .cloned()
+                    .ok_or_else(|| RuntimeError::UnsatisfiedImport { name: port.name.clone() })?;
+                frame.push((port.name.clone(), Binding::Cell(cell)));
+            }
+            let pre_env = atomic.env.extend(frame);
+            let (env, mut def_cells) = bind_letrec_frame(&source.types, &source.vals, &pre_env, machine);
+            // Exported definitions write directly into the caller's cells.
+            let defined: Vec<&Symbol> = source.vals.iter().map(|d| &d.name).collect();
+            for (name, cell) in wanted_exports {
+                if source.exports.val_port(name).is_none() {
+                    return Err(RuntimeError::MissingProvide { name: name.clone() });
+                }
+                if let Some(pos) = defined.iter().position(|d| *d == name) {
+                    def_cells[pos] = cell.clone();
+                } else {
+                    // A datatype operation export: its value exists now.
+                    match env.lookup(name) {
+                        Some(Binding::Val(v)) => *cell.borrow_mut() = Some(v.clone()),
+                        _ => return Err(RuntimeError::MissingProvide { name: name.clone() }),
+                    }
+                }
+            }
+            // Rebind exported definitions to the caller's cells so that
+            // internal references and external consumers share storage.
+            let rebound: Vec<(Symbol, Binding)> = source
+                .vals
+                .iter()
+                .zip(&def_cells)
+                .map(|(d, c)| (d.name.clone(), Binding::Cell(c.clone())))
+                .collect();
+            let env = env.extend(rebound);
+            out.push(Pending { env, source: source.clone(), def_cells });
+            Ok(())
+        }
+        UnitValue::Linked(linked) => {
+            // One cell per provided *outer* name; compound exports reuse
+            // the caller's cells (linking identifies a constituent's
+            // inner export name with the outer name its rename pairs
+            // choose — the same name in the paper's by-name core form).
+            let mut cell_of: HashMap<Symbol, CellRef> = HashMap::new();
+            for lc in &linked.links {
+                for port in &lc.provides.vals {
+                    let outer = lc.renames.outer_export_val(&port.name).clone();
+                    let cell = match wanted_exports.get(&outer) {
+                        Some(c) => c.clone(),
+                        None => new_cell(),
+                    };
+                    cell_of.insert(outer, cell);
+                }
+            }
+            for name in wanted_exports.keys() {
+                if !cell_of.contains_key(name) {
+                    return Err(RuntimeError::MissingProvide { name: name.clone() });
+                }
+            }
+            for lc in &linked.links {
+                let mut constituent_imports = HashMap::new();
+                for port in &lc.with.vals {
+                    let outer = lc.renames.outer_import_val(&port.name);
+                    let cell = imports
+                        .get(outer)
+                        .or_else(|| cell_of.get(outer))
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::UnsatisfiedImport {
+                            name: outer.clone(),
+                        })?;
+                    // The constituent sees the cell under its inner name.
+                    constituent_imports.insert(port.name.clone(), cell);
+                }
+                let wanted: HashMap<Symbol, CellRef> = lc
+                    .provides
+                    .vals
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.name.clone(),
+                            cell_of[lc.renames.outer_export_val(&p.name)].clone(),
+                        )
+                    })
+                    .collect();
+                wire(&lc.unit, &constituent_imports, &wanted, machine, out)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_program;
+    use units_syntax::parse_expr;
+
+    fn run(src: &str) -> Result<Value, RuntimeError> {
+        let e = parse_expr(src).unwrap_or_else(|err| panic!("parse: {err}"));
+        evaluate_program(&e, &mut Machine::new())
+    }
+
+    fn run_int(src: &str) -> i64 {
+        match run(src) {
+            Ok(Value::Int(n)) => n,
+            other => panic!("expected an int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invoking_an_atomic_program() {
+        assert_eq!(run_int("(invoke (unit (import) (export) (init (+ 40 2))))"), 42);
+    }
+
+    #[test]
+    fn definitions_fill_cells_before_init_runs() {
+        assert_eq!(
+            run_int(
+                "(invoke (unit (import) (export)
+                   (define f (lambda (n) (* n n)))
+                   (init (f 9))))"
+            ),
+            81
+        );
+    }
+
+    #[test]
+    fn dynamic_linking_supplies_imports() {
+        assert_eq!(
+            run_int(
+                "(invoke (unit (import base) (export) (init (+ base 2)))
+                         (val base 40))"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn missing_imports_are_a_runtime_error() {
+        let err = run("(invoke (unit (import x) (export) (init x)))").unwrap_err();
+        assert!(matches!(err, RuntimeError::UnsatisfiedImport { name } if name.as_str() == "x"));
+    }
+
+    #[test]
+    fn fig12_even_odd_mutual_recursion_across_units() {
+        // The even unit and the odd unit import each other's export; the
+        // compound links them cyclically (Fig. 12's example, split in two).
+        let src = "(invoke (compound (import) (export)
+            (link ((unit (import odd) (export even)
+                     (define even (lambda (n) (if (= n 0) true (odd (- n 1)))))
+                     (init void))
+                   (with odd) (provides even))
+                  ((unit (import even) (export odd)
+                     (define odd (lambda (n) (if (= n 0) false (even (- n 1)))))
+                     (init (odd 13)))
+                   (with even) (provides odd)))))";
+        match run(src) {
+            Ok(Value::Bool(true)) => {}
+            other => panic!("odd(13) should be true, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn initialization_expressions_run_in_link_order_after_all_definitions() {
+        let src = "(invoke (compound (import) (export)
+            (link ((unit (import later) (export)
+                     (init (display \"first\") (later)))
+                   (with later) (provides))
+                  ((unit (import) (export later)
+                     (define later (lambda () (display \"from-later\") void))
+                     (init (display \"second\")))
+                   (with) (provides later)))))";
+        let mut machine = Machine::new();
+        let e = parse_expr(src).unwrap();
+        evaluate_program(&e, &mut machine).unwrap();
+        // Unit 1's init runs before unit 2's, and can already call unit
+        // 2's definition (all definitions precede all initializations).
+        assert_eq!(machine.output(), ["first", "from-later", "second"]);
+    }
+
+    #[test]
+    fn invocation_result_is_last_initialization_value() {
+        assert_eq!(
+            run_int(
+                "(invoke (compound (import) (export)
+                   (link ((unit (import) (export) (init 1)) (with) (provides))
+                         ((unit (import) (export) (init 2)) (with) (provides)))))"
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn hidden_exports_are_invisible_but_usable_internally() {
+        // delete is used inside the compound but hidden from its exports
+        // (Fig. 2's PhoneBook hides Database's delete).
+        let src = "(define pb (compound (import) (export get)
+             (link ((unit (import) (export get delete)
+                      (define get (lambda () 10))
+                      (define delete (lambda () 99)))
+                    (with) (provides get delete))
+                   ((unit (import delete) (export use)
+                      (define use (lambda () (delete))))
+                    (with delete) (provides use)))))
+           (invoke (unit (import get) (export) (init (get)))
+                   (val get (lambda () 7)))";
+        // `pb` exports only get; attempting to link against delete fails.
+        let full = format!(
+            "(invoke (compound (import) (export)
+               (link ({pb} (with) (provides get))
+                     ((unit (import get) (export) (init (get)))
+                      (with get) (provides)))))",
+            pb = "(compound (import) (export get)
+             (link ((unit (import) (export get delete)
+                      (define get (lambda () 10))
+                      (define delete (lambda () 99)))
+                    (with) (provides get delete))))"
+        );
+        assert_eq!(run_int(&full), 10);
+        let _ = src;
+    }
+
+    #[test]
+    fn linking_against_a_hidden_export_fails() {
+        let err = run(
+            "(invoke (compound (import) (export)
+               (link ((compound (import) (export get)
+                        (link ((unit (import) (export get delete)
+                                 (define get (lambda () 10))
+                                 (define delete (lambda () 99)))
+                               (with) (provides get delete))))
+                      (with) (provides get delete))
+                     ((unit (import delete) (export) (init (delete)))
+                      (with delete) (provides)))))",
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::MissingProvide { name } if name.as_str() == "delete"));
+    }
+
+    #[test]
+    fn excess_imports_are_rejected_at_link_time() {
+        let err = run(
+            "(compound (import) (export)
+               (link ((unit (import ghost) (export) (init void))
+                      (with) (provides))))",
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::ExcessImport { name } if name.as_str() == "ghost"));
+    }
+
+    #[test]
+    fn multiple_invocations_create_independent_instances() {
+        // Each invocation gets fresh cells: the counter does not persist.
+        let src = "(define u (unit (import) (export)
+                      (define counter 0)
+                      (init (set! counter (+ counter 1)) counter)))
+                   (tuple (invoke u) (invoke u))";
+        let e = units_syntax::parse_file(src).unwrap();
+        let v = evaluate_program(&e, &mut Machine::new()).unwrap();
+        match v {
+            Value::Tuple(items) => {
+                assert!(items[0].observably_eq(&Value::Int(1)));
+                assert!(items[1].observably_eq(&Value::Int(1)));
+            }
+            other => panic!("expected tuple, got {other}"),
+        }
+    }
+
+    #[test]
+    fn code_is_shared_across_instances() {
+        // §4.1.6: one copy of the code regardless of how many times the
+        // unit is linked or invoked.
+        let e = units_syntax::parse_expr(
+            "(unit (import) (export) (define f (lambda () 1)) (init (f)))",
+        )
+        .unwrap();
+        let mut machine = Machine::new();
+        let v1 = evaluate_program(&e, &mut machine).unwrap();
+        let v2 = evaluate_program(&e, &mut machine).unwrap();
+        match (v1, v2) {
+            (Value::Unit(u1), Value::Unit(u2)) => {
+                assert!(Rc::ptr_eq(
+                    u1.atomic_source().unwrap(),
+                    u2.atomic_source().unwrap()
+                ));
+            }
+            other => panic!("expected units, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn datatype_instances_do_not_mix() {
+        // §5.3: two instances of `symbol` cannot unify their types.
+        let src = "(define symbol (unit (import) (export mk unmk)
+                      (datatype sym (mk unmk str) sym?)
+                      (init (tuple mk unmk))))
+                   (let ((a (invoke symbol)) (b (invoke symbol)))
+                     ((proj 1 b) ((proj 0 a) \"x\")))";
+        let e = units_syntax::parse_file(src).unwrap();
+        let err = evaluate_program(&e, &mut Machine::new()).unwrap_err();
+        assert!(matches!(err, RuntimeError::ForeignInstance { ty_name } if ty_name.as_str() == "sym"));
+    }
+
+    #[test]
+    fn seal_hides_exports_at_runtime() {
+        let err = run(
+            "(invoke (compound (import) (export)
+               (link ((seal (unit (import) (export a b)
+                              (define a 1) (define b 2))
+                            (sig (import) (export b) (init void)))
+                      (with) (provides a)))))",
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::MissingProvide { name } if name.as_str() == "a"));
+    }
+}

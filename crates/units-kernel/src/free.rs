@@ -1,0 +1,389 @@
+//! Free-variable computation for value variables and type variables.
+//!
+//! The binding structure follows the paper's grammars:
+//!
+//! * `fn (x…) ⇒ e` binds `x…` in `e`;
+//! * `let x = e in b` binds `x…` in `b` only;
+//! * `letrec` binds every defined value name (including datatype
+//!   constructors/deconstructors/predicates) in every definition body and
+//!   the block body, and every defined type name in every type expression;
+//! * a `unit` binds its imported value names and defined value names in its
+//!   definitions and initialization expression, and its imported/defined
+//!   type names in its embedded type expressions;
+//! * `compound`/`invoke` `with`/`provides` name lists are port labels, not
+//!   variable occurrences;
+//! * a signature binds its own imported/exported type variables.
+
+use std::collections::BTreeSet;
+
+use crate::symbol::Symbol;
+use crate::term::{Expr, TypeDefn, UnitExpr};
+use crate::ty::Ty;
+
+/// Returns the free *value* variables of an expression.
+///
+/// # Examples
+///
+/// ```
+/// use units_kernel::{free_val_vars, Expr, Param};
+/// let e = Expr::lambda(vec![Param::untyped("x")],
+///                      Expr::app(Expr::var("f"), vec![Expr::var("x")]));
+/// let free = free_val_vars(&e);
+/// assert!(free.contains("f"));
+/// assert!(!free.contains("x"));
+/// ```
+pub fn free_val_vars(expr: &Expr) -> BTreeSet<Symbol> {
+    let mut out = BTreeSet::new();
+    collect_val(expr, &mut BTreeSet::new(), &mut out);
+    out
+}
+
+fn collect_val(expr: &Expr, bound: &mut BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
+    match expr {
+        Expr::Var(x) => {
+            if !bound.contains(x) {
+                out.insert(x.clone());
+            }
+        }
+        Expr::Lit(_) | Expr::Prim(..) | Expr::Loc(_) | Expr::CellRef(_) | Expr::Data(_) => {}
+        Expr::Lambda(lam) => {
+            with_bound(bound, lam.params.iter().map(|p| p.name.clone()), |bound| {
+                collect_val(&lam.body, bound, out);
+            });
+        }
+        Expr::App(func, args) => {
+            collect_val(func, bound, out);
+            for a in args {
+                collect_val(a, bound, out);
+            }
+        }
+        Expr::If(c, t, e) => {
+            collect_val(c, bound, out);
+            collect_val(t, bound, out);
+            collect_val(e, bound, out);
+        }
+        Expr::Seq(es) | Expr::Tuple(es) => {
+            for e in es {
+                collect_val(e, bound, out);
+            }
+        }
+        Expr::Let(bindings, body) => {
+            for b in bindings {
+                collect_val(&b.expr, bound, out);
+            }
+            with_bound(bound, bindings.iter().map(|b| b.name.clone()), |bound| {
+                collect_val(body, bound, out);
+            });
+        }
+        Expr::Letrec(lr) => {
+            let mut names: Vec<Symbol> = lr.vals.iter().map(|d| d.name.clone()).collect();
+            for td in &lr.types {
+                if let TypeDefn::Data(d) = td {
+                    names.extend(d.bound_val_names());
+                }
+            }
+            with_bound(bound, names, |bound| {
+                for d in &lr.vals {
+                    collect_val(&d.body, bound, out);
+                }
+                collect_val(&lr.body, bound, out);
+            });
+        }
+        Expr::Set(target, value) => {
+            collect_val(target, bound, out);
+            collect_val(value, bound, out);
+        }
+        Expr::Proj(_, e) => collect_val(e, bound, out),
+        Expr::Unit(u) => collect_unit_val(u, bound, out),
+        Expr::Compound(c) => {
+            for link in &c.links {
+                collect_val(&link.expr, bound, out);
+            }
+        }
+        Expr::Invoke(inv) => {
+            collect_val(&inv.target, bound, out);
+            for (_, e) in &inv.val_links {
+                collect_val(e, bound, out);
+            }
+        }
+        Expr::Seal(e, _) => collect_val(e, bound, out),
+        Expr::Variant(v) => collect_val(&v.payload, bound, out),
+    }
+}
+
+fn collect_unit_val(u: &UnitExpr, bound: &mut BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
+    let mut names: Vec<Symbol> = u.imports.vals.iter().map(|p| p.name.clone()).collect();
+    names.extend(u.defined_val_names());
+    with_bound(bound, names, |bound| {
+        for d in &u.vals {
+            collect_val(&d.body, bound, out);
+        }
+        collect_val(&u.init, bound, out);
+    });
+}
+
+fn with_bound<I>(bound: &mut BTreeSet<Symbol>, names: I, f: impl FnOnce(&mut BTreeSet<Symbol>))
+where
+    I: IntoIterator<Item = Symbol>,
+{
+    let added: Vec<Symbol> = names.into_iter().filter(|n| bound.insert(n.clone())).collect();
+    f(bound);
+    for n in added {
+        bound.remove(&n);
+    }
+}
+
+/// Returns the free *type* variables of an expression: type variables
+/// occurring in embedded type annotations, signatures, primitive
+/// instantiations, and invoke type links that are not bound by an enclosing
+/// `letrec`/`unit` type definition or unit type import.
+pub fn free_ty_vars_expr(expr: &Expr) -> BTreeSet<Symbol> {
+    let mut out = BTreeSet::new();
+    collect_ty(expr, &mut BTreeSet::new(), &mut out);
+    out
+}
+
+fn add_ty(ty: &Ty, bound: &BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
+    let mut occurring = BTreeSet::new();
+    ty.free_ty_vars(&mut occurring);
+    out.extend(occurring.into_iter().filter(|t| !bound.contains(t)));
+}
+
+fn add_opt_ty(ty: &Option<Ty>, bound: &BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
+    if let Some(ty) = ty {
+        add_ty(ty, bound, out);
+    }
+}
+
+fn collect_ty(expr: &Expr, bound: &mut BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
+    match expr {
+        Expr::Var(_) | Expr::Lit(_) | Expr::Loc(_) | Expr::CellRef(_) | Expr::Data(_) => {}
+        Expr::Prim(_, tys) => {
+            for t in tys {
+                add_ty(t, bound, out);
+            }
+        }
+        Expr::Lambda(lam) => {
+            for p in &lam.params {
+                add_opt_ty(&p.ty, bound, out);
+            }
+            add_opt_ty(&lam.ret_ty, bound, out);
+            collect_ty(&lam.body, bound, out);
+        }
+        Expr::App(func, args) => {
+            collect_ty(func, bound, out);
+            for a in args {
+                collect_ty(a, bound, out);
+            }
+        }
+        Expr::If(c, t, e) => {
+            collect_ty(c, bound, out);
+            collect_ty(t, bound, out);
+            collect_ty(e, bound, out);
+        }
+        Expr::Seq(es) | Expr::Tuple(es) => {
+            for e in es {
+                collect_ty(e, bound, out);
+            }
+        }
+        Expr::Let(bindings, body) => {
+            for b in bindings {
+                collect_ty(&b.expr, bound, out);
+            }
+            collect_ty(body, bound, out);
+        }
+        Expr::Letrec(lr) => {
+            let names: Vec<Symbol> = lr.types.iter().map(|t| t.name().clone()).collect();
+            with_bound(bound, names, |bound| {
+                for td in &lr.types {
+                    collect_typedefn(td, bound, out);
+                }
+                for d in &lr.vals {
+                    add_opt_ty(&d.ty, bound, out);
+                    collect_ty(&d.body, bound, out);
+                }
+                collect_ty(&lr.body, bound, out);
+            });
+        }
+        Expr::Set(target, value) => {
+            collect_ty(target, bound, out);
+            collect_ty(value, bound, out);
+        }
+        Expr::Proj(_, e) => collect_ty(e, bound, out),
+        Expr::Unit(u) => {
+            let mut names: Vec<Symbol> = u.imports.types.iter().map(|p| p.name.clone()).collect();
+            names.extend(u.defined_ty_names());
+            with_bound(bound, names, |bound| {
+                for p in u.imports.vals.iter().chain(u.exports.vals.iter()) {
+                    add_opt_ty(&p.ty, bound, out);
+                }
+                for td in &u.types {
+                    collect_typedefn(td, bound, out);
+                }
+                for d in &u.vals {
+                    add_opt_ty(&d.ty, bound, out);
+                    collect_ty(&d.body, bound, out);
+                }
+                collect_ty(&u.init, bound, out);
+            });
+        }
+        Expr::Compound(c) => {
+            let names: Vec<Symbol> = c
+                .imports
+                .types
+                .iter()
+                .chain(c.links.iter().flat_map(|l| l.provides.types.iter()))
+                .map(|p| p.name.clone())
+                .collect();
+            with_bound(bound, names, |bound| {
+                for p in c.imports.vals.iter().chain(c.exports.vals.iter()) {
+                    add_opt_ty(&p.ty, bound, out);
+                }
+                for link in &c.links {
+                    collect_ty(&link.expr, bound, out);
+                    for p in link.with.vals.iter().chain(link.provides.vals.iter()) {
+                        add_opt_ty(&p.ty, bound, out);
+                    }
+                }
+            });
+        }
+        Expr::Invoke(inv) => {
+            collect_ty(&inv.target, bound, out);
+            for (_, t) in &inv.ty_links {
+                add_ty(t, bound, out);
+            }
+            for (_, e) in &inv.val_links {
+                collect_ty(e, bound, out);
+            }
+        }
+        Expr::Seal(e, sig) => {
+            collect_ty(e, bound, out);
+            let mut sig_free = BTreeSet::new();
+            sig.free_ty_vars_unbound(&mut sig_free);
+            out.extend(sig_free.into_iter().filter(|t| !bound.contains(t)));
+        }
+        Expr::Variant(v) => collect_ty(&v.payload, bound, out),
+    }
+}
+
+fn collect_typedefn(td: &TypeDefn, bound: &BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
+    match td {
+        TypeDefn::Data(d) => {
+            for v in &d.variants {
+                add_ty(&v.payload, bound, out);
+            }
+        }
+        TypeDefn::Alias(a) => add_ty(&a.body, bound, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::Ports;
+    use crate::term::{Binding, DataDefn, DataVariant, LetrecExpr, Param, ValDefn};
+
+    fn names(set: &BTreeSet<Symbol>) -> Vec<&str> {
+        set.iter().map(|s| s.as_str()).collect()
+    }
+
+    #[test]
+    fn lambda_binds_parameters() {
+        let e = Expr::lambda(
+            vec![Param::untyped("x"), Param::untyped("y")],
+            Expr::app(Expr::var("f"), vec![Expr::var("x"), Expr::var("y"), Expr::var("z")]),
+        );
+        assert_eq!(names(&free_val_vars(&e)), vec!["f", "z"]);
+    }
+
+    #[test]
+    fn let_bindings_scope_only_over_body() {
+        let e = Expr::Let(
+            vec![Binding { name: "x".into(), expr: Expr::var("x") }],
+            Box::new(Expr::var("x")),
+        );
+        // The right-hand side `x` is free (let is not recursive); the body
+        // `x` is bound.
+        assert_eq!(names(&free_val_vars(&e)), vec!["x"]);
+    }
+
+    #[test]
+    fn letrec_binds_in_definitions_and_body() {
+        let e = Expr::Letrec(std::rc::Rc::new(LetrecExpr {
+            types: vec![],
+            vals: vec![ValDefn {
+                name: "odd".into(),
+                ty: None,
+                body: Expr::lambda(vec![Param::untyped("n")], Expr::var("even")),
+            }],
+            body: Expr::var("odd"),
+        }));
+        assert_eq!(names(&free_val_vars(&e)), vec!["even"]);
+    }
+
+    #[test]
+    fn letrec_datatype_operations_are_bound() {
+        let e = Expr::Letrec(std::rc::Rc::new(LetrecExpr {
+            types: vec![TypeDefn::Data(DataDefn {
+                name: "t".into(),
+                variants: vec![DataVariant {
+                    ctor: "mk".into(),
+                    dtor: "unmk".into(),
+                    payload: Ty::Int,
+                }],
+                predicate: "t?".into(),
+            })],
+            vals: vec![],
+            body: Expr::app(Expr::var("mk"), vec![Expr::var("free")]),
+        }));
+        assert_eq!(names(&free_val_vars(&e)), vec!["free"]);
+    }
+
+    #[test]
+    fn unit_binds_imports_and_definitions() {
+        let u = Expr::unit(crate::term::UnitExpr {
+            imports: Ports::untyped(Vec::<&str>::new(), ["error"]),
+            exports: Ports::untyped(Vec::<&str>::new(), ["go"]),
+            types: vec![],
+            vals: vec![ValDefn {
+                name: "go".into(),
+                ty: None,
+                body: Expr::thunk(Expr::app(Expr::var("error"), vec![Expr::var("outer")])),
+            }],
+            init: Expr::var("go"),
+        });
+        assert_eq!(names(&free_val_vars(&u)), vec!["outer"]);
+    }
+
+    #[test]
+    fn invoke_link_names_are_labels_not_occurrences() {
+        let e = Expr::invoke(crate::term::InvokeExpr {
+            target: Expr::var("u"),
+            ty_links: vec![],
+            val_links: vec![("error".into(), Expr::var("handler"))],
+        });
+        assert_eq!(names(&free_val_vars(&e)), vec!["handler", "u"]);
+    }
+
+    #[test]
+    fn free_ty_vars_respect_unit_binders() {
+        let u = Expr::unit(crate::term::UnitExpr {
+            imports: Ports { types: vec![crate::sig::TyPort::star("info")], vals: vec![] },
+            exports: Ports::new(),
+            types: vec![],
+            vals: vec![ValDefn {
+                name: "x".into(),
+                ty: Some(Ty::arrow(vec![Ty::var("info")], Ty::var("leaky"))),
+                body: Expr::void(),
+            }],
+            init: Expr::void(),
+        });
+        assert_eq!(names(&free_ty_vars_expr(&u)), vec!["leaky"]);
+    }
+
+    #[test]
+    fn prim_instantiations_contribute_ty_vars() {
+        let e = Expr::Prim(crate::term::PrimOp::HashNew, vec![Ty::var("info")]);
+        assert_eq!(names(&free_ty_vars_expr(&e)), vec!["info"]);
+    }
+}

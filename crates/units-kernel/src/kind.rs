@@ -1,0 +1,90 @@
+//! Kinds — "types for types" (paper §3.1, footnote 3).
+//!
+//! The calculi in the paper use a single kind `Ω` for all type variables,
+//! but declare kinds explicitly "in anticipation of future work that handles
+//! type constructors and polymorphism" (§4.2, footnote 9). We mirror that:
+//! [`Kind::Star`] is the only kind the checkers ever assign, and
+//! [`Kind::Arrow`] is provided for the anticipated constructor extension.
+
+use std::fmt;
+
+/// The kind of a type variable.
+///
+/// # Examples
+///
+/// ```
+/// use units_kernel::Kind;
+/// let k = Kind::arrow(Kind::Star, Kind::Star);
+/// assert_eq!(k.to_string(), "Ω→Ω");
+/// assert_eq!(k.arity(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum Kind {
+    /// `Ω` — the kind of proper types. The only kind used by UNITc/UNITe.
+    #[default]
+    Star,
+    /// `κ → κ` — type constructors (paper: "languages such as ML, Haskell,
+    /// and Miranda also provide type constructors ... which have the kind
+    /// Ω→Ω").
+    Arrow(Box<Kind>, Box<Kind>),
+}
+
+impl Kind {
+    /// Convenience constructor for `from → to`.
+    pub fn arrow(from: Kind, to: Kind) -> Kind {
+        Kind::Arrow(Box::new(from), Box::new(to))
+    }
+
+    /// Number of arguments a type of this kind expects (0 for `Ω`).
+    pub fn arity(&self) -> usize {
+        match self {
+            Kind::Star => 0,
+            Kind::Arrow(_, to) => 1 + to.arity(),
+        }
+    }
+
+    /// Returns `true` for the kind of proper types, `Ω`.
+    pub fn is_star(&self) -> bool {
+        matches!(self, Kind::Star)
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::Star => f.write_str("Ω"),
+            Kind::Arrow(from, to) => {
+                if from.is_star() {
+                    write!(f, "Ω→{to}")
+                } else {
+                    write!(f, "({from})→{to}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_is_default_and_nullary() {
+        assert_eq!(Kind::default(), Kind::Star);
+        assert_eq!(Kind::Star.arity(), 0);
+        assert!(Kind::Star.is_star());
+    }
+
+    #[test]
+    fn arrow_arity_counts_arguments() {
+        let k2 = Kind::arrow(Kind::Star, Kind::arrow(Kind::Star, Kind::Star));
+        assert_eq!(k2.arity(), 2);
+        assert!(!k2.is_star());
+    }
+
+    #[test]
+    fn display_parenthesizes_higher_order_domains() {
+        let ho = Kind::arrow(Kind::arrow(Kind::Star, Kind::Star), Kind::Star);
+        assert_eq!(ho.to_string(), "(Ω→Ω)→Ω");
+    }
+}

@@ -1,0 +1,194 @@
+//! Interned-ish identifiers and fresh-name generation.
+//!
+//! The calculi distinguish *value variables* (`x` in the paper) from *type
+//! variables* (`t`), but both are represented by [`Symbol`]: a cheaply
+//! clonable, hashable name. The two namespaces are kept apart by the data
+//! structures that contain them, exactly as in the paper's grammars.
+//!
+//! Fresh names are produced by [`NameGen`], which appends `#N` to a base
+//! name. The surface lexer rejects `#` inside identifiers, so generated
+//! names can never collide with source names.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An identifier in the unit language (value variable, type variable,
+/// datatype constructor, signature port name, ...).
+///
+/// `Symbol` is a thin wrapper around a shared string: cloning is one atomic
+/// increment, comparison is string comparison. This is plenty for an
+/// interpreter-scale implementation and keeps the kernel free of global
+/// interner state.
+///
+/// # Examples
+///
+/// ```
+/// use units_kernel::Symbol;
+/// let a = Symbol::new("insert");
+/// let b = Symbol::from("insert");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "insert");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the symbol's textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns `true` if this symbol was produced by a [`NameGen`]
+    /// (contains the reserved `#` character).
+    pub fn is_generated(&self) -> bool {
+        self.0.contains('#')
+    }
+
+    /// Returns the base name of a generated symbol (the part before `#`),
+    /// or the whole name for a source symbol.
+    ///
+    /// ```
+    /// use units_kernel::{NameGen, Symbol};
+    /// let mut gen = NameGen::new();
+    /// let fresh = gen.fresh(&Symbol::new("db"));
+    /// assert_eq!(fresh.base(), "db");
+    /// ```
+    pub fn base(&self) -> &str {
+        match self.0.find('#') {
+            Some(i) => &self.0[..i],
+            None => &self.0,
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol(Arc::from(s.as_str()))
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A generator of names guaranteed not to clash with source identifiers.
+///
+/// Used by the `compound` reduction (Fig. 11) to α-rename a constituent
+/// unit's internal definitions before merging, and by capture-avoiding
+/// substitution.
+///
+/// # Examples
+///
+/// ```
+/// use units_kernel::{NameGen, Symbol};
+/// let mut gen = NameGen::new();
+/// let x = Symbol::new("x");
+/// let x1 = gen.fresh(&x);
+/// let x2 = gen.fresh(&x);
+/// assert_ne!(x1, x2);
+/// assert!(x1.is_generated());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct NameGen {
+    counter: u64,
+}
+
+impl NameGen {
+    /// Creates a generator starting at zero.
+    pub fn new() -> Self {
+        NameGen::default()
+    }
+
+    /// Produces a fresh symbol derived from `base`. Two calls never return
+    /// the same symbol, and no returned symbol can be written in source
+    /// syntax.
+    pub fn fresh(&mut self, base: &Symbol) -> Symbol {
+        self.counter += 1;
+        Symbol::new(format!("{}#{}", base.base(), self.counter))
+    }
+
+    /// Produces a fresh symbol with a literal base name.
+    pub fn fresh_named(&mut self, base: &str) -> Symbol {
+        self.counter += 1;
+        Symbol::new(format!("{base}#{}", self.counter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn symbols_compare_by_content() {
+        assert_eq!(Symbol::new("a"), Symbol::from("a".to_string()));
+        assert_ne!(Symbol::new("a"), Symbol::new("b"));
+    }
+
+    #[test]
+    fn symbols_order_lexicographically() {
+        assert!(Symbol::new("aa") < Symbol::new("ab"));
+    }
+
+    #[test]
+    fn generated_names_are_unique() {
+        let mut gen = NameGen::new();
+        let base = Symbol::new("v");
+        let names: HashSet<_> = (0..1000).map(|_| gen.fresh(&base)).collect();
+        assert_eq!(names.len(), 1000);
+    }
+
+    #[test]
+    fn generated_base_strips_counter_even_when_refreshed() {
+        let mut gen = NameGen::new();
+        let a = gen.fresh_named("db");
+        let b = gen.fresh(&a);
+        assert_eq!(b.base(), "db");
+        assert!(!b.as_str().contains("##"));
+    }
+
+    #[test]
+    fn borrow_str_allows_map_lookup() {
+        let mut set = HashSet::new();
+        set.insert(Symbol::new("key"));
+        assert!(set.contains("key"));
+    }
+
+    #[test]
+    fn display_is_plain_name() {
+        assert_eq!(Symbol::new("odd").to_string(), "odd");
+        assert_eq!(format!("{:?}", Symbol::new("odd")), "`odd`");
+    }
+}

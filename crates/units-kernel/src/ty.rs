@@ -1,0 +1,207 @@
+//! Type expressions `τ` (paper Figs. 13 and 16).
+//!
+//! The grammar is `τ ::= t | τ→τ | signature`, extended here with the base
+//! types and tuple types that the paper's examples use informally
+//! (`str→void`, `db×str×info→void`, `int`, `bool`, ...).
+
+use std::fmt;
+
+use crate::sig::Signature;
+use crate::symbol::Symbol;
+
+/// A type expression.
+///
+/// Functions are n-ary (`Arrow`), which models the paper's product-domain
+/// arrows like `db×str×info→void` directly; an independent [`Ty::Tuple`]
+/// form covers first-class tuples.
+///
+/// # Examples
+///
+/// ```
+/// use units_kernel::Ty;
+/// let insert = Ty::arrow(
+///     vec![Ty::var("db"), Ty::Str, Ty::var("info")],
+///     Ty::Void,
+/// );
+/// assert_eq!(insert.to_string(), "db×str×info→void");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// A type variable `t` — imported, exported, or datatype-defined.
+    Var(Symbol),
+    /// Machine integers.
+    Int,
+    /// Booleans.
+    Bool,
+    /// Immutable strings.
+    Str,
+    /// The unit ("no information") type; the paper writes `void`.
+    Void,
+    /// `τ1×…×τn → τ` — an n-ary function type. A thunk has an empty domain.
+    Arrow(Vec<Ty>, Box<Ty>),
+    /// `τ1×…×τn` as a first-class tuple value type.
+    Tuple(Vec<Ty>),
+    /// A mutable, string-keyed hash table with values of the given type —
+    /// the substrate type behind Fig. 1's `makeStringHashTable()`.
+    Hash(Box<Ty>),
+    /// A unit signature `sig imports exports [depends] τ` (Figs. 13/16).
+    Sig(Box<Signature>),
+}
+
+impl Ty {
+    /// A type variable with the given name.
+    pub fn var(name: impl Into<Symbol>) -> Ty {
+        Ty::Var(name.into())
+    }
+
+    /// An n-ary arrow `params → ret`.
+    pub fn arrow(params: Vec<Ty>, ret: Ty) -> Ty {
+        Ty::Arrow(params, Box::new(ret))
+    }
+
+    /// A nullary arrow `→ ret` (thunk type).
+    pub fn thunk(ret: Ty) -> Ty {
+        Ty::Arrow(Vec::new(), Box::new(ret))
+    }
+
+    /// A signature type.
+    pub fn sig(signature: Signature) -> Ty {
+        Ty::Sig(Box::new(signature))
+    }
+
+    /// A string-keyed hash-table type.
+    pub fn hash(elem: Ty) -> Ty {
+        Ty::Hash(Box::new(elem))
+    }
+
+    /// Returns the signature if this is a signature type.
+    pub fn as_sig(&self) -> Option<&Signature> {
+        match self {
+            Ty::Sig(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the type contains no type variables at all.
+    pub fn is_closed(&self) -> bool {
+        let mut free = std::collections::BTreeSet::new();
+        self.free_ty_vars(&mut free);
+        free.is_empty()
+    }
+
+    /// Collects the free type variables of this type into `out`.
+    ///
+    /// For signature types, variables bound by the signature's own import
+    /// and export clauses are not free (paper Fig. 18: "FTV(τ) denotes the
+    /// set of type variables in τ that are not bound by the import or
+    /// export clause of a sig type").
+    pub fn free_ty_vars(&self, out: &mut std::collections::BTreeSet<Symbol>) {
+        match self {
+            Ty::Var(t) => {
+                out.insert(t.clone());
+            }
+            Ty::Int | Ty::Bool | Ty::Str | Ty::Void => {}
+            Ty::Arrow(params, ret) => {
+                for p in params {
+                    p.free_ty_vars(out);
+                }
+                ret.free_ty_vars(out);
+            }
+            Ty::Tuple(items) => {
+                for item in items {
+                    item.free_ty_vars(out);
+                }
+            }
+            Ty::Hash(elem) => elem.free_ty_vars(out),
+            Ty::Sig(sig) => {
+                let mut inner = std::collections::BTreeSet::new();
+                sig.free_ty_vars_unbound(&mut inner);
+                out.extend(inner);
+            }
+        }
+    }
+}
+
+/// Precedence-aware display: arrows are right-associative and extend as far
+/// right as possible, exactly like the paper's notation.
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn atom(ty: &Ty, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match ty {
+                Ty::Arrow(..) | Ty::Tuple(..) => write!(f, "({ty})"),
+                _ => write!(f, "{ty}"),
+            }
+        }
+        match self {
+            Ty::Var(t) => write!(f, "{t}"),
+            Ty::Int => f.write_str("int"),
+            Ty::Bool => f.write_str("bool"),
+            Ty::Str => f.write_str("str"),
+            Ty::Void => f.write_str("void"),
+            Ty::Arrow(params, ret) => {
+                if params.is_empty() {
+                    f.write_str("void→")?;
+                } else {
+                    for (i, p) in params.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str("×")?;
+                        }
+                        atom(p, f)?;
+                    }
+                    f.write_str("→")?;
+                }
+                write!(f, "{ret}")
+            }
+            Ty::Tuple(items) => {
+                f.write_str("⟨")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("⟩")
+            }
+            Ty::Hash(elem) => {
+                f.write_str("hash(")?;
+                write!(f, "{elem}")?;
+                f.write_str(")")
+            }
+            Ty::Sig(sig) => write!(f, "{sig}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let t = Ty::arrow(vec![Ty::Str], Ty::Void);
+        assert_eq!(t.to_string(), "str→void");
+        let nested = Ty::arrow(vec![Ty::arrow(vec![Ty::Int], Ty::Int)], Ty::Bool);
+        assert_eq!(nested.to_string(), "(int→int)→bool");
+    }
+
+    #[test]
+    fn thunk_displays_void_domain() {
+        assert_eq!(Ty::thunk(Ty::var("db")).to_string(), "void→db");
+    }
+
+    #[test]
+    fn free_vars_of_arrows_and_tuples() {
+        let t = Ty::arrow(vec![Ty::var("db"), Ty::Str], Ty::Tuple(vec![Ty::var("info")]));
+        let mut free = BTreeSet::new();
+        t.free_ty_vars(&mut free);
+        let names: Vec<_> = free.iter().map(|s| s.as_str().to_string()).collect();
+        assert_eq!(names, vec!["db", "info"]);
+    }
+
+    #[test]
+    fn base_types_are_closed() {
+        assert!(Ty::arrow(vec![Ty::Int, Ty::Bool], Ty::Str).is_closed());
+        assert!(!Ty::var("t").is_closed());
+    }
+}

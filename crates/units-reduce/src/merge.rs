@@ -1,0 +1,336 @@
+//! The `compound` reduction: merging constituent units into one
+//! (paper Fig. 11, illustrated graphically in Fig. 8).
+//!
+//! "The second rule defines how a compound expression combines two units:
+//! their definitions are merged and their initialization expressions are
+//! sequenced. … all bindings introduced by definitions in the two units
+//! must be appropriately α-renamed to avoid collisions."
+//!
+//! Linking is by name: a constituent's import either carries the name of a
+//! compound import or the name of another constituent's provided export,
+//! so linked names are simply *kept*, and only non-provided internal
+//! definitions are freshened.
+
+use std::collections::{BTreeSet, HashMap};
+
+use units_kernel::{
+    subst_vals, DataDefn, DataVariant, Expr, NameGen, Symbol, TypeDefn, UnitExpr, ValDefn,
+};
+use units_runtime::RuntimeError;
+
+/// Merges fully evaluated constituents into a single atomic unit.
+///
+/// Each element of `links` is `(unit, with, provides)` where `unit` must
+/// be an atomic [`Expr::Unit`] value (the step function reduces inner
+/// compounds first).
+///
+/// # Errors
+///
+/// * [`RuntimeError::ExcessImport`] — a constituent imports a name its
+///   `with` clause does not grant;
+/// * [`RuntimeError::MissingProvide`] — a constituent does not export a
+///   promised name.
+pub fn merge_compound(
+    compound: &units_kernel::CompoundExpr,
+    units: &[std::rc::Rc<UnitExpr>],
+    gen: &mut NameGen,
+) -> Result<UnitExpr, RuntimeError> {
+    debug_assert_eq!(units.len(), compound.links.len());
+    // Side conditions first (Fig. 11's ⊆ requirements).
+    for (link, unit) in compound.links.iter().zip(units) {
+        for port in &unit.imports.vals {
+            if link.with.val_port(&port.name).is_none() {
+                return Err(RuntimeError::ExcessImport { name: port.name.clone() });
+            }
+        }
+        for port in &link.provides.vals {
+            if unit.exports.val_port(&port.name).is_none() {
+                return Err(RuntimeError::MissingProvide { name: port.name.clone() });
+            }
+        }
+        for port in &link.provides.types {
+            if unit.exports.ty_port(&port.name).is_none() {
+                return Err(RuntimeError::MissingProvide { name: port.name.clone() });
+            }
+        }
+    }
+
+    // Names that must be preserved: compound imports and all provides,
+    // under their *outer* names (linking by name in the paper's core form;
+    // a rename pair substitutes the outer name for the inner one).
+    let mut preserved: BTreeSet<Symbol> =
+        compound.imports.vals.iter().map(|p| p.name.clone()).collect();
+    let mut preserved_tys: BTreeSet<Symbol> =
+        compound.imports.types.iter().map(|p| p.name.clone()).collect();
+    for link in &compound.links {
+        preserved
+            .extend(link.provides.vals.iter().map(|p| link.renames.outer_export_val(&p.name).clone()));
+        preserved_tys
+            .extend(link.provides.types.iter().map(|p| link.renames.outer_export_ty(&p.name).clone()));
+    }
+
+    let mut merged_types = Vec::new();
+    let mut merged_vals = Vec::new();
+    let mut inits = Vec::new();
+    // Names already used in the merged unit, to freshen against.
+    let mut used: BTreeSet<Symbol> = preserved.clone();
+
+    for (link, unit) in compound.links.iter().zip(units) {
+        // Rename every internal definition that is not provided.
+        let mut renames: HashMap<Symbol, Symbol> = HashMap::new();
+        let rename_of = |name: &Symbol,
+                             provided_as: Option<Symbol>,
+                             used: &mut BTreeSet<Symbol>,
+                             gen: &mut NameGen|
+         -> Symbol {
+            if let Some(outer) = provided_as {
+                used.insert(outer.clone());
+                return outer;
+            }
+            // Freshen when the name collides with anything preserved or
+            // already merged; otherwise keep it for readability.
+            if used.insert(name.clone()) {
+                name.clone()
+            } else {
+                let mut fresh = gen.fresh(name);
+                while !used.insert(fresh.clone()) {
+                    fresh = gen.fresh(name);
+                }
+                fresh
+            }
+        };
+        let provided_as = |name: &Symbol| {
+            link.provides
+                .val_port(name)
+                .map(|p| link.renames.outer_export_val(&p.name).clone())
+        };
+        for defn in &unit.vals {
+            let new = rename_of(&defn.name, provided_as(&defn.name), &mut used, gen);
+            if new != defn.name {
+                renames.insert(defn.name.clone(), new);
+            }
+        }
+        for td in &unit.types {
+            if let TypeDefn::Data(d) = td {
+                for name in d.bound_val_names() {
+                    let new = rename_of(&name, provided_as(&name), &mut used, gen);
+                    if new != name {
+                        renames.insert(name.clone(), new);
+                    }
+                }
+            }
+        }
+        // Imports link by outer name: a renamed import is substituted to
+        // its outer source name in this constituent's bodies.
+        for port in &unit.imports.vals {
+            let outer = link.renames.outer_import_val(&port.name);
+            if outer != &port.name {
+                renames.insert(port.name.clone(), outer.clone());
+            }
+        }
+
+        // Build the substitution for this constituent's bodies: renamed
+        // internal definitions map to their fresh names. Imports keep
+        // their names (they are linked by name to a compound import or a
+        // sibling's provide, both preserved).
+        let subst: HashMap<Symbol, Expr> =
+            renames.iter().map(|(old, new)| (old.clone(), Expr::Var(new.clone()))).collect();
+        let apply = |e: &Expr, gen: &mut NameGen| {
+            if subst.is_empty() {
+                e.clone()
+            } else {
+                subst_vals(e, &subst, gen)
+            }
+        };
+
+        let renamed = |name: &Symbol| renames.get(name).cloned().unwrap_or_else(|| name.clone());
+
+        for td in &unit.types {
+            merged_types.push(match td {
+                TypeDefn::Data(d) => TypeDefn::Data(DataDefn {
+                    name: d.name.clone(),
+                    variants: d
+                        .variants
+                        .iter()
+                        .map(|v| DataVariant {
+                            ctor: renamed(&v.ctor),
+                            dtor: renamed(&v.dtor),
+                            payload: v.payload.clone(),
+                        })
+                        .collect(),
+                    predicate: renamed(&d.predicate),
+                }),
+                TypeDefn::Alias(a) => TypeDefn::Alias(a.clone()),
+            });
+        }
+        for defn in &unit.vals {
+            merged_vals.push(ValDefn {
+                name: renamed(&defn.name),
+                ty: defn.ty.clone(),
+                body: apply(&defn.body, gen),
+            });
+        }
+        inits.push(apply(&unit.init, gen));
+        let _ = &preserved_tys;
+    }
+
+    if inits.is_empty() {
+        inits.push(Expr::void());
+    }
+    Ok(UnitExpr {
+        imports: compound.imports.clone(),
+        exports: compound.exports.clone(),
+        types: merged_types,
+        vals: merged_vals,
+        init: Expr::seq(inits),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units_kernel::alpha_eq;
+    use units_syntax::parse_expr;
+
+    fn compound_parts(src: &str) -> (units_kernel::CompoundExpr, Vec<std::rc::Rc<UnitExpr>>) {
+        match parse_expr(src).unwrap() {
+            Expr::Compound(c) => {
+                let units = c
+                    .links
+                    .iter()
+                    .map(|l| match &l.expr {
+                        Expr::Unit(u) => u.clone(),
+                        other => panic!("constituent not a unit value: {other:?}"),
+                    })
+                    .collect();
+                ((*c).clone(), units)
+            }
+            other => panic!("expected compound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig8_merge_matches_the_expected_unit() {
+        // compound(Database-like, NumberInfo-like) reduces to the merged
+        // atomic unit of Fig. 8 (modulo α-renaming of internals).
+        let (c, units) = compound_parts(
+            "(compound (import error) (export new numInfo)
+               (link ((unit (import mkinfo error) (export new)
+                        (define helper (lambda () (mkinfo 1)))
+                        (define new (lambda () (helper)))
+                        (init (display \"db-up\")))
+                      (with mkinfo error) (provides new))
+                     ((unit (import) (export mkinfo numInfo)
+                        (define mkinfo (lambda (n) n))
+                        (define numInfo (lambda (n) (mkinfo n))))
+                      (with) (provides mkinfo numInfo))))",
+        );
+        let mut gen = NameGen::new();
+        let merged = merge_compound(&c, &units, &mut gen).unwrap();
+
+        let expected = match parse_expr(
+            "(unit (import error) (export new numInfo)
+               (define h2 (lambda () (mkinfo 1)))
+               (define new (lambda () (h2)))
+               (define mkinfo (lambda (n) n))
+               (define numInfo (lambda (n) (mkinfo n)))
+               (init (begin (display \"db-up\") void)))",
+        )
+        .unwrap()
+        {
+            Expr::Unit(u) => u,
+            _ => unreachable!(),
+        };
+        // The merged init is Seq([init1, init2]); the expected text mirrors
+        // that shape.
+        assert!(
+            alpha_eq(&Expr::Unit(merged.clone().into()), &Expr::Unit(expected)),
+            "merged unit differs:\n{merged:#?}"
+        );
+    }
+
+    #[test]
+    fn colliding_internal_names_are_freshened() {
+        let (c, units) = compound_parts(
+            "(compound (import) (export a b)
+               (link ((unit (import) (export a)
+                        (define helper (lambda () 1))
+                        (define a (lambda () (helper))))
+                      (with) (provides a))
+                     ((unit (import) (export b)
+                        (define helper (lambda () 2))
+                        (define b (lambda () (helper))))
+                      (with) (provides b))))",
+        );
+        let mut gen = NameGen::new();
+        let merged = merge_compound(&c, &units, &mut gen).unwrap();
+        let names: Vec<&str> = merged.vals.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names.len(), 4);
+        let uniq: BTreeSet<&&str> = names.iter().collect();
+        assert_eq!(uniq.len(), 4, "names not distinct: {names:?}");
+        // The second helper's use site was renamed consistently.
+        let b_defn = merged.vals.iter().find(|d| d.name.as_str() == "b").unwrap();
+        match &b_defn.body {
+            Expr::Lambda(lam) => match &lam.body {
+                Expr::App(f, _) => match &**f {
+                    Expr::Var(v) => {
+                        assert_ne!(v.as_str(), "helper");
+                        assert_eq!(v.base(), "helper");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                },
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_provides_and_excess_imports_error() {
+        let (c, units) = compound_parts(
+            "(compound (import) (export)
+               (link ((unit (import) (export)) (with) (provides ghost))))",
+        );
+        let mut gen = NameGen::new();
+        assert!(matches!(
+            merge_compound(&c, &units, &mut gen),
+            Err(RuntimeError::MissingProvide { name }) if name.as_str() == "ghost"
+        ));
+
+        let (c, units) = compound_parts(
+            "(compound (import) (export)
+               (link ((unit (import x) (export) (init void)) (with) (provides))))",
+        );
+        assert!(matches!(
+            merge_compound(&c, &units, &mut gen),
+            Err(RuntimeError::ExcessImport { name }) if name.as_str() == "x"
+        ));
+    }
+
+    #[test]
+    fn datatype_operations_rename_with_their_unit() {
+        let (c, units) = compound_parts(
+            "(compound (import) (export go)
+               (link ((unit (import) (export go)
+                        (datatype t (mk unmk int) t?)
+                        (define go (lambda () (unmk (mk 3)))))
+                      (with) (provides go))
+                     ((unit (import) (export)
+                        (datatype t (mk unmk int) t?)
+                        (define local (lambda () (mk 1))))
+                      (with) (provides))))",
+        );
+        let mut gen = NameGen::new();
+        let merged = merge_compound(&c, &units, &mut gen).unwrap();
+        assert_eq!(merged.types.len(), 2);
+        // All datatype operation names in the merged unit are distinct.
+        let mut ops = Vec::new();
+        for td in &merged.types {
+            if let TypeDefn::Data(d) = td {
+                ops.extend(d.bound_val_names());
+            }
+        }
+        let uniq: BTreeSet<_> = ops.iter().collect();
+        assert_eq!(uniq.len(), ops.len(), "ops not distinct: {ops:?}");
+    }
+}

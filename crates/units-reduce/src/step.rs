@@ -1,0 +1,756 @@
+//! The small-step reduction relation (paper Fig. 11 plus the standard
+//! rules for functions, assignments, and state).
+//!
+//! [`Reducer::step`] performs exactly one leftmost-outermost reduction,
+//! rebuilding the evaluation-context spine around the contractum. The
+//! rules:
+//!
+//! * `invoke (unit …) with x=v…  ⟶  [v̄/x̄](letrec … in e_b)`;
+//! * `compound … link v₁ … v₂ …  ⟶  unit …` (merged, α-renamed);
+//! * `letrec` allocates one store cell per definition, replaces each
+//!   defined variable with a cell reference, and sequences the cell
+//!   initializations before the body;
+//! * the usual β, δ, `if`, `let`, sequencing, projection, and assignment
+//!   rules, with hash tables living in the store.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use units_kernel::{
+    subst_vals, DataOp, DataRole, Expr, Lit, NameGen, PrimOp, Symbol, TypeDefn, UnitExpr,
+    VariantVal,
+};
+use units_runtime::{Machine, RuntimeError};
+
+use crate::merge::merge_compound;
+use crate::store::Store;
+
+/// The result of one reduction attempt.
+#[derive(Debug)]
+pub enum Step {
+    /// The expression was already a value.
+    Value,
+    /// One reduction was performed; here is the new expression.
+    Reduced(Expr),
+}
+
+/// The rewriting machine: store, fresh names, fuel, and output.
+#[derive(Debug)]
+pub struct Reducer {
+    /// The store σ.
+    pub store: Store,
+    /// Fresh-name supply for α-renaming.
+    pub gen: NameGen,
+    /// Fuel and output buffer (shared type with the cells backend).
+    pub machine: Machine,
+}
+
+impl Reducer {
+    /// A reducer with no step limit.
+    pub fn new() -> Reducer {
+        Reducer { store: Store::new(), gen: NameGen::new(), machine: Machine::new() }
+    }
+
+    /// A reducer that gives up with [`RuntimeError::OutOfFuel`] after
+    /// `fuel` steps.
+    pub fn with_fuel(fuel: u64) -> Reducer {
+        Reducer { store: Store::new(), gen: NameGen::new(), machine: Machine::with_fuel(fuel) }
+    }
+
+    /// Reduces an expression all the way to a value.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] a reduction rule signals, or
+    /// [`RuntimeError::OutOfFuel`].
+    pub fn reduce_to_value(&mut self, expr: &Expr) -> Result<Expr, RuntimeError> {
+        let mut current = expr.clone();
+        loop {
+            match self.step(&current)? {
+                Step::Value => return Ok(current),
+                Step::Reduced(next) => current = next,
+            }
+        }
+    }
+
+    /// Reduces, recording every intermediate expression (the reduction
+    /// sequence, for traces and tests). The first element is the input;
+    /// the last is the value.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Reducer::reduce_to_value`].
+    pub fn trace(&mut self, expr: &Expr) -> Result<Vec<Expr>, RuntimeError> {
+        let mut states = vec![expr.clone()];
+        loop {
+            let last = states.last().expect("non-empty");
+            match self.step(last)? {
+                Step::Value => return Ok(states),
+                Step::Reduced(next) => states.push(next),
+            }
+        }
+    }
+
+    /// Performs one reduction step, if the expression is not a value.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`] the contracted redex signals.
+    pub fn step(&mut self, expr: &Expr) -> Result<Step, RuntimeError> {
+        if expr.is_value() {
+            return Ok(Step::Value);
+        }
+        self.machine.step()?;
+        self.reduce(expr).map(Step::Reduced)
+    }
+
+    /// Finds the leftmost-outermost redex and contracts it. `expr` must
+    /// not be a value.
+    fn reduce(&mut self, expr: &Expr) -> Result<Expr, RuntimeError> {
+        debug_assert!(!expr.is_value());
+        match expr {
+            // ---- context traversal + redexes -------------------------
+            Expr::App(f, args) => {
+                if !f.is_value() {
+                    return Ok(Expr::App(Box::new(self.reduce(f)?), args.clone()));
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if !a.is_value() {
+                        let mut new_args = args.clone();
+                        new_args[i] = self.reduce(a)?;
+                        return Ok(Expr::App(f.clone(), new_args));
+                    }
+                }
+                self.apply(f, args)
+            }
+            Expr::If(c, t, e) => {
+                if !c.is_value() {
+                    return Ok(Expr::If(Box::new(self.reduce(c)?), t.clone(), e.clone()));
+                }
+                match &**c {
+                    Expr::Lit(Lit::Bool(true)) => Ok((**t).clone()),
+                    Expr::Lit(Lit::Bool(false)) => Ok((**e).clone()),
+                    other => Err(RuntimeError::WrongType {
+                        expected: "a boolean",
+                        found: crate::render(other),
+                    }),
+                }
+            }
+            Expr::Seq(es) => match &es[..] {
+                [] => Ok(Expr::void()),
+                [only] => {
+                    if only.is_value() {
+                        Ok(only.clone())
+                    } else {
+                        Ok(self.reduce(only)?)
+                    }
+                }
+                [first, rest @ ..] => {
+                    if first.is_value() {
+                        Ok(Expr::seq(rest.to_vec()))
+                    } else {
+                        let mut es = es.clone();
+                        es[0] = self.reduce(first)?;
+                        Ok(Expr::Seq(es))
+                    }
+                }
+            },
+            Expr::Let(bindings, body) => {
+                for (i, b) in bindings.iter().enumerate() {
+                    if !b.expr.is_value() {
+                        let mut bs = bindings.clone();
+                        bs[i].expr = self.reduce(&b.expr)?;
+                        return Ok(Expr::Let(bs, body.clone()));
+                    }
+                }
+                let map: HashMap<Symbol, Expr> =
+                    bindings.iter().map(|b| (b.name.clone(), b.expr.clone())).collect();
+                Ok(subst_vals(body, &map, &mut self.gen))
+            }
+            Expr::Letrec(lr) => self.reduce_letrec(lr),
+            Expr::Set(target, value) => {
+                match &**target {
+                    Expr::CellRef(loc) => {
+                        if !value.is_value() {
+                            return Ok(Expr::Set(
+                                target.clone(),
+                                Box::new(self.reduce(value)?),
+                            ));
+                        }
+                        self.store.write_cell(*loc, (**value).clone())?;
+                        Ok(Expr::void())
+                    }
+                    Expr::Var(x) => Err(RuntimeError::Unbound { name: x.clone() }),
+                    other => Err(RuntimeError::WrongType {
+                        expected: "an assignable cell",
+                        found: crate::render(other),
+                    }),
+                }
+            }
+            Expr::Tuple(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if !item.is_value() {
+                        let mut new_items = items.clone();
+                        new_items[i] = self.reduce(item)?;
+                        return Ok(Expr::Tuple(new_items));
+                    }
+                }
+                unreachable!("a tuple of values is a value")
+            }
+            Expr::Proj(i, e) => {
+                if !e.is_value() {
+                    return Ok(Expr::Proj(*i, Box::new(self.reduce(e)?)));
+                }
+                match &**e {
+                    Expr::Tuple(items) => items
+                        .get(*i)
+                        .cloned()
+                        .ok_or(RuntimeError::BadProjection { index: *i, width: items.len() }),
+                    other => Err(RuntimeError::WrongType {
+                        expected: "a tuple",
+                        found: crate::render(other),
+                    }),
+                }
+            }
+            Expr::Variant(v) => {
+                // Payload still reducing (can only arise transiently).
+                let payload = self.reduce(&v.payload)?;
+                Ok(Expr::Variant(Rc::new(VariantVal {
+                    ty_name: v.ty_name.clone(),
+                    instance: v.instance,
+                    tag: v.tag,
+                    payload,
+                })))
+            }
+            Expr::CellRef(loc) => Ok(self.store.read_cell(*loc)?.clone()),
+            Expr::Compound(c) => {
+                for (i, link) in c.links.iter().enumerate() {
+                    if !link.expr.is_value() {
+                        let mut new = (**c).clone();
+                        new.links[i].expr = self.reduce(&link.expr)?;
+                        return Ok(Expr::Compound(Rc::new(new)));
+                    }
+                }
+                let units: Vec<Rc<UnitExpr>> = c
+                    .links
+                    .iter()
+                    .map(|l| match &l.expr {
+                        Expr::Unit(u) => Ok(u.clone()),
+                        other => Err(RuntimeError::WrongType {
+                            expected: "a unit",
+                            found: crate::render(other),
+                        }),
+                    })
+                    .collect::<Result<_, _>>()?;
+                let merged = merge_compound(c, &units, &mut self.gen)?;
+                Ok(Expr::Unit(Rc::new(merged)))
+            }
+            Expr::Invoke(inv) => {
+                if !inv.target.is_value() {
+                    let mut new = (**inv).clone();
+                    new.target = self.reduce(&inv.target)?;
+                    return Ok(Expr::Invoke(Rc::new(new)));
+                }
+                for (i, (_, e)) in inv.val_links.iter().enumerate() {
+                    if !e.is_value() {
+                        let mut new = (**inv).clone();
+                        new.val_links[i].1 = self.reduce(e)?;
+                        return Ok(Expr::Invoke(Rc::new(new)));
+                    }
+                }
+                self.reduce_invoke(inv)
+            }
+            Expr::Seal(e, sig) => {
+                if !e.is_value() {
+                    return Ok(Expr::Seal(Box::new(self.reduce(e)?), sig.clone()));
+                }
+                match &**e {
+                    Expr::Unit(u) => {
+                        for port in &sig.exports.vals {
+                            if u.exports.val_port(&port.name).is_none() {
+                                return Err(RuntimeError::SealFailure {
+                                    reason: format!(
+                                        "signature exports `{}`, unit does not",
+                                        port.name
+                                    ),
+                                });
+                            }
+                        }
+                        let mut narrowed = (**u).clone();
+                        narrowed.exports = sig.exports.clone();
+                        Ok(Expr::Unit(Rc::new(narrowed)))
+                    }
+                    other => Err(RuntimeError::WrongType {
+                        expected: "a unit",
+                        found: crate::render(other),
+                    }),
+                }
+            }
+            Expr::Var(x) => Err(RuntimeError::Unbound { name: x.clone() }),
+            // Values are handled by the caller.
+            Expr::Lit(_)
+            | Expr::Lambda(_)
+            | Expr::Prim(..)
+            | Expr::Unit(_)
+            | Expr::Loc(_)
+            | Expr::Data(_) => unreachable!("values do not step"),
+        }
+    }
+
+    /// `letrec` allocates cells, rewrites defined variables to cell
+    /// references, and sequences the initializations before the body
+    /// (Fig. 11's `invoke` rule reduces to exactly this form).
+    fn reduce_letrec(&mut self, lr: &units_kernel::LetrecExpr) -> Result<Expr, RuntimeError> {
+        let mut map: HashMap<Symbol, Expr> = HashMap::new();
+        // Datatype definitions: fresh instance, operations become values.
+        for td in &lr.types {
+            if let TypeDefn::Data(d) = td {
+                let instance = self.machine.fresh_instance();
+                for (tag, v) in d.variants.iter().enumerate() {
+                    map.insert(
+                        v.ctor.clone(),
+                        Expr::Data(Rc::new(DataOp {
+                            ty_name: d.name.clone(),
+                            instance,
+                            role: DataRole::Construct(tag),
+                        })),
+                    );
+                    map.insert(
+                        v.dtor.clone(),
+                        Expr::Data(Rc::new(DataOp {
+                            ty_name: d.name.clone(),
+                            instance,
+                            role: DataRole::Deconstruct(tag),
+                        })),
+                    );
+                }
+                map.insert(
+                    d.predicate.clone(),
+                    Expr::Data(Rc::new(DataOp {
+                        ty_name: d.name.clone(),
+                        instance,
+                        role: DataRole::Predicate,
+                    })),
+                );
+            }
+        }
+        // Value definitions: one cell each.
+        let mut cells = Vec::with_capacity(lr.vals.len());
+        for defn in &lr.vals {
+            let loc = self.store.alloc_cell();
+            cells.push(loc);
+            map.insert(defn.name.clone(), Expr::CellRef(loc));
+        }
+        // Cell initializations in definition order, then the body.
+        let mut steps = Vec::with_capacity(lr.vals.len() + 1);
+        for (defn, loc) in lr.vals.iter().zip(&cells) {
+            let body = subst_vals(&defn.body, &map, &mut self.gen);
+            steps.push(Expr::Set(Box::new(Expr::CellRef(*loc)), Box::new(body)));
+        }
+        steps.push(subst_vals(&lr.body, &map, &mut self.gen));
+        Ok(Expr::seq(steps))
+    }
+
+    /// The `invoke` reduction of Fig. 11.
+    fn reduce_invoke(&mut self, inv: &units_kernel::InvokeExpr) -> Result<Expr, RuntimeError> {
+        let Expr::Unit(unit) = &inv.target else {
+            return Err(RuntimeError::WrongType {
+                expected: "a unit",
+                found: crate::render(&inv.target),
+            });
+        };
+        // The with clause must cover the unit's imports.
+        let mut map: HashMap<Symbol, Expr> = HashMap::new();
+        for port in &unit.imports.vals {
+            match inv.val_links.iter().find(|(n, _)| n == &port.name) {
+                Some((_, v)) => {
+                    map.insert(port.name.clone(), v.clone());
+                }
+                None => {
+                    return Err(RuntimeError::UnsatisfiedImport { name: port.name.clone() })
+                }
+            }
+        }
+        // [v̄/x̄](letrec defns in init)
+        let letrec = Expr::Letrec(Rc::new(units_kernel::LetrecExpr {
+            types: unit.types.clone(),
+            vals: unit.vals.clone(),
+            body: unit.init.clone(),
+        }));
+        Ok(subst_vals(&letrec, &map, &mut self.gen))
+    }
+
+    /// Function application redexes: β, δ, datatype operations.
+    fn apply(&mut self, f: &Expr, args: &[Expr]) -> Result<Expr, RuntimeError> {
+        match f {
+            Expr::Lambda(lam) => {
+                if lam.params.len() != args.len() {
+                    return Err(RuntimeError::Arity {
+                        expected: lam.params.len(),
+                        found: args.len(),
+                    });
+                }
+                let map: HashMap<Symbol, Expr> = lam
+                    .params
+                    .iter()
+                    .zip(args)
+                    .map(|(p, a)| (p.name.clone(), a.clone()))
+                    .collect();
+                Ok(subst_vals(&lam.body, &map, &mut self.gen))
+            }
+            Expr::Prim(op, _) => self.delta(*op, args),
+            Expr::Data(op) => self.apply_data(op, args),
+            other => {
+                Err(RuntimeError::NotAFunction { found: crate::render(other) })
+            }
+        }
+    }
+
+    fn apply_data(&mut self, op: &DataOp, args: &[Expr]) -> Result<Expr, RuntimeError> {
+        let [arg] = args else {
+            return Err(RuntimeError::Arity { expected: 1, found: args.len() });
+        };
+        match op.role {
+            DataRole::Construct(tag) => Ok(Expr::Variant(Rc::new(VariantVal {
+                ty_name: op.ty_name.clone(),
+                instance: op.instance,
+                tag,
+                payload: arg.clone(),
+            }))),
+            DataRole::Deconstruct(tag) => {
+                let v = self.expect_own_variant(op, arg)?;
+                if v.tag != tag {
+                    return Err(RuntimeError::WrongVariant {
+                        ty_name: op.ty_name.clone(),
+                        expected: tag,
+                        found: v.tag,
+                    });
+                }
+                Ok(v.payload.clone())
+            }
+            DataRole::Predicate => {
+                let v = self.expect_own_variant(op, arg)?;
+                Ok(Expr::bool(v.tag == 0))
+            }
+        }
+    }
+
+    fn expect_own_variant<'a>(
+        &self,
+        op: &DataOp,
+        arg: &'a Expr,
+    ) -> Result<&'a VariantVal, RuntimeError> {
+        match arg {
+            Expr::Variant(v) if v.ty_name == op.ty_name && v.instance == op.instance => Ok(v),
+            Expr::Variant(v) if v.ty_name == op.ty_name => {
+                Err(RuntimeError::ForeignInstance { ty_name: op.ty_name.clone() })
+            }
+            other => Err(RuntimeError::WrongType {
+                expected: "a datatype value of the defining instance",
+                found: crate::render(other),
+            }),
+        }
+    }
+
+    /// δ-rules for primitives. Hash tables live in the store, so this is
+    /// the only place the substitution semantics touches σ apart from
+    /// definition cells.
+    fn delta(&mut self, op: PrimOp, args: &[Expr]) -> Result<Expr, RuntimeError> {
+        use Expr::Lit as L;
+        if args.len() != op.arity() {
+            return Err(RuntimeError::Arity { expected: op.arity(), found: args.len() });
+        }
+        let int = |e: &Expr| match e {
+            L(Lit::Int(n)) => Ok(*n),
+            other => Err(RuntimeError::WrongType {
+                expected: "an integer",
+                found: crate::render(other),
+            }),
+        };
+        let boolean = |e: &Expr| match e {
+            L(Lit::Bool(b)) => Ok(*b),
+            other => Err(RuntimeError::WrongType {
+                expected: "a boolean",
+                found: crate::render(other),
+            }),
+        };
+        let string = |e: &Expr| match e {
+            L(Lit::Str(s)) => Ok(s.clone()),
+            other => Err(RuntimeError::WrongType {
+                expected: "a string",
+                found: crate::render(other),
+            }),
+        };
+        let loc = |e: &Expr| match e {
+            Expr::Loc(l) => Ok(*l),
+            other => Err(RuntimeError::WrongType {
+                expected: "a hash table",
+                found: crate::render(other),
+            }),
+        };
+        Ok(match op {
+            PrimOp::Add => Expr::int(int(&args[0])?.wrapping_add(int(&args[1])?)),
+            PrimOp::Sub => Expr::int(int(&args[0])?.wrapping_sub(int(&args[1])?)),
+            PrimOp::Mul => Expr::int(int(&args[0])?.wrapping_mul(int(&args[1])?)),
+            PrimOp::Div => {
+                let (a, b) = (int(&args[0])?, int(&args[1])?);
+                if b == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Expr::int(a.wrapping_div(b))
+            }
+            PrimOp::Rem => {
+                let (a, b) = (int(&args[0])?, int(&args[1])?);
+                if b == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Expr::int(a.wrapping_rem(b))
+            }
+            PrimOp::Lt => Expr::bool(int(&args[0])? < int(&args[1])?),
+            PrimOp::Le => Expr::bool(int(&args[0])? <= int(&args[1])?),
+            PrimOp::NumEq => Expr::bool(int(&args[0])? == int(&args[1])?),
+            PrimOp::Not => Expr::bool(!boolean(&args[0])?),
+            PrimOp::BoolEq => Expr::bool(boolean(&args[0])? == boolean(&args[1])?),
+            PrimOp::StrAppend => {
+                Expr::str(format!("{}{}", string(&args[0])?, string(&args[1])?))
+            }
+            PrimOp::StrEq => Expr::bool(string(&args[0])? == string(&args[1])?),
+            PrimOp::StrLen => Expr::int(string(&args[0])?.chars().count() as i64),
+            PrimOp::IntToStr => Expr::str(int(&args[0])?.to_string()),
+            PrimOp::Display => {
+                self.machine.write(&*string(&args[0])?);
+                Expr::void()
+            }
+            PrimOp::Fail => {
+                return Err(RuntimeError::User { message: string(&args[0])?.to_string() })
+            }
+            PrimOp::HashNew => Expr::Loc(self.store.alloc_hash()),
+            PrimOp::HashSet => {
+                let l = loc(&args[0])?;
+                let key = string(&args[1])?.to_string();
+                self.store.hash_mut(l)?.insert(key, args[2].clone());
+                Expr::void()
+            }
+            PrimOp::HashGet => {
+                let l = loc(&args[0])?;
+                let key = string(&args[1])?;
+                self.store
+                    .hash(l)?
+                    .get(&*key)
+                    .cloned()
+                    .ok_or_else(|| RuntimeError::MissingKey { key: key.to_string() })?
+            }
+            PrimOp::HashHas => {
+                let l = loc(&args[0])?;
+                Expr::bool(self.store.hash(l)?.contains_key(&*string(&args[1])?))
+            }
+            PrimOp::HashRemove => {
+                let l = loc(&args[0])?;
+                let key = string(&args[1])?;
+                self.store.hash_mut(l)?.remove(&*key);
+                Expr::void()
+            }
+            PrimOp::HashCount => {
+                let l = loc(&args[0])?;
+                Expr::int(self.store.hash(l)?.len() as i64)
+            }
+        })
+    }
+}
+
+impl Default for Reducer {
+    fn default() -> Self {
+        Reducer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use units_syntax::parse_expr;
+
+    fn run(src: &str) -> Result<Expr, RuntimeError> {
+        let e = parse_expr(src).unwrap_or_else(|err| panic!("parse: {err}"));
+        Reducer::new().reduce_to_value(&e)
+    }
+
+    fn run_ok(src: &str) -> Expr {
+        run(src).unwrap_or_else(|err| panic!("runtime: {err}"))
+    }
+
+    #[test]
+    fn arithmetic_reduces() {
+        assert_eq!(run_ok("(+ (* 2 3) 4)"), Expr::int(10));
+        assert_eq!(run_ok("(if (< 1 2) \"a\" \"b\")"), Expr::str("a"));
+    }
+
+    #[test]
+    fn beta_reduction_is_capture_avoiding() {
+        assert_eq!(run_ok("(((lambda (x) (lambda (y) x)) 5) 6)"), Expr::int(5));
+    }
+
+    #[test]
+    fn let_is_parallel() {
+        assert_eq!(run_ok("(let ((x 1)) (let ((x 2) (y x)) y))"), Expr::int(1));
+    }
+
+    #[test]
+    fn letrec_supports_mutual_recursion() {
+        let src = "(letrec ((define even (lambda (n) (if (= n 0) true (odd (- n 1)))))
+                            (define odd (lambda (n) (if (= n 0) false (even (- n 1))))))
+                     (odd 11))";
+        assert_eq!(run_ok(src), Expr::bool(true));
+    }
+
+    #[test]
+    fn set_mutates_definition_cells() {
+        let src = "(letrec ((define counter 0))
+                     (set! counter (+ counter 1))
+                     (set! counter (+ counter 10))
+                     counter)";
+        assert_eq!(run_ok(src), Expr::int(11));
+    }
+
+    #[test]
+    fn hash_tables_work_in_the_store() {
+        let src = "(let ((t (hash-new)))
+                     (hash-set! t \"a\" 1)
+                     (hash-set! t \"b\" 2)
+                     (+ (hash-get t \"a\") (hash-count t)))";
+        assert_eq!(run_ok(src), Expr::int(3));
+    }
+
+    #[test]
+    fn invoke_reduces_to_letrec_per_fig11() {
+        // One step of `invoke (unit …) with x=v` yields a letrec with the
+        // import substituted.
+        let e = parse_expr(
+            "(invoke (unit (import base) (export) (define f (lambda () base)) (init (f)))
+                     (val base 42))",
+        )
+        .unwrap();
+        let mut r = Reducer::new();
+        let stepped = match r.step(&e).unwrap() {
+            Step::Reduced(e) => e,
+            Step::Value => panic!("should step"),
+        };
+        assert!(matches!(stepped, Expr::Letrec(_)), "got {stepped:?}");
+        // And all the way: 42.
+        assert_eq!(r.reduce_to_value(&stepped).unwrap(), Expr::int(42));
+    }
+
+    #[test]
+    fn invoke_missing_import_errors() {
+        let err = run("(invoke (unit (import x) (export) (init x)))").unwrap_err();
+        assert!(matches!(err, RuntimeError::UnsatisfiedImport { name } if name.as_str() == "x"));
+    }
+
+    #[test]
+    fn compound_reduces_to_merged_unit_then_invokes() {
+        let src = "(invoke (compound (import) (export)
+            (link ((unit (import odd) (export even)
+                     (define even (lambda (n) (if (= n 0) true (odd (- n 1))))))
+                   (with odd) (provides even))
+                  ((unit (import even) (export odd)
+                     (define odd (lambda (n) (if (= n 0) false (even (- n 1)))))
+                     (init (odd 13)))
+                   (with even) (provides odd)))))";
+        assert_eq!(run_ok(src), Expr::bool(true));
+    }
+
+    #[test]
+    fn defs_run_before_inits_across_constituents() {
+        let src = "(invoke (compound (import) (export)
+            (link ((unit (import later) (export)
+                     (init (display \"first\") (later)))
+                   (with later) (provides))
+                  ((unit (import) (export later)
+                     (define later (lambda () (display \"from-later\") void))
+                     (init (display \"second\")))
+                   (with) (provides later)))))";
+        let e = parse_expr(src).unwrap();
+        let mut r = Reducer::new();
+        r.reduce_to_value(&e).unwrap();
+        assert_eq!(r.machine.output(), ["first", "from-later", "second"]);
+    }
+
+    #[test]
+    fn datatype_round_trip_and_wrong_variant() {
+        let src = "(letrec ((datatype t (mk unmk int) (no unno void) t?))
+                     (unmk (mk 7)))";
+        assert_eq!(run_ok(src), Expr::int(7));
+        let src = "(letrec ((datatype t (mk unmk int) (no unno void) t?))
+                     (unno (mk 7)))";
+        assert!(matches!(run(src).unwrap_err(), RuntimeError::WrongVariant { .. }));
+        let src = "(letrec ((datatype t (mk unmk int) (no unno void) t?))
+                     (tuple (t? (mk 7)) (t? (no void))))";
+        assert_eq!(
+            run_ok(src),
+            Expr::Tuple(vec![Expr::bool(true), Expr::bool(false)])
+        );
+    }
+
+    #[test]
+    fn two_instances_of_a_datatype_do_not_mix() {
+        let src = "(let ((make (lambda ()
+                       (invoke (unit (import) (export)
+                         (datatype sym (mk unmk str) sym?)
+                         (init (tuple mk unmk)))))))
+                     (let ((a (make)) (b (make)))
+                       ((proj 1 b) ((proj 0 a) \"x\"))))";
+        assert!(matches!(
+            run(src).unwrap_err(),
+            RuntimeError::ForeignInstance { ty_name } if ty_name.as_str() == "sym"
+        ));
+    }
+
+    #[test]
+    fn seal_narrows_exports() {
+        let err = run(
+            "(invoke (compound (import) (export)
+               (link ((seal (unit (import) (export a) (define a 1))
+                            (sig (import) (export) (init void)))
+                      (with) (provides a)))))",
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::MissingProvide { name } if name.as_str() == "a"));
+    }
+
+    #[test]
+    fn fuel_prevents_divergence() {
+        let src = "(letrec ((define loop (lambda () (loop)))) (loop))";
+        let e = parse_expr(src).unwrap();
+        let err = Reducer::with_fuel(10_000).reduce_to_value(&e).unwrap_err();
+        assert!(matches!(err, RuntimeError::OutOfFuel));
+    }
+
+    #[test]
+    fn traces_record_every_state() {
+        let e = parse_expr("(+ 1 (+ 2 3))").unwrap();
+        let mut r = Reducer::new();
+        let states = r.trace(&e).unwrap();
+        assert_eq!(states.first().unwrap(), &e);
+        assert_eq!(states.last().unwrap(), &Expr::int(6));
+        // (+ 1 (+ 2 3)) → (+ 1 5) → 6
+        assert_eq!(states.len(), 3);
+    }
+
+    #[test]
+    fn multiple_invocations_get_fresh_cells() {
+        let src = "(let ((u (unit (import) (export)
+                      (define counter 0)
+                      (init (set! counter (+ counter 1)) counter))))
+                     (tuple (invoke u) (invoke u)))";
+        assert_eq!(run_ok(src), Expr::Tuple(vec![Expr::int(1), Expr::int(1)]));
+    }
+
+    #[test]
+    fn undefined_reads_are_runtime_errors() {
+        // MzScheme-strictness behaviour: reading a definition before its
+        // expression has run (the reducer always detects this; the paper
+        // level forbids it statically instead).
+        let src = "(letrec ((define a b) (define b 1)) a)";
+        let err = run(src).unwrap_err();
+        assert!(matches!(err, RuntimeError::UndefinedRead { .. }));
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the command-line driver.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn repl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_units-repl"))
+}
+
+fn run_expr(args: &[&str], expr: &str) -> (String, String, bool) {
+    let output = repl()
+        .args(args)
+        .arg("-e")
+        .arg(expr)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn evaluates_an_expression() {
+    let (stdout, _, ok) = run_expr(&[], "(invoke (unit (import) (export) (init (* 6 7))))");
+    assert!(ok);
+    assert_eq!(stdout.trim(), "42");
+}
+
+#[test]
+fn prints_display_output_before_the_result() {
+    let (stdout, _, ok) = run_expr(
+        &[],
+        "(invoke (unit (import) (export) (init (display \"hello\") 1)))",
+    );
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines, vec!["hello", "1"]);
+}
+
+#[test]
+fn typed_levels_print_the_type() {
+    let (stdout, _, ok) =
+        run_expr(&["-l", "c"], "(invoke (unit (import) (export) (init 5)))");
+    assert!(ok);
+    assert!(stdout.contains(";; type: int"), "{stdout}");
+}
+
+#[test]
+fn check_only_skips_evaluation() {
+    let (stdout, _, ok) = run_expr(
+        &["--check-only"],
+        "(invoke (unit (import) (export) (init ((inst fail void) \"would boom\"))))",
+    );
+    assert!(ok);
+    assert!(stdout.contains("checks passed"));
+    assert!(!stdout.contains("boom"));
+}
+
+#[test]
+fn check_errors_fail_with_a_message() {
+    let (_, stderr, ok) = run_expr(&[], "(+ nope 1)");
+    assert!(!ok);
+    assert!(stderr.contains("unbound variable `nope`"), "{stderr}");
+}
+
+#[test]
+fn runtime_errors_fail_with_a_message() {
+    let (_, stderr, ok) = run_expr(&["--mzscheme"], "(/ 1 0)");
+    assert!(!ok);
+    assert!(stderr.contains("division by zero"), "{stderr}");
+}
+
+#[test]
+fn reducer_backend_and_trace() {
+    let (stdout, _, ok) = run_expr(
+        &["-b", "reducer", "--trace", "2"],
+        "(+ 1 (+ 2 3))",
+    );
+    assert!(ok);
+    assert!(stdout.contains(";; step   1:"), "{stdout}");
+    assert!(stdout.trim_end().ends_with('6'), "{stdout}");
+}
+
+#[test]
+fn fuel_limit_is_enforced() {
+    let (_, stderr, ok) = run_expr(
+        &["--mzscheme", "--fuel", "100"],
+        "(letrec ((define loop (lambda () (loop)))) (loop))",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("step budget"), "{stderr}");
+}
+
+#[test]
+fn reads_programs_from_files_and_stdin() {
+    let dir = std::env::temp_dir().join(format!("units-repl-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("p.unit");
+    std::fs::write(&path, "(define u (unit (import) (export) (init 7))) (invoke u)").unwrap();
+    let output = repl().arg(&path).output().unwrap();
+    assert!(output.status.success());
+    assert_eq!(String::from_utf8_lossy(&output.stdout).trim(), "7");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    let mut child = repl().stdin(Stdio::piped()).stdout(Stdio::piped()).spawn().unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"(* 3 3)").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "9");
+}
+
+#[test]
+fn bad_flags_print_usage() {
+    let output = repl().arg("--no-such-flag").output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage:"));
+}

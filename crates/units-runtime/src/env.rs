@@ -1,0 +1,117 @@
+//! Run-time environments.
+//!
+//! A persistent association structure: extending an environment creates a
+//! new frame sharing the parent, so closures capture their environment in
+//! O(1). Bindings are either direct values (λ-parameters, `let`) or
+//! [`CellRef`]s (`letrec`/unit definitions and unit imports — the paper's
+//! "first-class reference cells that are externally created and passed to
+//! the function when the unit is invoked").
+
+use std::rc::Rc;
+
+use units_kernel::Symbol;
+
+use crate::value::{CellRef, Value};
+
+/// A binding: immediate or through a cell.
+#[derive(Debug, Clone)]
+pub enum Binding {
+    /// A direct, immutable binding.
+    Val(Value),
+    /// A mutable definition/import cell.
+    Cell(CellRef),
+}
+
+#[derive(Debug)]
+struct Frame {
+    bindings: Vec<(Symbol, Binding)>,
+    parent: Env,
+}
+
+/// A persistent run-time environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Rc<Frame>>);
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env(None)
+    }
+
+    /// A new environment with one extra frame of bindings.
+    pub fn extend(&self, bindings: Vec<(Symbol, Binding)>) -> Env {
+        Env(Some(Rc::new(Frame { bindings, parent: self.clone() })))
+    }
+
+    /// Looks a name up, innermost frame first.
+    pub fn lookup(&self, name: &Symbol) -> Option<&Binding> {
+        let mut frame = self.0.as_deref();
+        while let Some(f) = frame {
+            // Within a frame, later bindings shadow earlier ones.
+            if let Some((_, b)) = f.bindings.iter().rev().find(|(n, _)| n == name) {
+                return Some(b);
+            }
+            frame = f.parent.0.as_deref();
+        }
+        None
+    }
+
+    /// Number of frames (for diagnostics and tests).
+    pub fn depth(&self) -> usize {
+        let mut n = 0;
+        let mut frame = self.0.as_deref();
+        while let Some(f) = frame {
+            n += 1;
+            frame = f.parent.0.as_deref();
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::filled_cell;
+
+    fn val(env: &Env, name: &str) -> Option<Value> {
+        match env.lookup(&Symbol::new(name))? {
+            Binding::Val(v) => Some(v.clone()),
+            Binding::Cell(c) => c.borrow().clone(),
+        }
+    }
+
+    #[test]
+    fn extension_shadows_lexically() {
+        let base = Env::new().extend(vec![("x".into(), Binding::Val(Value::Int(1)))]);
+        let inner = base.extend(vec![("x".into(), Binding::Val(Value::Int(2)))]);
+        assert!(matches!(val(&inner, "x"), Some(Value::Int(2))));
+        assert!(matches!(val(&base, "x"), Some(Value::Int(1))));
+        assert!(val(&base, "y").is_none());
+    }
+
+    #[test]
+    fn same_frame_shadowing_prefers_later_bindings() {
+        let env = Env::new().extend(vec![
+            ("x".into(), Binding::Val(Value::Int(1))),
+            ("x".into(), Binding::Val(Value::Int(2))),
+        ]);
+        assert!(matches!(val(&env, "x"), Some(Value::Int(2))));
+    }
+
+    #[test]
+    fn cells_are_shared_between_environments() {
+        let cell = filled_cell(Value::Int(10));
+        let a = Env::new().extend(vec![("c".into(), Binding::Cell(cell.clone()))]);
+        let b = a.extend(vec![("unrelated".into(), Binding::Val(Value::Void))]);
+        *cell.borrow_mut() = Some(Value::Int(99));
+        assert!(matches!(val(&a, "c"), Some(Value::Int(99))));
+        assert!(matches!(val(&b, "c"), Some(Value::Int(99))));
+    }
+
+    #[test]
+    fn depth_counts_frames() {
+        let e = Env::new().extend(vec![]).extend(vec![]);
+        assert_eq!(e.depth(), 2);
+        assert_eq!(Env::new().depth(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Run-time errors.
+//!
+//! The untyped calculus UNITd relies on dynamic checks where UNITc/UNITe
+//! use static ones; this module enumerates every dynamic failure the
+//! evaluator can signal. Well-typed programs can still raise
+//! [`RuntimeError::User`] (the `fail` primitive), [`RuntimeError::WrongVariant`]
+//! (deconstructing the wrong variant — the paper makes this a checked
+//! run-time error), division by zero, missing hash keys, and — under
+//! MzScheme strictness — reads of not-yet-initialized definitions.
+
+use std::fmt;
+
+use units_kernel::Symbol;
+
+/// A dynamic failure during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A variable had no binding (impossible after `context_check`).
+    Unbound {
+        /// The variable.
+        name: Symbol,
+    },
+    /// A non-function was applied.
+    NotAFunction {
+        /// Rendering of the value in operator position.
+        found: String,
+    },
+    /// Wrong number of arguments.
+    Arity {
+        /// Parameters expected.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+    /// A value of one shape appeared where another was required
+    /// (dynamic typing error in UNITd programs).
+    WrongType {
+        /// What the operation needed.
+        expected: &'static str,
+        /// Rendering of what it got.
+        found: String,
+    },
+    /// A deconstructor was applied to the wrong variant ("applying a
+    /// deconstructor to the wrong variant signals a run-time error").
+    WrongVariant {
+        /// The datatype's name.
+        ty_name: Symbol,
+        /// Variant index the deconstructor wanted.
+        expected: usize,
+        /// Variant index the value carried.
+        found: usize,
+    },
+    /// A datatype operation received a value from a *different instance*
+    /// of the same unit (§5.3: instances do not share types).
+    ForeignInstance {
+        /// The datatype's name.
+        ty_name: Symbol,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// `hash-get` on an absent key.
+    MissingKey {
+        /// The key.
+        key: String,
+    },
+    /// The `fail` primitive was invoked.
+    User {
+        /// The message carried by `fail`.
+        message: String,
+    },
+    /// A definition was read before its defining expression ran
+    /// (MzScheme-strictness dynamic check, §4.1.1 footnote).
+    UndefinedRead {
+        /// The definition's name.
+        name: Symbol,
+    },
+    /// `invoke` did not supply a value for one of the unit's imports
+    /// ("otherwise, a run-time error is signalled").
+    UnsatisfiedImport {
+        /// The import's name.
+        name: Symbol,
+    },
+    /// Linking found a constituent that does not actually export a name
+    /// its `provides` clause promised.
+    MissingProvide {
+        /// The promised name.
+        name: Symbol,
+    },
+    /// Linking found a constituent whose imports exceed its `with` clause.
+    ExcessImport {
+        /// The undeclared import.
+        name: Symbol,
+    },
+    /// `seal` (or a signature check at a dynamic-linking boundary) failed.
+    SealFailure {
+        /// Why.
+        reason: String,
+    },
+    /// Tuple projection out of range.
+    BadProjection {
+        /// Index requested.
+        index: usize,
+        /// Tuple width.
+        width: usize,
+    },
+    /// The reducer/evaluator exceeded its step or recursion budget.
+    OutOfFuel,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Unbound { name } => write!(f, "unbound variable `{name}`"),
+            RuntimeError::NotAFunction { found } => {
+                write!(f, "application of a non-function: {found}")
+            }
+            RuntimeError::Arity { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} argument(s), got {found}")
+            }
+            RuntimeError::WrongType { expected, found } => {
+                write!(f, "expected {expected}, got {found}")
+            }
+            RuntimeError::WrongVariant { ty_name, expected, found } => write!(
+                f,
+                "deconstructor for variant {expected} of `{ty_name}` applied to variant {found}"
+            ),
+            RuntimeError::ForeignInstance { ty_name } => write!(
+                f,
+                "`{ty_name}` value belongs to a different instance of its defining unit"
+            ),
+            RuntimeError::DivisionByZero => f.write_str("division by zero"),
+            RuntimeError::MissingKey { key } => write!(f, "hash table has no key {key:?}"),
+            RuntimeError::User { message } => write!(f, "error: {message}"),
+            RuntimeError::UndefinedRead { name } => {
+                write!(f, "definition `{name}` read before initialization")
+            }
+            RuntimeError::UnsatisfiedImport { name } => {
+                write!(f, "invoke does not supply import `{name}`")
+            }
+            RuntimeError::MissingProvide { name } => {
+                write!(f, "constituent does not export promised name `{name}`")
+            }
+            RuntimeError::ExcessImport { name } => {
+                write!(f, "constituent imports `{name}`, which its link clause does not declare")
+            }
+            RuntimeError::SealFailure { reason } => write!(f, "signature check failed: {reason}"),
+            RuntimeError::BadProjection { index, width } => {
+                write!(f, "projection {index} out of range for width-{width} tuple")
+            }
+            RuntimeError::OutOfFuel => f.write_str("evaluation exceeded its step budget"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        let e = RuntimeError::WrongVariant { ty_name: "db".into(), expected: 0, found: 1 };
+        assert!(e.to_string().contains("variant 0"));
+        assert!(RuntimeError::DivisionByZero.to_string().contains("zero"));
+        let e = RuntimeError::User { message: "boom".into() };
+        assert_eq!(e.to_string(), "error: boom");
+    }
+}

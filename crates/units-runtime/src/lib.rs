@@ -1,0 +1,40 @@
+//! Run-time substrate for the unit language: values, environments,
+//! primitives, and machine state.
+//!
+//! This crate is the dynamic half of the paper's implementation story
+//! (§4.1.6): unit values carry *unevaluated, shared* code; definitions and
+//! imports live in externally created reference cells. The evaluators —
+//! the cells-based backend in `units-compile` and the substitution
+//! reducer in `units-reduce` — both build on these types.
+//!
+//! # Example
+//!
+//! ```
+//! use units_kernel::PrimOp;
+//! use units_runtime::{apply_prim, Machine, Value};
+//!
+//! let mut machine = Machine::new();
+//! let table = apply_prim(PrimOp::HashNew, &[], &mut machine)?;
+//! apply_prim(PrimOp::HashSet, &[table.clone(), Value::str("bob"), Value::Int(555)], &mut machine)?;
+//! let n = apply_prim(PrimOp::HashGet, &[table, Value::str("bob")], &mut machine)?;
+//! assert!(n.observably_eq(&Value::Int(555)));
+//! # Ok::<(), units_runtime::RuntimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod env;
+mod error;
+mod machine;
+mod prim;
+mod value;
+
+pub use env::{Binding, Env};
+pub use error::RuntimeError;
+pub use machine::Machine;
+pub use prim::apply_prim;
+pub use value::{
+    filled_cell, new_cell, AtomicUnit, CellRef, Closure, DataOpValue, LinkedConstituent,
+    LinkedUnit, UnitValue, Value, VariantValue,
+};

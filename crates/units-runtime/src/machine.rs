@@ -1,0 +1,115 @@
+//! Shared machine state: instance nonces, the output buffer, and a step
+//! budget.
+//!
+//! Both evaluators (the cells backend and the substitution reducer) thread
+//! a [`Machine`] through evaluation. It is deliberately small: datatype
+//! instantiation needs fresh nonces (§5.3), `display` needs somewhere to
+//! write, and tests/benches want a fuel limit so accidental divergence
+//! fails fast instead of hanging.
+
+use crate::error::RuntimeError;
+
+/// Mutable machine-wide state.
+#[derive(Debug)]
+pub struct Machine {
+    next_instance: u64,
+    /// Everything `display` wrote, in order.
+    output: Vec<String>,
+    fuel: Option<u64>,
+}
+
+impl Machine {
+    /// A machine with no step limit.
+    pub fn new() -> Machine {
+        Machine { next_instance: 0, output: Vec::new(), fuel: None }
+    }
+
+    /// A machine that fails with [`RuntimeError::OutOfFuel`] after `fuel`
+    /// steps.
+    pub fn with_fuel(fuel: u64) -> Machine {
+        Machine { next_instance: 0, output: Vec::new(), fuel: Some(fuel) }
+    }
+
+    /// Draws a fresh datatype-instance nonce (never zero — zero marks
+    /// uninstantiated source operations).
+    pub fn fresh_instance(&mut self) -> u64 {
+        self.next_instance += 1;
+        self.next_instance
+    }
+
+    /// Records one evaluation step against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::OutOfFuel`] when the budget is exhausted.
+    pub fn step(&mut self) -> Result<(), RuntimeError> {
+        if let Some(fuel) = &mut self.fuel {
+            if *fuel == 0 {
+                return Err(RuntimeError::OutOfFuel);
+            }
+            *fuel -= 1;
+        }
+        Ok(())
+    }
+
+    /// Appends a line to the output buffer (the `display` primitive).
+    pub fn write(&mut self, text: impl Into<String>) {
+        self.output.push(text.into());
+    }
+
+    /// Everything displayed so far.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Drains and returns the output buffer.
+    pub fn take_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.output)
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_fresh_and_nonzero() {
+        let mut m = Machine::new();
+        let a = m.fresh_instance();
+        let b = m.fresh_instance();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fuel_runs_out() {
+        let mut m = Machine::with_fuel(2);
+        m.step().unwrap();
+        m.step().unwrap();
+        assert_eq!(m.step(), Err(RuntimeError::OutOfFuel));
+    }
+
+    #[test]
+    fn unlimited_machines_never_tire() {
+        let mut m = Machine::new();
+        for _ in 0..10_000 {
+            m.step().unwrap();
+        }
+    }
+
+    #[test]
+    fn output_accumulates_and_drains() {
+        let mut m = Machine::new();
+        m.write("a");
+        m.write("b");
+        assert_eq!(m.output(), ["a", "b"]);
+        assert_eq!(m.take_output(), vec!["a".to_string(), "b".to_string()]);
+        assert!(m.output().is_empty());
+    }
+}

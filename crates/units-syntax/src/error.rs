@@ -1,0 +1,53 @@
+//! Syntax-level diagnostics.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// An error produced by the reader or the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the problem is.
+    pub span: Span,
+    /// What the problem is (lowercase, no trailing punctuation).
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> ParseError {
+        ParseError { span, message: message.into() }
+    }
+
+    /// Renders the error with 1-based line/column information computed
+    /// from the original source text.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at {})", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line_and_column() {
+        let err = ParseError::new(Span::new(4, 5), "unexpected thing");
+        assert_eq!(err.render("ab\ncd"), "2:2: unexpected thing");
+    }
+
+    #[test]
+    fn display_includes_span() {
+        let err = ParseError::new(Span::new(1, 2), "boom");
+        assert_eq!(err.to_string(), "boom (at 1..2)");
+    }
+}

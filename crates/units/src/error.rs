@@ -1,0 +1,94 @@
+//! The unified error type of the facade.
+
+use std::fmt;
+
+use units_check::CheckError;
+use units_runtime::RuntimeError;
+use units_syntax::ParseError;
+
+/// Anything that can go wrong between source text and a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The source does not parse.
+    Parse(ParseError),
+    /// The program fails context or type checking.
+    Check(Vec<CheckError>),
+    /// The program signalled a run-time error.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "syntax error: {e}"),
+            Error::Check(errs) => {
+                write!(f, "check error")?;
+                for e in errs {
+                    write!(f, ": {e}")?;
+                }
+                Ok(())
+            }
+            Error::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<Vec<CheckError>> for Error {
+    fn from(e: Vec<CheckError>) -> Self {
+        Error::Check(e)
+    }
+}
+
+impl From<CheckError> for Error {
+    fn from(e: CheckError) -> Self {
+        Error::Check(vec![e])
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
+impl Error {
+    /// The runtime error, if this is one (convenient in tests).
+    pub fn as_runtime(&self) -> Option<&RuntimeError> {
+        match self {
+            Error::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The check errors, if any.
+    pub fn as_check(&self) -> Option<&[CheckError]> {
+        match self {
+            Error::Check(errs) => Some(errs),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = RuntimeError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+        assert!(e.as_runtime().is_some());
+        assert!(e.as_check().is_none());
+
+        let e: Error = CheckError::Unbound { name: "x".into() }.into();
+        assert_eq!(e.as_check().map(<[_]>::len), Some(1));
+    }
+}

@@ -1,0 +1,144 @@
+//! Observations: a common, comparable view of results from the two
+//! backends.
+//!
+//! The cells backend yields [`units_runtime::Value`]s; the substitution
+//! reducer yields value [`Expr`]s. An [`Observation`] projects both onto
+//! the observable (first-order) fragment so the differential test suite
+//! can assert that the two semantics agree — the executable version of
+//! the paper's claim that the Fig. 12 compilation implements the Fig. 11
+//! rules.
+
+use std::fmt;
+
+use units_kernel::{Expr, Lit};
+use units_runtime::Value;
+
+/// The observable part of a result value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// An integer result.
+    Int(i64),
+    /// A boolean result.
+    Bool(bool),
+    /// A string result.
+    Str(String),
+    /// The void result.
+    Void,
+    /// A tuple of observations.
+    Tuple(Vec<Observation>),
+    /// A datatype value: type name, variant index, payload.
+    Variant(String, usize, Box<Observation>),
+    /// A higher-order or stateful result, summarized by its shape
+    /// ("procedure", "unit", "hash", …). Two opaque observations with the
+    /// same shape are considered equal.
+    Opaque(&'static str),
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Observation::Int(n) => write!(f, "{n}"),
+            Observation::Bool(b) => write!(f, "{b}"),
+            Observation::Str(s) => write!(f, "{s:?}"),
+            Observation::Void => f.write_str("void"),
+            Observation::Tuple(items) => {
+                f.write_str("⟨")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("⟩")
+            }
+            Observation::Variant(ty, tag, payload) => write!(f, "({ty}·{tag} {payload})"),
+            Observation::Opaque(shape) => write!(f, "#⟨{shape}⟩"),
+        }
+    }
+}
+
+/// Projects a runtime value (cells backend) onto its observation.
+pub fn observe_value(value: &Value) -> Observation {
+    match value {
+        Value::Int(n) => Observation::Int(*n),
+        Value::Bool(b) => Observation::Bool(*b),
+        Value::Str(s) => Observation::Str(s.to_string()),
+        Value::Void => Observation::Void,
+        Value::Tuple(items) => Observation::Tuple(items.iter().map(observe_value).collect()),
+        Value::Variant(v) => Observation::Variant(
+            v.ty_name.as_str().to_string(),
+            v.tag,
+            Box::new(observe_value(&v.payload)),
+        ),
+        Value::Closure(_) => Observation::Opaque("procedure"),
+        Value::Prim(_) => Observation::Opaque("procedure"),
+        Value::Data(_) => Observation::Opaque("procedure"),
+        Value::Hash(_) => Observation::Opaque("hash"),
+        Value::Unit(_) => Observation::Opaque("unit"),
+    }
+}
+
+/// Projects a value expression (substitution reducer) onto its
+/// observation.
+///
+/// # Panics
+///
+/// Panics when given a non-value expression — callers observe only the
+/// results of complete reductions.
+pub fn observe_expr(expr: &Expr) -> Observation {
+    assert!(expr.is_value(), "observe_expr requires a value, got a non-value");
+    match expr {
+        Expr::Lit(Lit::Int(n)) => Observation::Int(*n),
+        Expr::Lit(Lit::Bool(b)) => Observation::Bool(*b),
+        Expr::Lit(Lit::Str(s)) => Observation::Str(s.to_string()),
+        Expr::Lit(Lit::Void) => Observation::Void,
+        Expr::Tuple(items) => Observation::Tuple(items.iter().map(observe_expr).collect()),
+        Expr::Variant(v) => Observation::Variant(
+            v.ty_name.as_str().to_string(),
+            v.tag,
+            Box::new(observe_expr(&v.payload)),
+        ),
+        Expr::Lambda(_) | Expr::Prim(..) | Expr::Data(_) => Observation::Opaque("procedure"),
+        Expr::Loc(_) => Observation::Opaque("hash"),
+        Expr::Unit(_) => Observation::Opaque("unit"),
+        _ => unreachable!("is_value covers all value forms"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn both_projections_agree_on_ground_values() {
+        assert_eq!(observe_value(&Value::Int(3)), observe_expr(&Expr::int(3)));
+        assert_eq!(observe_value(&Value::str("x")), observe_expr(&Expr::str("x")));
+        assert_eq!(observe_value(&Value::Void), observe_expr(&Expr::void()));
+        assert_eq!(
+            observe_value(&Value::Tuple(Rc::new(vec![Value::Bool(true)]))),
+            observe_expr(&Expr::Tuple(vec![Expr::bool(true)]))
+        );
+    }
+
+    #[test]
+    fn higher_order_results_are_opaque_by_shape() {
+        let lam = Expr::lambda(vec![], Expr::void());
+        assert_eq!(observe_expr(&lam), Observation::Opaque("procedure"));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn non_values_panic() {
+        let _ = observe_expr(&Expr::var("x"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let o = Observation::Tuple(vec![
+            Observation::Int(1),
+            Observation::Variant("db".into(), 0, Box::new(Observation::Void)),
+        ]);
+        assert_eq!(o.to_string(), "⟨1, (db·0 void)⟩");
+    }
+}

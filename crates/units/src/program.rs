@@ -1,0 +1,287 @@
+//! The end-to-end pipeline: parse → check → evaluate.
+//!
+//! [`Program`] is the high-level entry point a downstream user reaches
+//! for: it owns the parsed expression, knows which calculus it is checked
+//! against, and can run on either backend — the production cells
+//! evaluator (§4.1.6) or the reference substitution reducer (Fig. 11).
+
+use units_check::{check_program, CheckOptions, Level, Strictness};
+use units_compile::evaluate_program;
+use units_kernel::{Expr, Ty};
+use units_reduce::Reducer;
+use units_runtime::Machine;
+use units_syntax::{parse_file, pretty_expr};
+
+use crate::error::Error;
+use crate::observe::{observe_expr, observe_value, Observation};
+
+/// Which evaluator runs a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The cells-based production evaluator (§4.1.6).
+    #[default]
+    Compiled,
+    /// The substitution-based reference reducer (Fig. 11).
+    Reducer,
+}
+
+/// The result of running a program: what it computed and what it printed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// The observable part of the final value.
+    pub value: Observation,
+    /// Everything `display` wrote, in order.
+    pub output: Vec<String>,
+}
+
+/// A parsed, checkable, runnable program.
+///
+/// # Examples
+///
+/// ```
+/// use units::{Level, Observation, Program};
+///
+/// let outcome = Program::parse(
+///     "(define hello (unit (import) (export) (init (* 6 7))))
+///      (invoke hello)",
+/// )?
+/// .at_level(Level::Untyped)
+/// .run()?;
+/// assert_eq!(outcome.value, Observation::Int(42));
+/// # Ok::<(), units::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    expr: Expr,
+    level: Level,
+    strictness: Strictness,
+    fuel: Option<u64>,
+    checked_ty: Option<Ty>,
+}
+
+impl Program {
+    /// Parses a program: top-level definitions followed by expressions
+    /// (see [`units_syntax::parse_file`]). Defaults to [`Level::Untyped`]
+    /// with the paper's valuability restriction and no fuel limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] on malformed source.
+    pub fn parse(source: &str) -> Result<Program, Error> {
+        Ok(Program {
+            expr: parse_file(source)?,
+            level: Level::Untyped,
+            strictness: Strictness::Paper,
+            fuel: None,
+            checked_ty: None,
+        })
+    }
+
+    /// Wraps an already-built expression.
+    pub fn from_expr(expr: Expr) -> Program {
+        Program {
+            expr,
+            level: Level::Untyped,
+            strictness: Strictness::Paper,
+            fuel: None,
+            checked_ty: None,
+        }
+    }
+
+    /// Selects the calculus to check against.
+    pub fn at_level(mut self, level: Level) -> Program {
+        self.level = level;
+        self.checked_ty = None;
+        self
+    }
+
+    /// Selects paper-strict or MzScheme-strict definition checking.
+    pub fn with_strictness(mut self, strictness: Strictness) -> Program {
+        self.strictness = strictness;
+        self
+    }
+
+    /// Bounds evaluation to `fuel` steps.
+    pub fn with_fuel(mut self, fuel: u64) -> Program {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// The underlying expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The program pretty-printed back to surface syntax.
+    pub fn to_source(&self) -> String {
+        pretty_expr(&self.expr)
+    }
+
+    /// Runs the checks for the selected level. For typed levels the
+    /// program's type is returned (and cached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Check`] with every context violation, or the
+    /// first type error.
+    pub fn check(&mut self) -> Result<Option<Ty>, Error> {
+        let opts = CheckOptions { level: self.level, strictness: self.strictness };
+        let ty = check_program(&self.expr, opts)?;
+        self.checked_ty = ty.clone();
+        Ok(ty)
+    }
+
+    /// Checks, then runs on the chosen backend.
+    ///
+    /// # Errors
+    ///
+    /// Check errors first, then any runtime error.
+    pub fn run_on(&self, backend: Backend) -> Result<Outcome, Error> {
+        let mut me = self.clone();
+        me.check()?;
+        me.run_unchecked(backend)
+    }
+
+    /// Checks, then runs on the production backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Program::run_on`].
+    pub fn run(&self) -> Result<Outcome, Error> {
+        self.run_on(Backend::Compiled)
+    }
+
+    /// Runs without re-checking (for benchmarks and for callers that
+    /// checked already).
+    ///
+    /// # Errors
+    ///
+    /// Any runtime error the program signals.
+    pub fn run_unchecked(&self, backend: Backend) -> Result<Outcome, Error> {
+        match backend {
+            Backend::Compiled => {
+                let mut machine = match self.fuel {
+                    Some(f) => Machine::with_fuel(f),
+                    None => Machine::new(),
+                };
+                let value = evaluate_program(&self.expr, &mut machine)?;
+                Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
+            }
+            Backend::Reducer => {
+                let mut reducer = match self.fuel {
+                    Some(f) => Reducer::with_fuel(f),
+                    None => Reducer::new(),
+                };
+                let value = reducer.reduce_to_value(&self.expr)?;
+                Ok(Outcome {
+                    value: observe_expr(&value),
+                    output: reducer.machine.take_output(),
+                })
+            }
+        }
+    }
+
+    /// Runs on *both* backends and asserts they agree — the executable
+    /// form of the paper's implementation-correctness claim. Returns the
+    /// common outcome.
+    ///
+    /// # Errors
+    ///
+    /// Check or runtime errors; a [`units_runtime::RuntimeError`] from
+    /// either backend is reported as that backend's error. Disagreement
+    /// between the backends is a panic (it is a bug in this repository,
+    /// not in the program).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two backends disagree.
+    pub fn run_differential(&self) -> Result<Outcome, Error> {
+        let compiled = self.run_on(Backend::Compiled);
+        let reduced = self.run_on(Backend::Reducer);
+        match (compiled, reduced) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    a, b,
+                    "backends disagree: compiled={a:?} vs reduced={b:?}\nprogram: {}",
+                    self.to_source()
+                );
+                Ok(a)
+            }
+            (Err(a), Err(_b)) => Err(a),
+            (Ok(a), Err(b)) => {
+                panic!("compiled succeeded ({a:?}) but reducer failed ({b})")
+            }
+            (Err(a), Ok(b)) => {
+                panic!("reducer succeeded ({b:?}) but compiled failed ({a})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_check_run_round_trip() {
+        let outcome = Program::parse("(invoke (unit (import) (export) (init (+ 1 2))))")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.value, Observation::Int(3));
+        assert!(outcome.output.is_empty());
+    }
+
+    #[test]
+    fn check_errors_surface_before_running() {
+        let err = Program::parse("(+ nope 1)").unwrap().run().unwrap_err();
+        assert!(err.as_check().is_some());
+    }
+
+    #[test]
+    fn typed_checking_returns_a_type() {
+        let mut p = Program::parse("(invoke (unit (import) (export) (init 5)))")
+            .unwrap()
+            .at_level(Level::Constructed);
+        assert_eq!(p.check().unwrap(), Some(Ty::Int));
+    }
+
+    #[test]
+    fn both_backends_agree_on_the_phonebook_smoke_test() {
+        let outcome = Program::parse(
+            "(define u (unit (import) (export)
+                (define square (lambda (n) (* n n)))
+                (init (display \"up\") (square 12))))
+             (invoke u)",
+        )
+        .unwrap()
+        .run_differential()
+        .unwrap();
+        assert_eq!(outcome.value, Observation::Int(144));
+        assert_eq!(outcome.output, vec!["up".to_string()]);
+    }
+
+    #[test]
+    fn fuel_limits_apply_to_both_backends() {
+        let p = Program::parse(
+            "(letrec ((define loop (lambda () (loop)))) (loop))",
+        )
+        .unwrap()
+        .with_strictness(Strictness::MzScheme)
+        .with_fuel(5_000);
+        for backend in [Backend::Compiled, Backend::Reducer] {
+            let err = p.run_on(backend).unwrap_err();
+            assert!(
+                matches!(err.as_runtime(), Some(units_runtime::RuntimeError::OutOfFuel)),
+                "{backend:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_source_round_trips() {
+        let p = Program::parse("(invoke (unit (import) (export) (init 1)))").unwrap();
+        let reparsed = Program::parse(&p.to_source()).unwrap();
+        assert_eq!(p.expr(), reparsed.expr());
+    }
+}

@@ -1,0 +1,77 @@
+//! Dynamic linking of plug-in loaders (paper §3.4, Fig. 7), including the
+//! signature-checked archive of §3.4's "retrieve a unit value from an
+//! archive … and check that the unit satisfies a particular signature".
+//!
+//! Run with: `cargo run --example dynamic_plugins`
+
+use units::stdlib;
+use units::{Archive, CheckOptions, Level, Program};
+use units_syntax::parse_signature;
+
+fn main() -> Result<(), units::Error> {
+    // --- Part 1: Fig. 7 at the language level --------------------------
+    // The GUI's add-loader invokes a plug-in unit at run time, satisfying
+    // its imports (insert, numInfo, error) from the host's own scope.
+    let outcome =
+        Program::parse(&stdlib::plugin_program(&stdlib::sample_loader_plugin()))?.run()?;
+    println!("Fig. 7 host with a dynamically linked loader:");
+    for line in &outcome.output {
+        println!("  | {line}");
+    }
+    assert!(outcome.output.iter().any(|l| l == "loader ran"));
+
+    // --- Part 2: the signature-checked archive -------------------------
+    // Plug-ins come from an archive; each is checked against the loader
+    // signature *in the loading context* before it may link (the fix for
+    // the Java class-loader unsoundness the paper cites).
+    let mut archive = Archive::new();
+    archive.publish(
+        "carol-loader",
+        "(unit (import (type db) (type info)
+                       (insert (-> db str info void))
+                       (mk (-> int info))
+                       (error (-> str void)))
+               (export)
+           (init (lambda ((pb db))
+             (insert pb \"carol\" (mk 5550000)))))",
+    );
+    archive.publish(
+        "evil-loader",
+        // Claims the right interface but its initialization value is not
+        // a db→void function: rejected by the signature check.
+        "(unit (import (type db) (type info)
+                       (insert (-> db str info void))
+                       (mk (-> int info))
+                       (error (-> str void)))
+               (export)
+           (init 42))",
+    );
+
+    // The loader signature from Fig. 7: initialization type db×… → void
+    // over the host's (imported) db and info types. We check in a context
+    // where db and info are the host's imports.
+    let expected = parse_signature(
+        "(sig (import (type db) (type info)
+                      (insert (-> db str info void))
+                      (mk (-> int info))
+                      (error (-> str void)))
+              (export)
+              (init (-> db void)))",
+    )
+    .expect("signature parses");
+
+    println!("\narchive contents: {:?}", archive.names());
+    for name in ["carol-loader", "evil-loader", "missing-loader"] {
+        match archive.load(name, &expected, CheckOptions::typed(Level::Constructed)) {
+            Ok(_) => println!("  {name}: accepted (signature satisfied)"),
+            Err(e) => println!("  {name}: REFUSED — {e}"),
+        }
+    }
+    assert!(archive
+        .load("carol-loader", &expected, CheckOptions::typed(Level::Constructed))
+        .is_ok());
+    assert!(archive
+        .load("evil-loader", &expected, CheckOptions::typed(Level::Constructed))
+        .is_err());
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! The interactive phone book of paper §3 (Figs. 1–3), end to end.
+//!
+//! Run with: `cargo run --example phonebook`
+//!
+//! `Database` (Fig. 1) and `NumberInfo` are linked into `PhoneBook`
+//! (Fig. 2), which hides `delete` and re-exports everything else; `IPB`
+//! (Fig. 3) adds a (simulated, text-mode) GUI and a `Main` unit, with the
+//! links flowing cyclically: the phone book calls the GUI's `error`
+//! handler, and the GUI calls back into the phone book.
+
+use units::stdlib;
+use units::{Backend, Observation, Program};
+
+fn main() -> Result<(), units::Error> {
+    println!("== Fig. 1: the atomic Database unit =====================");
+    println!("{}\n", stdlib::database_unit());
+
+    println!("== Fig. 2: PhoneBook hides delete =======================");
+    // Proof: linking a client against `delete` fails at link time.
+    let bad = format!(
+        "(invoke (compound (import) (export)
+           (link ({pb} (with error) (provides new delete))
+                 ((unit (import new delete) (export error)
+                    (define error (lambda (m) void)))
+                  (with new delete) (provides error)))))",
+        pb = stdlib::phonebook_compound()
+    );
+    match Program::parse(&bad)?.run() {
+        Err(e) => println!("linking against hidden `delete` correctly fails:\n  {e}\n"),
+        Ok(_) => unreachable!("delete must be hidden"),
+    }
+
+    println!("== Fig. 3: the complete IPB program =====================");
+    let outcome = Program::parse(&stdlib::ipb_program())?.run()?;
+    for line in &outcome.output {
+        println!("  | {line}");
+    }
+    println!("IPB result (Main's initialization value): {}", outcome.value);
+    assert_eq!(outcome.value, Observation::Bool(true));
+
+    // The substitution reducer — the paper's formal semantics — agrees.
+    let reference = Program::parse(&stdlib::ipb_program())?.run_on(Backend::Reducer)?;
+    assert_eq!(reference, outcome);
+    println!("\nFig. 11 reference semantics produces the identical outcome.");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: define two units, link them externally, invoke the result.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! This is the paper's elevator pitch in twenty lines: units declare
+//! imports and exports but name no other unit; a separate `compound`
+//! expression wires them — here cyclically, which no functor-style module
+//! system can do — and `invoke` runs the linked program.
+
+use units::{Observation, Program};
+
+fn main() -> Result<(), units::Error> {
+    // Fig. 12's even/odd pair: each unit imports the other's export.
+    let source = "
+        (define even-unit
+          (unit (import odd) (export even)
+            (define even (lambda (n) (if (= n 0) true (odd (- n 1)))))))
+
+        (define odd-unit
+          (unit (import even) (export odd)
+            (define odd (lambda (n) (if (= n 0) false (even (- n 1)))))
+            (init (display \"odd unit initialized\"))))
+
+        (define program
+          (compound (import) (export even odd)
+            (link (even-unit (with odd)  (provides even))
+                  (odd-unit  (with even) (provides odd)))))
+
+        (invoke (compound (import) (export)
+          (link (program (with) (provides even odd))
+                ((unit (import even odd) (export)
+                   (init (tuple (even 10) (odd 10))))
+                 (with even odd) (provides)))))";
+
+    let outcome = Program::parse(source)?.run()?;
+
+    println!("program output:");
+    for line in &outcome.output {
+        println!("  | {line}");
+    }
+    println!("result: {}", outcome.value);
+    assert_eq!(
+        outcome.value,
+        Observation::Tuple(vec![Observation::Bool(true), Observation::Bool(false)])
+    );
+
+    // The same program under the reference semantics (Fig. 11's rules).
+    let steps = Program::parse(source)?.run_on(units::Backend::Reducer)?;
+    assert_eq!(steps.value, outcome.value);
+    println!("reference reducer agrees: {}", steps.value);
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! The statically typed phone book: §3's figures exactly as drawn, with
+//! every port annotated, checked by the UNITc rules of Fig. 15.
+//!
+//! Run with: `cargo run --example typed_phonebook`
+//!
+//! The `info` type links from NumberInfo into Database, `db` links from
+//! the phone book into the GUI and Main, and the whole program's type —
+//! the type of the last initialization expression — is `bool`, just as
+//! the paper says of `IPB`.
+
+use units::{diagram, parse_expr, typed_stdlib, Level, Observation, Program, Ty};
+
+fn main() -> Result<(), units::Error> {
+    println!("== the typed Database unit (Fig. 1) ======================");
+    let database = parse_expr(&typed_stdlib::database())?;
+    println!("{}\n", diagram::render(&database));
+
+    println!("== the PhoneBook compound's derived signature (Fig. 2) ===");
+    let mut phonebook =
+        Program::parse(&typed_stdlib::phonebook())?.at_level(Level::Constructed);
+    let sig_ty = phonebook.check()?.expect("typed levels return a type");
+    let sig = sig_ty.as_sig().expect("a unit has a signature type");
+    println!("exports:");
+    for port in &sig.exports.types {
+        println!("  type {}::{}", port.name, port.kind);
+    }
+    for port in &sig.exports.vals {
+        println!("  {}: {}", port.name, port.ty.as_ref().expect("typed"));
+    }
+    assert!(sig.exports.val_port(&"delete".into()).is_none(), "delete is hidden");
+    println!("(and `delete` is hidden, per Fig. 2)\n");
+
+    println!("== the complete typed IPB (Fig. 3) =======================");
+    let mut ipb = Program::parse(&typed_stdlib::ipb_program())?.at_level(Level::Constructed);
+    let program_ty = ipb.check()?.expect("typed");
+    println!("program type: {program_ty}");
+    assert_eq!(program_ty, Ty::Bool);
+
+    let outcome = ipb.run()?;
+    for line in &outcome.output {
+        println!("  | {line}");
+    }
+    println!("result: {}", outcome.value);
+    assert_eq!(outcome.value, Observation::Bool(true));
+    Ok(())
+}

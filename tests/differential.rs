@@ -1,0 +1,363 @@
+//! Differential testing: the §4.1.6 cells backend against the Fig. 11
+//! substitution reducer, on randomly generated programs.
+//!
+//! The two evaluators share nothing but the kernel AST, the primitive
+//! table, and the error type, so agreement over thousands of random
+//! programs — including random unit/compound/invoke topologies — is
+//! strong evidence that the compilation implements the rewriting
+//! semantics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use units::{Backend, Error, Outcome, Program, RuntimeError, Strictness};
+use units_kernel::{
+    Binding, CompoundExpr, Expr, InvokeExpr, LinkClause, Param, Ports, PrimOp, UnitExpr, ValDefn,
+};
+
+/// A generator of closed, well-scoped programs.
+struct Gen {
+    rng: StdRng,
+    fresh: u32,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { rng: StdRng::seed_from_u64(seed), fresh: 0 }
+    }
+
+    fn name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}", self.fresh)
+    }
+
+    /// A closed expression of bounded depth, in scope `vars`.
+    fn expr(&mut self, depth: u32, vars: &[String]) -> Expr {
+        if depth == 0 {
+            return self.leaf(vars);
+        }
+        match self.rng.gen_range(0..12u32) {
+            0 | 1 => {
+                // arithmetic
+                const OPS: [PrimOp; 5] =
+                    [PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::Lt, PrimOp::NumEq];
+                let op = OPS[self.rng.gen_range(0..OPS.len())];
+                Expr::prim2(op, self.expr(depth - 1, vars), self.expr(depth - 1, vars))
+            }
+            2 => Expr::if_(
+                Expr::prim2(
+                    PrimOp::Lt,
+                    self.expr(depth - 1, vars),
+                    self.expr(depth - 1, vars),
+                ),
+                self.expr(depth - 1, vars),
+                self.expr(depth - 1, vars),
+            ),
+            3 => {
+                // let
+                let n = self.rng.gen_range(1..3usize);
+                let bindings: Vec<Binding> = (0..n)
+                    .map(|_| {
+                        let name = self.name("x");
+                        Binding { name: name.as_str().into(), expr: self.expr(depth - 1, vars) }
+                    })
+                    .collect();
+                let mut inner: Vec<String> = vars.to_vec();
+                inner.extend(bindings.iter().map(|b| b.name.as_str().to_string()));
+                Expr::Let(bindings, Box::new(self.expr(depth - 1, &inner)))
+            }
+            4 => {
+                // immediately applied lambda (no self application ⇒ no
+                // divergence from this rule)
+                let n = self.rng.gen_range(1..3usize);
+                let params: Vec<String> = (0..n).map(|_| self.name("p")).collect();
+                let mut inner: Vec<String> = vars.to_vec();
+                inner.extend(params.iter().cloned());
+                let body = self.expr(depth - 1, &inner);
+                let lam = Expr::lambda(
+                    params.iter().map(|p| Param::untyped(p.as_str())).collect(),
+                    body,
+                );
+                let args = (0..n).map(|_| self.expr(depth - 1, vars)).collect();
+                Expr::app(lam, args)
+            }
+            5 => {
+                let n = self.rng.gen_range(1..4usize);
+                Expr::Tuple((0..n).map(|_| self.expr(depth - 1, vars)).collect())
+            }
+            6 => {
+                let n = self.rng.gen_range(1..4usize);
+                let idx = self.rng.gen_range(0..n);
+                Expr::Proj(
+                    idx,
+                    Box::new(Expr::Tuple((0..n).map(|_| self.expr(depth - 1, vars)).collect())),
+                )
+            }
+            7 => Expr::seq(vec![self.expr(depth - 1, vars), self.expr(depth - 1, vars)]),
+            8 => Expr::prim2(
+                PrimOp::StrAppend,
+                Expr::str(self.name("s")),
+                Expr::prim1(PrimOp::IntToStr, self.expr(depth - 1, vars)),
+            ),
+            9 | 10 => self.invoke(depth - 1, vars),
+            _ => self.leaf(vars),
+        }
+    }
+
+    fn leaf(&mut self, vars: &[String]) -> Expr {
+        if !vars.is_empty() && self.rng.gen_bool(0.4) {
+            let i = self.rng.gen_range(0..vars.len());
+            Expr::var(vars[i].as_str())
+        } else {
+            Expr::int(self.rng.gen_range(-20..20))
+        }
+    }
+
+    /// A unit with random imports (drawn from `import_pool`), a few
+    /// definitions, and an init expression.
+    fn unit(&mut self, depth: u32, vars: &[String], import_pool: &[String]) -> (Expr, UnitExpr) {
+        let mut imports = Vec::new();
+        for name in import_pool {
+            if self.rng.gen_bool(0.5) {
+                imports.push(name.clone());
+            }
+        }
+        // Sometimes define a datatype; its operations join the scope.
+        let datatype = if self.rng.gen_bool(0.3) {
+            let t = self.name("t");
+            let ops = (self.name("mk"), self.name("un"), self.name("is"));
+            Some((t, ops))
+        } else {
+            None
+        };
+        let n_defs = self.rng.gen_range(1..4usize);
+        let def_names: Vec<String> = (0..n_defs).map(|_| self.name("d")).collect();
+        // Definitions are thunks over everything in scope (valuable, and
+        // they may read imports lazily).
+        let mut def_scope: Vec<String> = vars.to_vec();
+        def_scope.extend(imports.iter().cloned());
+        def_scope.extend(def_names.iter().cloned());
+        let mut types = Vec::new();
+        if let Some((t, (mk, un, is))) = &datatype {
+            types.push(units_kernel::TypeDefn::Data(units_kernel::DataDefn {
+                name: t.as_str().into(),
+                variants: vec![
+                    units_kernel::DataVariant {
+                        ctor: mk.as_str().into(),
+                        dtor: un.as_str().into(),
+                        payload: units_kernel::Ty::Int,
+                    },
+                ],
+                predicate: is.as_str().into(),
+            }));
+            // Exercise construct/deconstruct/discriminate in scope.
+            def_scope.push(mk.clone());
+        }
+        let vals: Vec<ValDefn> = def_names
+            .iter()
+            .map(|name| {
+                let body = self.expr(depth.saturating_sub(1), &def_scope);
+                ValDefn { name: name.as_str().into(), ty: None, body: Expr::thunk(body) }
+            })
+            .collect();
+        let exports: Vec<String> = def_names
+            .iter()
+            .filter(|_| self.rng.gen_bool(0.7))
+            .cloned()
+            .collect();
+        // The init expression may call any definition or import.
+        let init_scope = def_scope;
+        let init = match self.rng.gen_range(0..3u32) {
+            0 => Expr::app(Expr::var(def_names[0].as_str()), vec![]),
+            1 if !init_scope.is_empty() => self.expr(1, &init_scope),
+            _ => self.expr(1, vars),
+        };
+        // Occasionally round-trip a datatype value in the init.
+        let init = match &datatype {
+            Some((_, (mk, un, _))) if self.rng.gen_bool(0.5) => Expr::app(
+                Expr::var(un.as_str()),
+                vec![Expr::app(Expr::var(mk.as_str()), vec![init])],
+            ),
+            _ => init,
+        };
+        let unit = UnitExpr {
+            imports: Ports::untyped(Vec::<&str>::new(), imports.iter().map(String::as_str)),
+            exports: Ports::untyped(Vec::<&str>::new(), exports.iter().map(String::as_str)),
+            types,
+            vals,
+            init,
+        };
+        (Expr::Unit(std::rc::Rc::new(unit.clone())), unit)
+    }
+
+    /// `invoke` of either one unit or a two-unit compound, with all
+    /// imports satisfied by thunks over in-scope expressions.
+    fn invoke(&mut self, depth: u32, vars: &[String]) -> Expr {
+        let pool: Vec<String> = (0..self.rng.gen_range(0..3usize))
+            .map(|_| self.name("imp"))
+            .collect();
+        let (target, needed): (Expr, Vec<String>) = if self.rng.gen_bool(0.5) {
+            let (e, u) = self.unit(depth, vars, &pool);
+            let needed = u.imports.vals.iter().map(|p| p.name.as_str().to_string()).collect();
+            (e, needed)
+        } else {
+            // A two-unit compound: the second may import what the first
+            // provides, plus names from the pool.
+            let (e1, u1) = self.unit(depth, vars, &pool);
+            let provides1: Vec<String> =
+                u1.exports.vals.iter().map(|p| p.name.as_str().to_string()).collect();
+            let mut pool2 = pool.clone();
+            pool2.extend(provides1.iter().cloned());
+            let (e2, u2) = self.unit(depth, vars, &pool2);
+            let imports1: Vec<String> =
+                u1.imports.vals.iter().map(|p| p.name.as_str().to_string()).collect();
+            let imports2: Vec<String> =
+                u2.imports.vals.iter().map(|p| p.name.as_str().to_string()).collect();
+            let provides2: Vec<String> =
+                u2.exports.vals.iter().map(|p| p.name.as_str().to_string()).collect();
+            // The compound imports whatever is not internally provided.
+            let mut compound_imports: Vec<String> = Vec::new();
+            for name in imports1.iter().chain(&imports2) {
+                if !provides1.contains(name)
+                    && !provides2.contains(name)
+                    && !compound_imports.contains(name)
+                {
+                    compound_imports.push(name.clone());
+                }
+            }
+            let links = vec![
+                LinkClause::by_name(
+                    e1,
+                    Ports::untyped(Vec::<&str>::new(), imports1.iter().map(String::as_str)),
+                    Ports::untyped(Vec::<&str>::new(), provides1.iter().map(String::as_str)),
+                ),
+                LinkClause::by_name(
+                    e2,
+                    Ports::untyped(Vec::<&str>::new(), imports2.iter().map(String::as_str)),
+                    Ports::untyped(Vec::<&str>::new(), provides2.iter().map(String::as_str)),
+                ),
+            ];
+            let compound = CompoundExpr {
+                imports: Ports::untyped(
+                    Vec::<&str>::new(),
+                    compound_imports.iter().map(String::as_str),
+                ),
+                exports: Ports::new(),
+                links,
+            };
+            (Expr::Compound(std::rc::Rc::new(compound)), compound_imports)
+        };
+        let val_links = needed
+            .iter()
+            .map(|name| {
+                (name.as_str().into(), Expr::thunk(self.expr(1, vars)))
+            })
+            .collect();
+        Expr::Invoke(std::rc::Rc::new(InvokeExpr { target, ty_links: vec![], val_links }))
+    }
+}
+
+fn agree(seed: u64) -> Result<(), String> {
+    let mut gen = Gen::new(seed);
+    let expr = gen.expr(4, &[]);
+    let program = Program::from_expr(expr)
+        .with_strictness(Strictness::MzScheme)
+        .with_fuel(200_000);
+    let a = program.run_on(Backend::Compiled);
+    let b = program.run_on(Backend::Reducer);
+    check_agreement(seed, &program, a, b)
+}
+
+fn check_agreement(
+    seed: u64,
+    program: &Program,
+    a: Result<Outcome, Error>,
+    b: Result<Outcome, Error>,
+) -> Result<(), String> {
+    let fuel = |r: &Result<Outcome, Error>| {
+        matches!(r, Err(Error::Runtime(RuntimeError::OutOfFuel)))
+    };
+    if fuel(&a) || fuel(&b) {
+        return Ok(()); // step budgets differ between the semantics
+    }
+    match (a, b) {
+        (Ok(x), Ok(y)) if x == y => Ok(()),
+        (Ok(x), Ok(y)) => Err(format!(
+            "seed {seed}: values differ\n compiled: {x:?}\n reduced:  {y:?}\n program: {}",
+            program.to_source()
+        )),
+        (Err(_), Err(_)) => Ok(()), // both reject; error classes may differ
+        (Ok(x), Err(e)) => Err(format!(
+            "seed {seed}: compiled={x:?} but reducer errored: {e}\n program: {}",
+            program.to_source()
+        )),
+        (Err(e), Ok(y)) => Err(format!(
+            "seed {seed}: reducer={y:?} but compiled errored: {e}\n program: {}",
+            program.to_source()
+        )),
+    }
+}
+
+#[test]
+fn backends_agree_on_random_core_programs() {
+    let mut failures = Vec::new();
+    for seed in 0..600 {
+        if let Err(msg) = agree(seed) {
+            failures.push(msg);
+        }
+    }
+    assert!(failures.is_empty(), "{} disagreements:\n{}", failures.len(), failures.join("\n\n"));
+}
+
+#[test]
+fn backends_agree_on_random_unit_programs() {
+    // Seeds biased toward invoke/compound generation by starting at the
+    // invoke generator directly.
+    let mut failures = Vec::new();
+    for seed in 0..600 {
+        let mut gen = Gen::new(0xC0FFEE ^ seed);
+        let expr = gen.invoke(3, &[]);
+        let program = Program::from_expr(expr)
+            .with_strictness(Strictness::MzScheme)
+            .with_fuel(200_000);
+        let a = program.run_on(Backend::Compiled);
+        let b = program.run_on(Backend::Reducer);
+        if let Err(msg) = check_agreement(seed, &program, a, b) {
+            failures.push(msg);
+        }
+    }
+    assert!(failures.is_empty(), "{} disagreements:\n{}", failures.len(), failures.join("\n\n"));
+}
+
+#[test]
+fn backends_agree_on_error_classes_for_key_failures() {
+    // For the dynamic errors the paper specifies, both backends must
+    // agree on the *class*, not just fail.
+    let cases = [
+        ("(invoke (unit (import x) (export) (init x)))", "UnsatisfiedImport"),
+        ("(proj 3 (tuple 1 2))", "BadProjection"),
+        ("(1 2)", "NotAFunction"),
+        ("(/ 1 0)", "DivisionByZero"),
+        ("((inst fail void) \"boom\")", "User"),
+        (
+            "(letrec ((datatype t (mk unmk int) (no unno void) t?)) (unno (mk 1)))",
+            "WrongVariant",
+        ),
+        (
+            "(compound (import) (export)
+               (link ((unit (import g) (export) (init void)) (with) (provides))))",
+            "ExcessImport",
+        ),
+    ];
+    for (src, expected) in cases {
+        let program = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
+        for backend in [Backend::Compiled, Backend::Reducer] {
+            let err = program.run_on(backend).unwrap_err();
+            let rendered = format!("{:?}", err);
+            assert!(
+                rendered.contains(expected),
+                "{backend:?} on {src}: expected {expected}, got {rendered}"
+            );
+        }
+    }
+}

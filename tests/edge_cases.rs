@@ -1,0 +1,397 @@
+//! Corner cases and failure injection across the whole pipeline.
+
+use units::{
+    Backend, CheckError, Level, Observation, Program, RuntimeError, Strictness, Ty,
+};
+
+fn both(source: &str) -> units::Outcome {
+    Program::parse(source)
+        .unwrap_or_else(|e| panic!("parse: {e}"))
+        .with_strictness(Strictness::MzScheme)
+        .run_differential()
+        .unwrap_or_else(|e| panic!("run: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Degenerate units
+// ---------------------------------------------------------------------
+
+#[test]
+fn the_empty_unit_invokes_to_void() {
+    assert_eq!(both("(invoke (unit (import) (export)))").value, Observation::Void);
+}
+
+#[test]
+fn the_empty_compound_invokes_to_void() {
+    assert_eq!(
+        both("(invoke (compound (import) (export) (link)))").value,
+        Observation::Void
+    );
+}
+
+#[test]
+fn a_type_only_unit_links_and_invokes() {
+    let src = "(invoke (compound (import) (export)
+        (link ((unit (import) (export mk)
+                 (datatype t (mk unmk int) t?))
+               (with) (provides mk))
+              ((unit (import mk) (export) (init (mk 3) 1))
+               (with mk) (provides)))))";
+    assert_eq!(both(src).value, Observation::Int(1));
+}
+
+#[test]
+fn unit_with_only_init_behaves_like_a_thunk() {
+    let src = "(define u (unit (import) (export) (init (display \"ran\") 2)))
+        (+ (invoke u) (invoke u))";
+    let outcome = both(src);
+    assert_eq!(outcome.value, Observation::Int(4));
+    assert_eq!(outcome.output, vec!["ran", "ran"]);
+}
+
+// ---------------------------------------------------------------------
+// Units as first-class values
+// ---------------------------------------------------------------------
+
+#[test]
+fn units_travel_through_tuples_and_closures() {
+    let src = "(let ((pair (tuple 1 (unit (import) (export) (init 7)))))
+         (let ((pick (lambda (p) (proj 1 p))))
+           (invoke (pick pair))))";
+    assert_eq!(both(src).value, Observation::Int(7));
+}
+
+#[test]
+fn units_stored_in_hash_tables_and_invoked_later() {
+    let src = "(let ((registry (hash-new)))
+         (hash-set! registry \"boot\" (unit (import) (export) (init 11)))
+         (invoke (hash-get registry \"boot\")))";
+    assert_eq!(both(src).value, Observation::Int(11));
+}
+
+#[test]
+fn higher_order_linking_functions() {
+    // A function that takes two units and links them in either order.
+    let src = "(let ((pipe (lambda (a b)
+           (compound (import) (export)
+             (link (a (with) (provides out))
+                   (b (with out) (provides)))))))
+         (invoke (pipe (unit (import) (export out) (define out 5))
+                       (unit (import out) (export) (init (* out 2))))))";
+    assert_eq!(both(src).value, Observation::Int(10));
+}
+
+// ---------------------------------------------------------------------
+// Deep structures
+// ---------------------------------------------------------------------
+
+#[test]
+fn seal_chains_narrow_monotonically() {
+    let src = "(invoke (compound (import) (export)
+        (link ((seal (seal (unit (import) (export a b c)
+                             (define a 1) (define b 2) (define c 3))
+                           (sig (import) (export a b) (init void)))
+                     (sig (import) (export a) (init void)))
+               (with) (provides a))
+              ((unit (import a) (export) (init a))
+               (with a) (provides)))))";
+    assert_eq!(both(src).value, Observation::Int(1));
+    // b was stripped by the outer seal even though the inner kept it.
+    let bad = src.replace("(provides a)", "(provides b)").replace("import a", "import b")
+        .replace("(with a)", "(with b)").replace("(init a)", "(init b)");
+    let err = Program::parse(&bad)
+        .unwrap()
+        .with_strictness(Strictness::MzScheme)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err.as_runtime(), Some(RuntimeError::MissingProvide { name }) if name.as_str() == "b")
+    );
+}
+
+#[test]
+fn eight_levels_of_nested_compounds() {
+    let mut inner = "(unit (import) (export v) (define v (lambda () 1)))".to_string();
+    for _ in 0..8 {
+        inner = format!(
+            "(compound (import) (export v) (link ({inner} (with) (provides v))))"
+        );
+    }
+    let src = format!(
+        "(invoke (compound (import) (export)
+           (link ({inner} (with) (provides v))
+                 ((unit (import v) (export) (init (v))) (with v) (provides)))))"
+    );
+    assert_eq!(both(&src).value, Observation::Int(1));
+}
+
+#[test]
+fn many_variant_datatypes_generalize_the_papers_two() {
+    // The paper fixes exactly two variants "for simplicity"; the
+    // implementation allows any positive number, with the predicate true
+    // exactly for the first.
+    let src = "(letrec ((datatype shape
+                  (circle uncircle int)
+                  (square unsquare int)
+                  (tri untri int)
+                  first?))
+         (tuple (first? (circle 1)) (first? (square 2)) (first? (tri 3))
+                (untri (tri 9))))";
+    assert_eq!(
+        both(src).value,
+        Observation::Tuple(vec![
+            Observation::Bool(true),
+            Observation::Bool(false),
+            Observation::Bool(false),
+            Observation::Int(9),
+        ])
+    );
+}
+
+// ---------------------------------------------------------------------
+// Invoking partial programs (dynamic linking of compounds)
+// ---------------------------------------------------------------------
+
+#[test]
+fn compounds_with_imports_are_dynamically_linkable() {
+    let src = "(define partial (compound (import base) (export)
+          (link ((unit (import base) (export mid)
+                   (define mid (lambda () (* base 2))))
+                 (with base) (provides mid))
+                ((unit (import mid) (export) (init (mid)))
+                 (with mid) (provides)))))
+        (invoke partial (val base 21))";
+    assert_eq!(both(src).value, Observation::Int(42));
+}
+
+#[test]
+fn invoke_inside_a_unit_body_nests_machines_correctly() {
+    let src = "(invoke (unit (import) (export)
+        (define inner (unit (import k) (export) (init (+ k 1))))
+        (init (invoke inner (val k (invoke inner (val k 40)))))))";
+    assert_eq!(both(src).value, Observation::Int(42));
+}
+
+// ---------------------------------------------------------------------
+// Checker corner cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn duplicate_signature_ports_are_rejected() {
+    let err = Program::parse(
+        "(seal (unit (import) (export))
+               (sig (import (x int) (x str)) (export) (init void)))",
+    )
+    .unwrap()
+    .at_level(Level::Constructed)
+    .check()
+    .unwrap_err();
+    let errs = err.as_check().unwrap();
+    assert!(
+        errs.iter().any(|e| matches!(e, CheckError::Duplicate { name, .. } if name.as_str() == "x")),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn signature_types_must_be_bound() {
+    let err = Program::parse(
+        "(seal (unit (import) (export))
+               (sig (import (x mystery)) (export) (init void)))",
+    )
+    .unwrap()
+    .at_level(Level::Constructed)
+    .check()
+    .unwrap_err();
+    let errs = err.as_check().unwrap();
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, CheckError::UnboundTy { name } if name.as_str() == "mystery")),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn depends_endpoints_must_be_interface_types() {
+    for sig in [
+        "(sig (import (type i)) (export) (init void) (depends (ghost i)))",
+        "(sig (import) (export (type e)) (init void) (depends (e ghost)))",
+    ] {
+        let err = Program::parse(&format!("(seal (unit (import) (export)) {sig})"))
+            .unwrap()
+            .at_level(Level::Equations)
+            .check()
+            .unwrap_err();
+        assert!(err.as_check().is_some(), "{sig}");
+    }
+}
+
+#[test]
+fn unite_forms_are_rejected_at_unitc() {
+    let err = Program::parse(
+        "(seal (unit (import) (export))
+               (sig (import (type i)) (export (type e)) (init void) (depends (e i))))",
+    )
+    .unwrap()
+    .at_level(Level::Constructed)
+    .check()
+    .unwrap_err();
+    let errs = err.as_check().unwrap();
+    assert!(
+        errs.iter().any(|e| matches!(e, CheckError::UnsupportedAtLevel { .. })),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn projection_type_errors_are_static_at_typed_levels() {
+    let err = Program::parse("(proj 2 (tuple 1 2))")
+        .unwrap()
+        .at_level(Level::Constructed)
+        .check()
+        .unwrap_err();
+    assert!(err.as_check().is_some());
+    // And the same program is a *runtime* error at the untyped level.
+    let err = Program::parse("(proj 2 (tuple 1 2))")
+        .unwrap()
+        .run()
+        .unwrap_err();
+    assert!(matches!(err.as_runtime(), Some(RuntimeError::BadProjection { .. })));
+}
+
+#[test]
+fn if_branches_join_through_subtyping_of_signatures() {
+    // Two units with different (but subtype-related) signatures in the
+    // branches of an `if`: the join is the more general signature.
+    let src = "(if true
+         (unit (import) (export (a int) (b int)) (define a int 1) (define b int 2))
+         (unit (import) (export (a int)) (define a int 1)))";
+    let ty = Program::parse(src)
+        .unwrap()
+        .at_level(Level::Constructed)
+        .check()
+        .unwrap()
+        .unwrap();
+    let sig = ty.as_sig().unwrap();
+    assert!(sig.exports.val_port(&"a".into()).is_some());
+    assert!(sig.exports.val_port(&"b".into()).is_none(), "join is the supertype");
+}
+
+#[test]
+fn init_type_may_be_a_signature() {
+    // A unit whose initialization value is itself a unit — programs that
+    // produce programs.
+    let src = "(invoke (invoke (unit (import) (export)
+        (init (unit (import) (export) (init 9))))))";
+    assert_eq!(both(src).value, Observation::Int(9));
+    let ty = Program::parse(src)
+        .unwrap()
+        .at_level(Level::Constructed)
+        .check()
+        .unwrap()
+        .unwrap();
+    assert_eq!(ty, Ty::Int);
+}
+
+// ---------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------
+
+#[test]
+fn errors_inside_definitions_abort_the_whole_invocation() {
+    let src = "(invoke (compound (import) (export)
+        (link ((unit (import) (export) (define x ((inst fail void) \"defs\")) (init 1))
+               (with) (provides))
+              ((unit (import) (export) (init (display \"never\")))
+               (with) (provides)))))";
+    let p = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
+    for backend in [Backend::Compiled, Backend::Reducer] {
+        let err = p.run_on(backend).unwrap_err();
+        assert!(
+            matches!(err.as_runtime(), Some(RuntimeError::User { message }) if message == "defs"),
+            "{backend:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn errors_in_an_early_init_prevent_later_inits() {
+    let src = "(invoke (compound (import) (export)
+        (link ((unit (import) (export) (init ((inst fail void) \"init1\")))
+               (with) (provides))
+              ((unit (import) (export) (init (display \"unreached\")))
+               (with) (provides)))))";
+    let p = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
+    for backend in [Backend::Compiled, Backend::Reducer] {
+        let err = p.run_on(backend).unwrap_err();
+        assert!(err.as_runtime().is_some(), "{backend:?}");
+    }
+}
+
+#[test]
+fn invoke_of_a_failing_link_expression_propagates() {
+    let src = "(invoke (compound (import) (export)
+        (link (((inst fail void) \"no unit here\") (with) (provides)))))";
+    let p = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
+    for backend in [Backend::Compiled, Backend::Reducer] {
+        let err = p.run_on(backend).unwrap_err();
+        assert!(
+            matches!(err.as_runtime(), Some(RuntimeError::User { .. })),
+            "{backend:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn an_early_init_reads_a_later_units_definition() {
+    // All definitions run before all inits, so the first constituent's
+    // init can read the second's export; the invocation *result* is the
+    // last init's value.
+    let src = "(invoke (compound (import) (export)
+        (link ((unit (import slot) (export) (init (display (int->string slot))))
+               (with slot) (provides))
+              ((unit (import) (export slot) (define slot 5) (init 7))
+               (with) (provides slot)))))";
+    let outcome = both(src);
+    assert_eq!(outcome.output, vec!["5"]);
+    assert_eq!(outcome.value, Observation::Int(7));
+}
+
+#[test]
+fn wrong_instance_errors_name_the_type() {
+    let src = "(define mk-unit (unit (import) (export mk)
+          (datatype point (mk unmk int) point?)))
+        (define un-unit (unit (import) (export unmk)
+          (datatype point (mk unmk int) point?)))
+        (invoke (compound (import) (export)
+          (link (mk-unit (with) (provides mk))
+                (un-unit (with) (provides unmk))
+                ((unit (import mk unmk) (export) (init (unmk (mk 1))))
+                 (with mk unmk) (provides)))))";
+    let p = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
+    for backend in [Backend::Compiled, Backend::Reducer] {
+        let err = p.run_on(backend).unwrap_err();
+        assert!(
+            matches!(
+                err.as_runtime(),
+                Some(RuntimeError::ForeignInstance { ty_name }) if ty_name.as_str() == "point"
+            ),
+            "{backend:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn display_output_interleaves_identically_across_backends() {
+    let src = "(invoke (compound (import) (export)
+        (link ((unit (import later) (export early)
+                 (define early (lambda () (display \"early-called\") 1)))
+               (with later) (provides early))
+              ((unit (import early) (export later)
+                 (define later (lambda () (display \"later-called\") 2))
+                 (init (display \"init\") (+ (early) (later))))
+               (with early) (provides later)))))";
+    let outcome = both(src);
+    assert_eq!(outcome.value, Observation::Int(3));
+    assert_eq!(outcome.output, vec!["init", "early-called", "later-called"]);
+}

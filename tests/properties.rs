@@ -1,0 +1,332 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: parser/printer round-trips, subtype laws, expansion
+//! idempotence, α-equivalence, and substitution.
+
+use proptest::prelude::*;
+
+use units::{
+    alpha_eq, free_val_vars, parse_expr, parse_ty, pretty_expr, pretty_ty, subtype, ty_equal,
+    Equations, Expr, Ports, Signature, Symbol, Ty, TyPort, ValPort,
+};
+use units_kernel::{subst_vals, Lambda, NameGen, Param};
+
+const NAMES: &[&str] = &["a", "bb", "ccc", "dd", "e2", "f-g", "h!"];
+const TY_NAMES: &[&str] = &["t", "u", "vv", "w-x"];
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::sample::select(NAMES).prop_map(str::to_string)
+}
+
+fn arb_ty_name() -> impl Strategy<Value = String> {
+    prop::sample::select(TY_NAMES).prop_map(str::to_string)
+}
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![
+        Just(Ty::Int),
+        Just(Ty::Bool),
+        Just(Ty::Str),
+        Just(Ty::Void),
+        arb_ty_name().prop_map(Ty::var),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (prop::collection::vec(inner.clone(), 0..3), inner.clone())
+                .prop_map(|(params, ret)| Ty::arrow(params, ret)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Ty::Tuple),
+            inner.prop_map(Ty::hash),
+        ]
+    })
+}
+
+fn arb_ports() -> impl Strategy<Value = Ports> {
+    (
+        prop::collection::btree_set(arb_ty_name(), 0..2),
+        prop::collection::btree_map(arb_name(), arb_ty(), 0..3),
+    )
+        .prop_map(|(tys, vals)| Ports {
+            types: tys.into_iter().map(TyPort::star).collect(),
+            vals: vals.into_iter().map(|(n, t)| ValPort::typed(n, t)).collect(),
+        })
+}
+
+fn arb_sig() -> impl Strategy<Value = Signature> {
+    (arb_ports(), arb_ports(), arb_ty()).prop_filter_map(
+        "import/export names must be disjoint",
+        |(imports, exports, init_ty)| {
+            let i_tys = imports.ty_names();
+            let e_tys = exports.ty_names();
+            if i_tys.intersection(&e_tys).next().is_some() {
+                return None;
+            }
+            let i_vals = imports.val_names();
+            let e_vals = exports.val_names();
+            if i_vals.intersection(&e_vals).next().is_some() {
+                return None;
+            }
+            Some(Signature::new(imports, exports, init_ty))
+        },
+    )
+}
+
+/// Expressions with valid surface syntax (for round-trip testing).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(|n| Expr::int(n.into())),
+        any::<bool>().prop_map(Expr::bool),
+        "[a-z ]{0,6}".prop_map(Expr::str),
+        Just(Expr::void()),
+        arb_name().prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            (prop::collection::vec(arb_name(), 0..3), inner.clone()).prop_map(
+                |(params, body)| {
+                    let mut seen = std::collections::BTreeSet::new();
+                    let params = params
+                        .into_iter()
+                        .filter(|p| seen.insert(p.clone()))
+                        .map(Param::untyped)
+                        .collect();
+                    Expr::lambda(params, body)
+                }
+            ),
+            (inner.clone(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| Expr::app(f, args)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::if_(c, t, e)),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Expr::seq),
+            (prop::collection::btree_map(arb_name(), inner.clone(), 1..3), inner.clone())
+                .prop_map(|(bs, body)| Expr::Let(
+                    bs.into_iter()
+                        .map(|(name, expr)| units_kernel::Binding { name: name.into(), expr })
+                        .collect(),
+                    Box::new(body)
+                )),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Tuple),
+            (0..3usize, inner.clone()).prop_map(|(i, e)| Expr::Proj(i, Box::new(e))),
+            (arb_name(), inner.clone()).prop_map(|(x, e)| Expr::set(x, e)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fig. 9 grammar: printing and re-parsing is the identity.
+    #[test]
+    fn pretty_parse_round_trips_expressions(e in arb_expr()) {
+        let printed = pretty_expr(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        prop_assert_eq!(e, reparsed);
+    }
+
+    /// Fig. 13 grammar: the same for types.
+    #[test]
+    fn pretty_parse_round_trips_types(t in arb_ty()) {
+        let printed = pretty_ty(&t);
+        let reparsed = parse_ty(&printed)
+            .unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        prop_assert_eq!(t, reparsed);
+    }
+
+    /// Fig. 14: the subtype relation is reflexive.
+    #[test]
+    fn subtype_is_reflexive(t in arb_ty()) {
+        prop_assert!(subtype(&Equations::new(), &t, &t).is_ok());
+    }
+
+    /// Fig. 14: signatures are reflexive too, and `ty_equal` agrees.
+    #[test]
+    fn sig_subtype_is_reflexive(sig in arb_sig()) {
+        let t = Ty::sig(sig);
+        prop_assert!(subtype(&Equations::new(), &t, &t).is_ok());
+        prop_assert!(ty_equal(&Equations::new(), &t, &t));
+    }
+
+    /// Fig. 14 condition 2: dropping an export or adding an unused import
+    /// *weakens* a signature (produces a supertype).
+    #[test]
+    fn weakening_produces_a_supertype(sig in arb_sig()) {
+        let specific = Ty::sig(sig.clone());
+
+        let mut fewer_exports = sig.clone();
+        let dropped = fewer_exports.exports.vals.pop();
+        let general = Ty::sig(fewer_exports.clone());
+        prop_assert!(subtype(&Equations::new(), &specific, &general).is_ok());
+        if dropped.is_some() {
+            // The reverse direction must fail: the supertype is missing
+            // an export the subtype demands.
+            prop_assert!(subtype(&Equations::new(), &general, &specific).is_err());
+        }
+
+        let mut more_imports = sig.clone();
+        more_imports.imports.vals.push(ValPort::typed("zz-extra", Ty::Int));
+        if more_imports.exports.val_port(&"zz-extra".into()).is_none() {
+            let general = Ty::sig(more_imports);
+            prop_assert!(subtype(&Equations::new(), &specific, &general).is_ok());
+        }
+    }
+
+    /// Fig. 18: expansion is idempotent for acyclic equation sets.
+    #[test]
+    fn expansion_is_idempotent(
+        t in arb_ty(),
+        bodies in prop::collection::vec(arb_ty(), TY_NAMES.len())
+    ) {
+        // Build an acyclic set by only letting TY_NAMES[i] reference
+        // strictly later names.
+        let mut eqs = Equations::new();
+        for (i, (name, body)) in TY_NAMES.iter().zip(bodies).enumerate() {
+            let mut ok = body;
+            // Erase references to names ≤ i to keep the set acyclic.
+            for earlier in &TY_NAMES[..=i] {
+                let map = std::collections::HashMap::from([(
+                    Symbol::new(*earlier),
+                    Ty::Int,
+                )]);
+                ok = units_kernel::subst_ty(&ok, &map).unwrap();
+            }
+            eqs.insert(Symbol::new(*name), ok);
+        }
+        prop_assert!(eqs.check_acyclic().is_ok());
+        let once = units::expand_ty(&t, &eqs).unwrap();
+        let twice = units::expand_ty(&once, &eqs).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// α-equivalence is preserved by renaming a λ's parameter.
+    #[test]
+    fn alpha_eq_respects_bound_renaming(body in arb_expr()) {
+        let original = Expr::Lambda(std::rc::Rc::new(Lambda {
+            params: vec![Param::untyped("a")],
+            ret_ty: None,
+            body: body.clone(),
+        }));
+        // Rename a → fresh (capture-free because `zq1` is not in NAMES).
+        let mut gen = NameGen::new();
+        let renamed_body = subst_vals(
+            &body,
+            &std::collections::HashMap::from([(Symbol::new("a"), Expr::var("zq1"))]),
+            &mut gen,
+        );
+        let renamed = Expr::Lambda(std::rc::Rc::new(Lambda {
+            params: vec![Param::untyped("zq1")],
+            ret_ty: None,
+            body: renamed_body,
+        }));
+        prop_assert!(alpha_eq(&original, &renamed));
+    }
+
+    /// Substitution eliminates the substituted free variable.
+    #[test]
+    fn substitution_removes_the_variable(e in arb_expr()) {
+        let mut gen = NameGen::new();
+        let target = Symbol::new("a");
+        let out = subst_vals(
+            &e,
+            &std::collections::HashMap::from([(target.clone(), Expr::int(0))]),
+            &mut gen,
+        );
+        prop_assert!(!free_val_vars(&out).contains(&target));
+    }
+
+    /// Substitution only shrinks the free-variable set (closed value).
+    #[test]
+    fn substitution_is_monotone_on_free_vars(e in arb_expr()) {
+        let mut gen = NameGen::new();
+        let before = free_val_vars(&e);
+        let out = subst_vals(
+            &e,
+            &std::collections::HashMap::from([(Symbol::new("a"), Expr::int(1))]),
+            &mut gen,
+        );
+        let after = free_val_vars(&out);
+        prop_assert!(after.is_subset(&before));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A constructed chain sub ≤ mid ≤ sup is transitive: sub ≤ sup.
+    /// (sub strengthens `mid` by exporting more; sup weakens it by
+    /// importing more — both directions of Fig. 14's condition 2.)
+    #[test]
+    fn subtype_chains_compose(mid in arb_sig()) {
+        let mut sub = mid.clone();
+        sub.exports.vals.push(ValPort::typed("zz-more", Ty::Bool));
+        let mut sup = mid.clone();
+        sup.imports.vals.push(ValPort::typed("zz-need", Ty::Str));
+        // Keep the generated signature well-formed: the added names must
+        // not collide with existing ports.
+        prop_assume!(mid.exports.val_port(&"zz-more".into()).is_none());
+        prop_assume!(mid.imports.val_port(&"zz-need".into()).is_none());
+        prop_assume!(mid.imports.val_port(&"zz-more".into()).is_none());
+        prop_assume!(mid.exports.val_port(&"zz-need".into()).is_none());
+
+        let eqs = Equations::new();
+        let t_sub = Ty::sig(sub);
+        let t_mid = Ty::sig(mid);
+        let t_sup = Ty::sig(sup);
+        prop_assert!(subtype(&eqs, &t_sub, &t_mid).is_ok());
+        prop_assert!(subtype(&eqs, &t_mid, &t_sup).is_ok());
+        prop_assert!(subtype(&eqs, &t_sub, &t_sup).is_ok());
+    }
+
+    /// Expansion commutes with substitution-free types: expanding a type
+    /// with no abbreviation names in it is the identity.
+    #[test]
+    fn expansion_is_identity_off_the_domain(t in arb_ty()) {
+        // Equations over names disjoint from TY_NAMES.
+        let eqs = Equations::from([
+            ("zq1".into(), Ty::Int),
+            ("zq2".into(), Ty::Bool),
+        ]);
+        let mut free = std::collections::BTreeSet::new();
+        t.free_ty_vars(&mut free);
+        prop_assume!(!free.contains("zq1") && !free.contains("zq2"));
+        prop_assert_eq!(units::expand_ty(&t, &eqs).unwrap(), t);
+    }
+
+    /// α-equivalence is reflexive and agrees with structural equality on
+    /// closed-binder-free terms.
+    #[test]
+    fn alpha_eq_is_reflexive(e in arb_expr()) {
+        prop_assert!(alpha_eq(&e, &e));
+    }
+
+    /// The pretty-printer never emits the reserved `#` character for
+    /// source-level programs (it is reserved for generated names).
+    #[test]
+    fn printer_never_emits_reserved_hash(e in arb_expr()) {
+        prop_assert!(!pretty_expr(&e).contains('#'));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Differential property: both evaluators agree on random *closed*
+    /// core terms (the open generator is closed by binding every free
+    /// name to a small integer).
+    #[test]
+    fn backends_agree_on_random_closed_terms(e in arb_expr()) {
+        use units::{Backend, Program, Strictness};
+        let closed = Expr::app(
+            Expr::lambda(NAMES.iter().map(|n| Param::untyped(*n)).collect(), e),
+            (0..NAMES.len() as i64).map(Expr::int).collect(),
+        );
+        let program = Program::from_expr(closed)
+            .with_strictness(Strictness::MzScheme)
+            .with_fuel(100_000);
+        let a = program.run_on(Backend::Compiled);
+        let b = program.run_on(Backend::Reducer);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "disagree: {:?} vs {:?}\n{}", x, y, program.to_source()),
+        }
+    }
+}
