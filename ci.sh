@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 verification, fully offline: the workspace has no registry
+# dependencies, so everything below must succeed with no network access.
+set -eux
+
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

@@ -5,37 +5,27 @@
 //! the acyclicity check, and (b) full UNITe type checking of a unit whose
 //! interface requires expanding the chain.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bench::harness::{median_us, report};
 use bench::{alias_chain, alias_chain_unit};
 use units::{expand_ty, type_of, Level, Ty};
 
-fn run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dependency_analysis");
-    group.sample_size(30);
+fn main() {
     for n in [4usize, 16, 64, 256] {
         let eqs = alias_chain(n);
         let target = Ty::var(format!("a{}", n - 1));
-        group.bench_with_input(
-            BenchmarkId::new("expand", n),
-            &(eqs.clone(), target),
-            |b, (eqs, t)| {
-                b.iter(|| {
-                    eqs.check_acyclic().unwrap();
-                    black_box(expand_ty(t, eqs).unwrap())
-                })
-            },
-        );
+        let us = median_us(30, || {
+            eqs.check_acyclic().unwrap();
+            black_box(expand_ty(&target, &eqs).unwrap());
+        });
+        report("dependency_analysis/expand", n, us);
     }
     for n in [4usize, 16, 64] {
         let unit = alias_chain_unit(n);
-        group.bench_with_input(BenchmarkId::new("unite_check", n), &unit, |b, u| {
-            b.iter(|| black_box(type_of(u, Level::Equations).unwrap()))
+        let us = median_us(30, || {
+            black_box(type_of(&unit, Level::Equations).unwrap());
         });
+        report("dependency_analysis/unite_check", n, us);
     }
-    group.finish();
 }
-
-criterion_group!(benches, run);
-criterion_main!(benches);

@@ -5,61 +5,42 @@
 //! Series printed: time per load (check only) and per load-and-run, vs.
 //! archive size (lookup is O(1); the cost is the signature check).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bench::harness::{median_us, report};
 use bench::{plugin_signature, plugin_source};
 use units::{Archive, Backend, CheckOptions, Level, Program, Strictness};
 
-fn run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dynlink");
-    group.sample_size(30);
+fn main() {
     for count in [1usize, 8, 64] {
         let mut archive = Archive::new();
         for i in 0..count {
             archive.publish(format!("p{i}"), plugin_source(i));
         }
         let expected = plugin_signature();
-        group.bench_with_input(
-            BenchmarkId::new("load_checked", count),
-            &(archive.clone(), expected.clone()),
-            |b, (archive, expected)| {
-                b.iter(|| {
-                    black_box(
-                        archive
-                            .load("p0", expected, CheckOptions::typed(Level::Constructed))
-                            .unwrap(),
-                    )
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("load_and_run", count),
-            &(archive, expected),
-            |b, (archive, expected)| {
-                b.iter(|| {
-                    let unit = archive
-                        .load("p0", expected, CheckOptions::typed(Level::Constructed))
-                        .unwrap();
-                    let program = Program::from_expr(units::Expr::app(
-                        units::Expr::invoke(units_kernel::InvokeExpr {
-                            target: unit,
-                            ty_links: vec![],
-                            val_links: vec![(
-                                "log".into(),
-                                units::parse_expr("(lambda (s) void)").unwrap(),
-                            )],
-                        }),
-                        vec![units::Expr::int(1)],
-                    ))
-                    .with_strictness(Strictness::MzScheme);
-                    black_box(program.run_unchecked(Backend::Compiled).unwrap())
-                })
-            },
-        );
+        let us = median_us(30, || {
+            black_box(
+                archive.load("p0", &expected, CheckOptions::typed(Level::Constructed)).unwrap(),
+            );
+        });
+        report("dynlink/load_checked", count, us);
+        let us = median_us(30, || {
+            let unit =
+                archive.load("p0", &expected, CheckOptions::typed(Level::Constructed)).unwrap();
+            let program = Program::from_expr(units::Expr::app(
+                units::Expr::invoke(units_kernel::InvokeExpr {
+                    target: unit,
+                    ty_links: vec![],
+                    val_links: vec![(
+                        "log".into(),
+                        units::parse_expr("(lambda (s) void)").unwrap(),
+                    )],
+                }),
+                vec![units::Expr::int(1)],
+            ))
+            .with_strictness(Strictness::MzScheme);
+            black_box(program.run_unchecked(Backend::Compiled).unwrap());
+        });
+        report("dynlink/load_and_run", count, us);
     }
-    group.finish();
 }
-
-criterion_group!(benches, run);
-criterion_main!(benches);

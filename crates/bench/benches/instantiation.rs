@@ -2,29 +2,28 @@
 //! initialization code regardless of how many times the unit is linked or
 //! invoked": per-instance cost stays flat as instances accumulate.
 //!
-//! Series printed: total time vs. instance count (compiled backend); a
-//! flat per-instance figure demonstrates O(1) instantiation over shared
-//! code.
+//! Series printed: total time vs. instance count (compiled backend, with
+//! lexical-address resolution on and off); a flat per-instance figure
+//! demonstrates O(1) instantiation over shared code.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use bench::harness::{median_us, report};
 use bench::{one_unit, repeated_invoke};
 use units::{Backend, Program, Strictness};
 
-fn run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("instantiation");
-    group.sample_size(20);
+fn main() {
     for count in [1usize, 10, 100, 1000] {
-        let program = Program::from_expr(repeated_invoke(one_unit(), count))
+        let resolved = Program::from_expr(repeated_invoke(one_unit(), count))
             .with_strictness(Strictness::MzScheme);
-        group.throughput(Throughput::Elements(count as u64));
-        group.bench_with_input(BenchmarkId::new("compiled", count), &program, |b, p| {
-            b.iter(|| black_box(p.run_unchecked(Backend::Compiled).unwrap()))
+        let by_name = resolved.clone().with_resolution(false);
+        let us = median_us(20, || {
+            black_box(resolved.run_unchecked(Backend::Compiled).unwrap());
         });
+        report("instantiation/compiled", count, us);
+        let us = median_us(20, || {
+            black_box(by_name.run_unchecked(Backend::Compiled).unwrap());
+        });
+        report("instantiation/by_name", count, us);
     }
-    group.finish();
 }
-
-criterion_group!(benches, run);
-criterion_main!(benches);

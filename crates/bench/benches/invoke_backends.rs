@@ -1,32 +1,51 @@
 //! Experiment: §4.1.6 — the compiled cells backend against the Fig. 11
 //! substitution reducer on the even/odd counting workload (Fig. 12).
 //!
-//! Series printed: time vs. counting depth for both backends. Expected
-//! shape: the compiled backend wins by a widening factor as depth grows —
-//! substitution copies the λ body at every β-step, while the cells
-//! backend reads one cell per call.
+//! Series printed: time vs. counting depth for both backends, plus the
+//! compiled backend with lexical-address resolution disabled (the by-name
+//! environment-scan baseline this repository's resolver replaces).
+//! Expected shape: the compiled backend wins by a widening factor as
+//! depth grows — substitution copies the λ body at every β-step, while
+//! the cells backend reads one cell per call — and slot-resolved lookup
+//! beats the by-name scan on every call into the unit's frames.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use bench::even_odd_program;
+use bench::harness::{median_us, report};
+use bench::{even_odd_program, even_odd_wide_program};
 use units::{Backend, Program, Strictness};
 
-fn run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("invoke_backends");
-    group.sample_size(20);
+fn main() {
     for depth in [25i64, 100, 400] {
         let program =
             Program::from_expr(even_odd_program(depth)).with_strictness(Strictness::MzScheme);
-        group.bench_with_input(BenchmarkId::new("compiled", depth), &program, |b, p| {
-            b.iter(|| black_box(p.run_unchecked(Backend::Compiled).unwrap()))
+        let by_name = program.clone().with_resolution(false);
+        let us = median_us(20, || {
+            black_box(program.run_unchecked(Backend::Compiled).unwrap());
         });
-        group.bench_with_input(BenchmarkId::new("reducer", depth), &program, |b, p| {
-            b.iter(|| black_box(p.run_unchecked(Backend::Reducer).unwrap()))
+        report("invoke_backends/compiled", depth, us);
+        let us = median_us(20, || {
+            black_box(by_name.run_unchecked(Backend::Compiled).unwrap());
         });
+        report("invoke_backends/compiled_by_name", depth, us);
+        let us = median_us(20, || {
+            black_box(program.run_unchecked(Backend::Reducer).unwrap());
+        });
+        report("invoke_backends/reducer", depth, us);
     }
-    group.finish();
+    // The trampoline inside wide units (extra inert definitions): the
+    // production shape where the by-name frame scan costs real time.
+    for extra in [16usize, 64] {
+        let program = Program::from_expr(even_odd_wide_program(400, extra))
+            .with_strictness(Strictness::MzScheme);
+        let by_name = program.clone().with_resolution(false);
+        let us = median_us(20, || {
+            black_box(program.run_unchecked(Backend::Compiled).unwrap());
+        });
+        report("invoke_backends/wide_compiled", extra, us);
+        let us = median_us(20, || {
+            black_box(by_name.run_unchecked(Backend::Compiled).unwrap());
+        });
+        report("invoke_backends/wide_compiled_by_name", extra, us);
+    }
 }
-
-criterion_group!(benches, run);
-criterion_main!(benches);

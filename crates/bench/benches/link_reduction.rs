@@ -7,15 +7,13 @@
 //! substitution), growing super-linearly — which is exactly why §4.1.6
 //! compiles units instead of rewriting them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bench::harness::{median_us, report};
 use bench::{chain_program, cycle_program, star_program};
 use units::{Backend, Program, Strictness};
 
-fn run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("link_reduction");
-    group.sample_size(20);
+fn main() {
     for (shape, make) in [
         ("chain", chain_program as fn(usize) -> units::Expr),
         ("star", star_program as fn(usize) -> units::Expr),
@@ -23,20 +21,14 @@ fn run(c: &mut Criterion) {
     ] {
         for n in [2usize, 4, 8, 16] {
             let program = Program::from_expr(make(n)).with_strictness(Strictness::MzScheme);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{shape}/compiled"), n),
-                &program,
-                |b, p| b.iter(|| black_box(p.run_unchecked(Backend::Compiled).unwrap())),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("{shape}/reducer"), n),
-                &program,
-                |b, p| b.iter(|| black_box(p.run_unchecked(Backend::Reducer).unwrap())),
-            );
+            let us = median_us(20, || {
+                black_box(program.run_unchecked(Backend::Compiled).unwrap());
+            });
+            report(&format!("link_reduction/{shape}/compiled"), n, us);
+            let us = median_us(20, || {
+                black_box(program.run_unchecked(Backend::Reducer).unwrap());
+            });
+            report(&format!("link_reduction/{shape}/reducer"), n, us);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, run);
-criterion_main!(benches);

@@ -5,32 +5,26 @@
 //! exports on the specific side), and time vs. nesting depth for
 //! reflexive checks on signature-in-signature types.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use bench::harness::{median_us, report};
 use bench::{deep_signature, wide_signature};
 use units::{subtype, Equations, Ty};
 
-fn run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("subtyping");
-    group.sample_size(30);
+fn main() {
     for width in [4usize, 16, 64, 256] {
         let specific = Ty::sig(wide_signature(width, 8));
         let general = Ty::sig(wide_signature(width, 0));
-        group.bench_with_input(
-            BenchmarkId::new("width", width),
-            &(specific, general),
-            |b, (s, g)| b.iter(|| black_box(subtype(&Equations::new(), s, g).is_ok())),
-        );
+        let us = median_us(30, || {
+            black_box(subtype(&Equations::new(), &specific, &general).is_ok());
+        });
+        report("subtyping/width", width, us);
     }
     for depth in [2usize, 4, 8, 16] {
         let ty = deep_signature(depth);
-        group.bench_with_input(BenchmarkId::new("depth", depth), &ty, |b, t| {
-            b.iter(|| black_box(subtype(&Equations::new(), t, t).is_ok()))
+        let us = median_us(30, || {
+            black_box(subtype(&Equations::new(), &ty, &ty).is_ok());
         });
+        report("subtyping/depth", depth, us);
     }
-    group.finish();
 }
-
-criterion_group!(benches, run);
-criterion_main!(benches);

@@ -1,16 +1,17 @@
 //! Prints every experiment's series as aligned text tables — the
-//! numbers recorded in EXPERIMENTS.md. Criterion gives rigorous
-//! statistics (`cargo bench`); this binary gives the at-a-glance shape:
-//! who wins, by what factor, and how each system scales.
+//! numbers recorded in EXPERIMENTS.md. The per-experiment binaries under
+//! `benches/` print the same series one experiment at a time; this binary
+//! gives the at-a-glance shape: who wins, by what factor, and how each
+//! system scales.
 //!
 //! Run with: `cargo run --release -p bench --bin tables`
 
 use std::time::Instant;
 
 use bench::{
-    alias_chain, alias_chain_unit, chain_program, cycle_program, deep_signature,
-    even_odd_program, one_unit, plugin_signature, plugin_source, repeated_invoke, star_program,
-    wide_signature, wide_typed_unit,
+    alias_chain, alias_chain_unit, chain_program, cycle_program, deep_let_program,
+    deep_signature, even_odd_program, even_odd_wide_program, one_unit, plugin_signature,
+    plugin_source, repeated_invoke, star_program, wide_signature, wide_typed_unit,
 };
 use units::{
     check_program, expand_ty, subtype, type_of, Archive, Backend, CheckOptions, Equations,
@@ -67,6 +68,61 @@ fn main() {
             p.run_unchecked(Backend::Reducer).unwrap();
         });
         println!("{depth:>8} {c:>14.1} {r:>14.1} {:>8.1}", r / c);
+    }
+
+    header("resolution: slot-resolved vs. by-name variable lookup");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>8}",
+        "series", "size", "resolved µs", "by-name µs", "speedup"
+    );
+    // Minimum over many runs: the A/B delta on even/odd is a few percent
+    // of a ~100 µs run, well under median-of-9 scheduling noise.
+    let ab_runs = 60;
+    for depth in [25i64, 100, 400, 1600] {
+        let p = Program::from_expr(even_odd_program(depth)).with_strictness(Strictness::MzScheme);
+        let off = p.clone().with_resolution(false);
+        let on_us = bench::harness::min_us(ab_runs, || {
+            p.run_unchecked(Backend::Compiled).unwrap();
+        });
+        let off_us = bench::harness::min_us(ab_runs, || {
+            off.run_unchecked(Backend::Compiled).unwrap();
+        });
+        println!("{:>10} {depth:>8} {on_us:>14.1} {off_us:>14.1} {:>7.2}x", "even_odd", off_us / on_us);
+    }
+    // The same trampoline inside units that carry extra definitions — the
+    // production shape whose frame scans the resolver eliminates.
+    for extra in [4usize, 16, 64] {
+        let p = Program::from_expr(even_odd_wide_program(400, extra))
+            .with_strictness(Strictness::MzScheme);
+        let off = p.clone().with_resolution(false);
+        let on_us = bench::harness::min_us(ab_runs, || {
+            p.run_unchecked(Backend::Compiled).unwrap();
+        });
+        let off_us = bench::harness::min_us(ab_runs, || {
+            off.run_unchecked(Backend::Compiled).unwrap();
+        });
+        println!(
+            "{:>10} {:>8} {on_us:>14.1} {off_us:>14.1} {:>7.2}x",
+            "even_odd_w",
+            format!("400+{extra}"),
+            off_us / on_us
+        );
+    }
+    for (d, w) in [(64usize, 8usize), (128, 8), (256, 8), (256, 16)] {
+        let p = Program::from_expr(deep_let_program(d, w)).with_strictness(Strictness::MzScheme);
+        let off = p.clone().with_resolution(false);
+        let on_us = bench::harness::min_us(ab_runs, || {
+            p.run_unchecked(Backend::Compiled).unwrap();
+        });
+        let off_us = bench::harness::min_us(ab_runs, || {
+            off.run_unchecked(Backend::Compiled).unwrap();
+        });
+        println!(
+            "{:>10} {:>8} {on_us:>14.1} {off_us:>14.1} {:>7.2}x",
+            "deep_let",
+            format!("{d}x{w}"),
+            off_us / on_us
+        );
     }
 
     header("instantiation (§4.1.6): per-instance cost stays flat");

@@ -11,6 +11,48 @@ use units_kernel::{
     AliasDefn, CompoundExpr, InvokeExpr, Kind, LinkClause, Param, PrimOp, TypeDefn, ValDefn,
 };
 
+pub mod rng;
+
+pub mod harness {
+    //! A tiny std-only timing harness: the workspace builds with no
+    //! registry access, so the bench binaries print their own series
+    //! instead of linking criterion.
+
+    use std::time::Instant;
+
+    /// Median wall-clock microseconds of `runs` executions of `f`.
+    pub fn median_us(runs: usize, mut f: impl FnMut()) -> f64 {
+        assert!(runs > 0);
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let t = Instant::now();
+            f();
+            samples.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    }
+
+    /// Minimum wall-clock microseconds of `runs` executions of `f` —
+    /// the statistic of choice for an A/B microbenchmark, since noise
+    /// from scheduling and caches is strictly additive.
+    pub fn min_us(runs: usize, mut f: impl FnMut()) -> f64 {
+        assert!(runs > 0);
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e6);
+        }
+        best
+    }
+
+    /// Prints one `name/param: median µs` line in a stable format.
+    pub fn report(name: &str, param: impl std::fmt::Display, us: f64) {
+        println!("{name}/{param}: {us:.1} µs");
+    }
+}
+
 fn untyped_unit(
     imports: Vec<&str>,
     exports: Vec<&str>,
@@ -218,6 +260,82 @@ pub fn even_odd_program(depth: i64) -> Expr {
     }))
 }
 
+/// `depth` nested `let`s, each binding `width` variables, whose innermost
+/// expression sums the first and last binding of *every* level — so the
+/// evaluator performs lookups at every frame depth. By-name lookup scans
+/// `width` bindings in each of up to `depth` frames per reference; the
+/// resolver turns each into a direct `(depth, slot)` access. The value is
+/// `depth * (width - 1)`.
+pub fn deep_let_program(depth: usize, width: usize) -> Expr {
+    assert!(depth >= 1 && width >= 1);
+    let mut sum = Expr::int(0);
+    for level in 0..depth {
+        sum = Expr::prim2(PrimOp::Add, sum, Expr::var(format!("v{level}_0").as_str()));
+        sum = Expr::prim2(
+            PrimOp::Add,
+            sum,
+            Expr::var(format!("v{level}_{}", width - 1).as_str()),
+        );
+    }
+    let mut body = sum;
+    for level in (0..depth).rev() {
+        let bindings = (0..width)
+            .map(|k| units_kernel::Binding {
+                name: format!("v{level}_{k}").into(),
+                expr: Expr::int(k as i64),
+            })
+            .collect();
+        body = Expr::Let(bindings, Box::new(body));
+    }
+    body
+}
+
+/// The even/odd trampoline (Fig. 12) inside *wide* units: each unit
+/// additionally defines `extra` inert values, declared after the
+/// counting function. Production units export many definitions, and the
+/// by-name scan pays for every one of them on every reference that
+/// lives in an outer frame — the innermost-first scan must reject all
+/// `extra` pads in the rebound-values and letrec frames before reaching
+/// the import. Slot resolution indexes past them.
+pub fn even_odd_wide_program(depth: i64, extra: usize) -> Expr {
+    let count = |this: &str, other: &str, base: bool| {
+        Expr::lambda(
+            vec![Param::untyped("n")],
+            Expr::if_(
+                Expr::prim2(PrimOp::NumEq, Expr::var("n"), Expr::int(0)),
+                Expr::bool(base),
+                Expr::app(
+                    Expr::var(other),
+                    vec![Expr::prim2(PrimOp::Sub, Expr::var("n"), Expr::int(1))],
+                ),
+            ),
+        )
+        .pipe(|body| (this.to_string(), body))
+    };
+    let pad = |tag: &str, extra: usize| {
+        (0..extra).map(move |k| (format!("{tag}_pad{k}"), Expr::int(k as i64))).collect::<Vec<_>>()
+    };
+    let mut even_vals = vec![count("even", "odd", true)];
+    even_vals.extend(pad("e", extra));
+    let mut odd_vals = vec![count("odd", "even", false)];
+    odd_vals.extend(pad("o", extra));
+    let even = untyped_unit(vec!["odd"], vec!["even"], even_vals, Expr::void());
+    let odd = untyped_unit(
+        vec!["even"],
+        vec!["odd"],
+        odd_vals,
+        Expr::app(Expr::var("odd"), vec![Expr::int(depth)]),
+    );
+    Expr::invoke_program(Expr::compound(CompoundExpr {
+        imports: Ports::new(),
+        exports: Ports::new(),
+        links: vec![
+            clause(even, vec!["odd".to_string()], vec!["even".to_string()]),
+            clause(odd, vec!["even".to_string()], vec!["odd".to_string()]),
+        ],
+    }))
+}
+
 /// Tiny pipe helper so the workload builders read top-down.
 trait Pipe: Sized {
     fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
@@ -400,6 +518,15 @@ mod tests {
     fn even_odd_alternates() {
         assert_eq!(run(even_odd_program(10)), Observation::Bool(false));
         assert_eq!(run(even_odd_program(11)), Observation::Bool(true));
+    }
+
+    #[test]
+    fn deep_let_sums_first_and_last_of_every_level() {
+        assert_eq!(run(deep_let_program(1, 1)), Observation::Int(0));
+        assert_eq!(run(deep_let_program(3, 4)), Observation::Int(9));
+        // And the by-name fallback computes the same thing.
+        let p = Program::from_expr(deep_let_program(5, 3)).with_resolution(false);
+        assert_eq!(p.run_on(Backend::Compiled).unwrap().value, Observation::Int(10));
     }
 
     #[test]

@@ -376,7 +376,8 @@ impl Typer {
                 self.check_sub(env, &ty, &Ty::Sig(sig.clone()), "seal")?;
                 Ok(Ty::Sig(sig.clone()))
             }
-            Expr::Loc(_) | Expr::CellRef(_) | Expr::Data(_) | Expr::Variant(_) => {
+            Expr::Loc(_) | Expr::CellRef(_) | Expr::Data(_) | Expr::Variant(_)
+            | Expr::VarAt(..) => {
                 Err(CheckError::UnsupportedAtLevel {
                     form: "a machine-internal form".into(),
                     level: self.level.name().into(),

@@ -106,7 +106,7 @@ impl Checker {
 
     fn expr(&mut self, expr: &Expr, scope: &mut Scope) {
         match expr {
-            Expr::Var(x) => {
+            Expr::Var(x) | Expr::VarAt(x, _) => {
                 if !scope.contains(x) {
                     self.errors.push(CheckError::Unbound { name: x.clone() });
                 }
@@ -173,7 +173,7 @@ impl Checker {
             }
             Expr::Set(target, value) => {
                 match &**target {
-                    Expr::Var(x) => {
+                    Expr::Var(x) | Expr::VarAt(x, _) => {
                         if !scope.contains(x) {
                             self.errors.push(CheckError::Unbound { name: x.clone() });
                         } else if !scope.mutable.contains(x) {

@@ -46,7 +46,7 @@ pub fn is_valuable(expr: &Expr, forbidden: &BTreeSet<Symbol>) -> bool {
     match expr {
         Expr::Lit(_) | Expr::Lambda(_) | Expr::Prim(..) | Expr::Unit(_) | Expr::Data(_)
         | Expr::Loc(_) => true,
-        Expr::Var(x) => !forbidden.contains(x),
+        Expr::Var(x) | Expr::VarAt(x, _) => !forbidden.contains(x),
         Expr::Tuple(items) => items.iter().all(|e| is_valuable(e, forbidden)),
         Expr::Variant(v) => is_valuable(&v.payload, forbidden),
         Expr::Seal(e, _) => is_valuable(e, forbidden),

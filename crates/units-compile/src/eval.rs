@@ -55,14 +55,10 @@ pub fn evaluate_program(expr: &Expr, machine: &mut Machine) -> Result<Value, Run
 pub fn eval(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, RuntimeError> {
     machine.step()?;
     match expr {
-        Expr::Var(x) => match env.lookup(x) {
-            Some(Binding::Val(v)) => Ok(v.clone()),
-            Some(Binding::Cell(c)) => match &*c.borrow() {
-                Some(v) => Ok(v.clone()),
-                None => Err(RuntimeError::UndefinedRead { name: x.clone() }),
-            },
-            None => Err(RuntimeError::Unbound { name: x.clone() }),
-        },
+        Expr::Var(x) => read_binding(env.lookup(x), x),
+        // The resolver's fast path: direct frame/slot access, verified
+        // against the name and degrading to the by-name scan on mismatch.
+        Expr::VarAt(x, addr) => read_binding(env.lookup_at(x, *addr), x),
         Expr::Lit(lit) => Ok(match lit {
             units_kernel::Lit::Int(n) => Value::Int(*n),
             units_kernel::Lit::Bool(b) => Value::Bool(*b),
@@ -112,14 +108,18 @@ pub fn eval(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Runt
             eval(&lr.body, &inner, machine)
         }
         Expr::Set(target, value) => {
-            let Expr::Var(x) = &**target else {
-                return Err(RuntimeError::WrongType {
-                    expected: "an assignable variable",
-                    found: "a machine-internal form".to_string(),
-                });
+            let (x, binding) = match &**target {
+                Expr::Var(x) => (x, env.lookup(x)),
+                Expr::VarAt(x, addr) => (x, env.lookup_at(x, *addr)),
+                _ => {
+                    return Err(RuntimeError::WrongType {
+                        expected: "an assignable variable",
+                        found: "a machine-internal form".to_string(),
+                    });
+                }
             };
             let v = eval(value, env, machine)?;
-            match env.lookup(x) {
+            match binding {
                 Some(Binding::Cell(c)) => {
                     *c.borrow_mut() = Some(v);
                     Ok(Value::Void)
@@ -153,7 +153,7 @@ pub fn eval(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Runt
         })))),
         Expr::Compound(c) => {
             let mut links = Vec::with_capacity(c.links.len());
-            for (i, link) in c.links.iter().enumerate() {
+            for link in &c.links {
                 let unit = as_unit(eval(&link.expr, env, machine)?)?;
                 // Fig. 11 side conditions, checked at link time: the
                 // constituent needs no more than the `with` clause grants…
@@ -168,7 +168,6 @@ pub fn eval(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Runt
                         return Err(RuntimeError::MissingProvide { name: name.clone() });
                     }
                 }
-                let _ = i;
                 links.push(units_runtime::LinkedConstituent {
                     unit,
                     with: link.with.clone(),
@@ -218,6 +217,18 @@ pub fn eval(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Runt
                 found: "a machine-internal form".to_string(),
             })
         }
+    }
+}
+
+/// Reads a variable's value out of a binding lookup result.
+fn read_binding(binding: Option<&Binding>, x: &units_kernel::Symbol) -> Result<Value, RuntimeError> {
+    match binding {
+        Some(Binding::Val(v)) => Ok(v.clone()),
+        Some(Binding::Cell(c)) => match &*c.borrow() {
+            Some(v) => Ok(v.clone()),
+            None => Err(RuntimeError::UndefinedRead { name: x.clone() }),
+        },
+        None => Err(RuntimeError::Unbound { name: x.clone() }),
     }
 }
 

@@ -185,6 +185,10 @@ fn eq_typedefn_bodies(a: &[TypeDefn], b: &[TypeDefn], env: &mut AlphaEnv) -> boo
 fn eq_expr(a: &Expr, b: &Expr, env: &mut AlphaEnv) -> bool {
     match (a, b) {
         (Expr::Var(x), Expr::Var(y)) => env.val_eq(x, y),
+        // Addresses are derived data; α-equivalence compares the names.
+        (Expr::VarAt(x, _), Expr::VarAt(y, _))
+        | (Expr::VarAt(x, _), Expr::Var(y))
+        | (Expr::Var(x), Expr::VarAt(y, _)) => env.val_eq(x, y),
         (Expr::Lit(x), Expr::Lit(y)) => x == y,
         (Expr::Prim(px, tx), Expr::Prim(py, ty)) => {
             px == py && tx.len() == ty.len() && tx.iter().zip(ty).all(|(x, y)| eq_ty(x, y, env))

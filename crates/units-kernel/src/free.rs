@@ -40,7 +40,7 @@ pub fn free_val_vars(expr: &Expr) -> BTreeSet<Symbol> {
 
 fn collect_val(expr: &Expr, bound: &mut BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
     match expr {
-        Expr::Var(x) => {
+        Expr::Var(x) | Expr::VarAt(x, _) => {
             if !bound.contains(x) {
                 out.insert(x.clone());
             }
@@ -157,7 +157,8 @@ fn add_opt_ty(ty: &Option<Ty>, bound: &BTreeSet<Symbol>, out: &mut BTreeSet<Symb
 
 fn collect_ty(expr: &Expr, bound: &mut BTreeSet<Symbol>, out: &mut BTreeSet<Symbol>) {
     match expr {
-        Expr::Var(_) | Expr::Lit(_) | Expr::Loc(_) | Expr::CellRef(_) | Expr::Data(_) => {}
+        Expr::Var(_) | Expr::VarAt(..) | Expr::Lit(_) | Expr::Loc(_) | Expr::CellRef(_)
+        | Expr::Data(_) => {}
         Expr::Prim(_, tys) => {
             for t in tys {
                 add_ty(t, bound, out);

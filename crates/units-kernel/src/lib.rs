@@ -66,7 +66,7 @@ pub use subst::{subst_ty, subst_ty_in_sig, subst_vals, CaptureError, ValSubst};
 pub use symbol::{NameGen, Symbol};
 pub use term::{
     AliasDefn, Binding, CompoundExpr, DataDefn, DataOp, DataRole, DataVariant, Expr, InvokeExpr,
-    Lambda, LetrecExpr, LinkClause, LinkRenames, Lit, Loc, Param, PrimOp, TypeDefn, UnitExpr, ValDefn,
-    VariantVal, ALL_PRIMS,
+    Lambda, LetrecExpr, LexAddr, LinkClause, LinkRenames, Lit, Loc, Param, PrimOp, TypeDefn,
+    UnitExpr, ValDefn, VariantVal, ALL_PRIMS,
 };
 pub use ty::Ty;

@@ -146,6 +146,12 @@ fn go(expr: &Expr, map: &HashMap<Symbol, SubstVal>, gen: &mut NameGen) -> Expr {
             Some(v) => v.expr.clone(),
             None => expr.clone(),
         },
+        // A resolved occurrence whose binder is substituted away loses its
+        // (now meaningless) address along with the name.
+        Expr::VarAt(x, _) => match map.get(x) {
+            Some(v) => v.expr.clone(),
+            None => expr.clone(),
+        },
         Expr::Lit(_) | Expr::Prim(..) | Expr::Loc(_) | Expr::CellRef(_) | Expr::Data(_) => {
             expr.clone()
         }

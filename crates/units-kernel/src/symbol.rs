@@ -1,4 +1,4 @@
-//! Interned-ish identifiers and fresh-name generation.
+//! Interned identifiers and fresh-name generation.
 //!
 //! The calculi distinguish *value variables* (`x` in the paper) from *type
 //! variables* (`t`), but both are represented by [`Symbol`]: a cheaply
@@ -10,16 +10,65 @@
 //! names can never collide with source names.
 
 use std::borrow::Borrow;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{OnceLock, RwLock};
+
+/// The process-wide symbol table: append-only, thread-safe. Interned
+/// strings are leaked (their number is bounded by the program's source
+/// names plus generated fresh names), which lets [`Symbol::as_str`] hand
+/// out `&'static str` without holding any lock on the caller's side.
+struct Interner {
+    /// Text → index, for interning.
+    map: HashMap<&'static str, u32>,
+    /// Index → text, for resolution. Grows only; never reordered.
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner { map: HashMap::new(), strings: Vec::new() })
+    })
+}
+
+fn intern(name: &str) -> u32 {
+    let lock = interner();
+    if let Some(&id) = lock.read().expect("interner poisoned").map.get(name) {
+        return id;
+    }
+    let mut w = lock.write().expect("interner poisoned");
+    // Another thread may have interned `name` between our read and write.
+    if let Some(&id) = w.map.get(name) {
+        return id;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let id = u32::try_from(w.strings.len()).expect("interner overflow");
+    w.strings.push(leaked);
+    w.map.insert(leaked, id);
+    id
+}
+
+fn resolve(id: u32) -> &'static str {
+    interner().read().expect("interner poisoned").strings[id as usize]
+}
 
 /// An identifier in the unit language (value variable, type variable,
 /// datatype constructor, signature port name, ...).
 ///
-/// `Symbol` is a thin wrapper around a shared string: cloning is one atomic
-/// increment, comparison is string comparison. This is plenty for an
-/// interpreter-scale implementation and keeps the kernel free of global
-/// interner state.
+/// `Symbol` is a `u32` index into a process-wide, append-only interner:
+/// cloning is a register copy, and equality/hashing are single integer
+/// operations — the hot operations of environment lookup, substitution,
+/// free-variable sets, and signature subtyping never touch string data.
+/// Interning the same text twice yields the same index (and therefore the
+/// same `&'static str` from [`Symbol::as_str`]).
+///
+/// Ordering remains *lexicographic* on the underlying text (with an
+/// integer fast path for equal symbols), so `BTreeSet<Symbol>` iteration
+/// is deterministic by name and str-keyed BTree lookups through
+/// [`Borrow<str>`] stay consistent. Note that `Hash` is index-based, so
+/// hash-table lookups keyed by `Symbol` must use a `Symbol` (not a `&str`)
+/// as the probe.
 ///
 /// # Examples
 ///
@@ -29,25 +78,32 @@ use std::sync::Arc;
 /// let b = Symbol::from("insert");
 /// assert_eq!(a, b);
 /// assert_eq!(a.as_str(), "insert");
+/// // Equal text interns to the identical static string.
+/// assert!(std::ptr::eq(a.as_str(), b.as_str()));
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Symbol(Arc<str>);
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
 
 impl Symbol {
-    /// Creates a symbol from anything string-like.
+    /// Creates (or finds) the symbol for the given text.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Symbol(Arc::from(name.as_ref()))
+        Symbol(intern(name.as_ref()))
     }
 
     /// Returns the symbol's textual name.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        resolve(self.0)
+    }
+
+    /// Returns this symbol's index in the process-wide interner.
+    pub fn index(&self) -> u32 {
+        self.0
     }
 
     /// Returns `true` if this symbol was produced by a [`NameGen`]
     /// (contains the reserved `#` character).
     pub fn is_generated(&self) -> bool {
-        self.0.contains('#')
+        self.as_str().contains('#')
     }
 
     /// Returns the base name of a generated symbol (the part before `#`),
@@ -59,23 +115,40 @@ impl Symbol {
     /// let fresh = gen.fresh(&Symbol::new("db"));
     /// assert_eq!(fresh.base(), "db");
     /// ```
-    pub fn base(&self) -> &str {
-        match self.0.find('#') {
-            Some(i) => &self.0[..i],
-            None => &self.0,
+    pub fn base(&self) -> &'static str {
+        let s = self.as_str();
+        match s.find('#') {
+            Some(i) => &s[..i],
+            None => s,
+        }
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
         }
     }
 }
 
 impl fmt::Debug for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "`{}`", self.0)
+        write!(f, "`{}`", self.as_str())
     }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -87,19 +160,19 @@ impl From<&str> for Symbol {
 
 impl From<String> for Symbol {
     fn from(s: String) -> Self {
-        Symbol(Arc::from(s.as_str()))
+        Symbol::new(s.as_str())
     }
 }
 
 impl Borrow<str> for Symbol {
     fn borrow(&self) -> &str {
-        &self.0
+        self.as_str()
     }
 }
 
 impl AsRef<str> for Symbol {
     fn as_ref(&self) -> &str {
-        &self.0
+        self.as_str()
     }
 }
 
@@ -149,7 +222,7 @@ impl NameGen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::{BTreeSet, HashSet};
 
     #[test]
     fn symbols_compare_by_content() {
@@ -160,6 +233,18 @@ mod tests {
     #[test]
     fn symbols_order_lexicographically() {
         assert!(Symbol::new("aa") < Symbol::new("ab"));
+        // Interning order must not leak into the ordering.
+        let late = Symbol::new("zz-definitely-interned-later");
+        assert!(Symbol::new("aa") < late);
+        assert!(late > Symbol::new("ab"));
+    }
+
+    #[test]
+    fn equal_text_interns_to_the_same_index() {
+        let a = Symbol::new("same-text");
+        let b = Symbol::from("same-text".to_string());
+        assert_eq!(a.index(), b.index());
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
     }
 
     #[test]
@@ -180,15 +265,41 @@ mod tests {
     }
 
     #[test]
-    fn borrow_str_allows_map_lookup() {
-        let mut set = HashSet::new();
+    fn borrow_str_allows_btree_lookup() {
+        // `Ord` is lexicographic, so ordered collections can be probed
+        // with a plain `&str`. (Hash collections cannot: `Hash` is
+        // index-based for speed.)
+        let mut set = BTreeSet::new();
         set.insert(Symbol::new("key"));
         assert!(set.contains("key"));
+        assert!(!set.contains("other"));
     }
 
     #[test]
     fn display_is_plain_name() {
         assert_eq!(Symbol::new("odd").to_string(), "odd");
         assert_eq!(format!("{:?}", Symbol::new("odd")), "`odd`");
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| Symbol::new(format!("threaded-{}", (i + t) % 50)).index())
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread must agree on the index of every shared name.
+        for i in 0..50 {
+            let name = format!("threaded-{i}");
+            let expected = Symbol::new(name.as_str()).index();
+            for ids in &all {
+                assert!(ids.contains(&expected));
+            }
+        }
     }
 }

@@ -593,6 +593,24 @@ impl fmt::Display for Loc {
     }
 }
 
+/// A lexical address: the static coordinate of a variable's binding,
+/// `depth` environment frames outward from the occurrence and `slot`
+/// positions into that frame. Computed by `units-compile`'s resolution
+/// pass; consumed by the runtime's slot-indexed environment fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LexAddr {
+    /// How many frames to walk outward (0 = innermost).
+    pub depth: u32,
+    /// Index into the frame's binding vector.
+    pub slot: u32,
+}
+
+impl fmt::Display for LexAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.depth, self.slot)
+    }
+}
+
 /// An expression of the unit language.
 ///
 /// # Examples
@@ -661,6 +679,14 @@ pub enum Expr {
     Data(Rc<DataOp>),
     /// Machine-internal: a constructed datatype value.
     Variant(Rc<VariantVal>),
+    /// Machine-internal: a variable occurrence annotated with the lexical
+    /// address computed by the production backend's resolution pass
+    /// (`units-compile`). It evaluates exactly like [`Expr::Var`] — the
+    /// symbol is kept for verification and fallback — but the cells
+    /// evaluator reads the binding by direct frame/slot indexing instead
+    /// of a by-name environment scan. The parser never builds it, and
+    /// forms the resolver cannot address stay plain [`Expr::Var`].
+    VarAt(Symbol, LexAddr),
 }
 
 impl Expr {

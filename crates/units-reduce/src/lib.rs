@@ -45,7 +45,7 @@ pub(crate) fn render(expr: &units_kernel::Expr) -> String {
         Expr::Data(d) => format!("#⟨{:?} of {}⟩", d.role, d.ty_name),
         Expr::Variant(v) => format!("#⟨{} variant {}⟩", v.ty_name, v.tag),
         Expr::Tuple(items) => format!("#⟨tuple/{}⟩", items.len()),
-        Expr::Var(x) => format!("variable `{x}`"),
+        Expr::Var(x) | Expr::VarAt(x, _) => format!("variable `{x}`"),
         other => format!("a non-value ({})", kind_name(other)),
     }
 }
@@ -53,7 +53,7 @@ pub(crate) fn render(expr: &units_kernel::Expr) -> String {
 fn kind_name(expr: &units_kernel::Expr) -> &'static str {
     use units_kernel::Expr;
     match expr {
-        Expr::Var(_) => "variable",
+        Expr::Var(_) | Expr::VarAt(..) => "variable",
         Expr::Lit(_) => "literal",
         Expr::Prim(..) => "primitive",
         Expr::Lambda(_) => "lambda",

@@ -180,7 +180,9 @@ impl Reducer {
                         self.store.write_cell(*loc, (**value).clone())?;
                         Ok(Expr::void())
                     }
-                    Expr::Var(x) => Err(RuntimeError::Unbound { name: x.clone() }),
+                    Expr::Var(x) | Expr::VarAt(x, _) => {
+                        Err(RuntimeError::Unbound { name: x.clone() })
+                    }
                     other => Err(RuntimeError::WrongType {
                         expected: "an assignable cell",
                         found: crate::render(other),
@@ -286,7 +288,7 @@ impl Reducer {
                     }),
                 }
             }
-            Expr::Var(x) => Err(RuntimeError::Unbound { name: x.clone() }),
+            Expr::Var(x) | Expr::VarAt(x, _) => Err(RuntimeError::Unbound { name: x.clone() }),
             // Values are handled by the caller.
             Expr::Lit(_)
             | Expr::Lambda(_)

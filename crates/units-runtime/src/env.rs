@@ -9,7 +9,7 @@
 
 use std::rc::Rc;
 
-use units_kernel::Symbol;
+use units_kernel::{LexAddr, Symbol};
 
 use crate::value::{CellRef, Value};
 
@@ -54,6 +54,27 @@ impl Env {
             frame = f.parent.0.as_deref();
         }
         None
+    }
+
+    /// Looks a resolved variable up by its lexical address: walk
+    /// `addr.depth` frames outward, index `addr.slot` directly — no
+    /// per-frame scanning. The slot's recorded name is verified with a
+    /// single interned-symbol compare; on any mismatch (an address
+    /// computed against a different frame discipline than the one that
+    /// built this environment) the lookup degrades to the by-name scan,
+    /// so a stale address can cost time but never return a wrong binding.
+    pub fn lookup_at(&self, name: &Symbol, addr: LexAddr) -> Option<&Binding> {
+        let mut frame = self.0.as_deref();
+        for _ in 0..addr.depth {
+            match frame {
+                Some(f) => frame = f.parent.0.as_deref(),
+                None => return self.lookup(name),
+            }
+        }
+        match frame.and_then(|f| f.bindings.get(addr.slot as usize)) {
+            Some((n, b)) if n == name => Some(b),
+            _ => self.lookup(name),
+        }
     }
 
     /// Number of frames (for diagnostics and tests).
@@ -106,6 +127,39 @@ mod tests {
         *cell.borrow_mut() = Some(Value::Int(99));
         assert!(matches!(val(&a, "c"), Some(Value::Int(99))));
         assert!(matches!(val(&b, "c"), Some(Value::Int(99))));
+    }
+
+    #[test]
+    fn lookup_at_indexes_directly_and_falls_back() {
+        let base = Env::new().extend(vec![
+            ("x".into(), Binding::Val(Value::Int(1))),
+            ("y".into(), Binding::Val(Value::Int(2))),
+        ]);
+        let inner = base.extend(vec![("z".into(), Binding::Val(Value::Int(3)))]);
+        let at = |d, s| LexAddr { depth: d, slot: s };
+        assert!(matches!(
+            inner.lookup_at(&"z".into(), at(0, 0)),
+            Some(Binding::Val(Value::Int(3)))
+        ));
+        assert!(matches!(
+            inner.lookup_at(&"y".into(), at(1, 1)),
+            Some(Binding::Val(Value::Int(2)))
+        ));
+        // Out-of-range slot, wrong name at the slot, or excessive depth
+        // all degrade to the by-name scan.
+        assert!(matches!(
+            inner.lookup_at(&"y".into(), at(0, 5)),
+            Some(Binding::Val(Value::Int(2)))
+        ));
+        assert!(matches!(
+            inner.lookup_at(&"x".into(), at(1, 1)),
+            Some(Binding::Val(Value::Int(1)))
+        ));
+        assert!(matches!(
+            inner.lookup_at(&"x".into(), at(7, 0)),
+            Some(Binding::Val(Value::Int(1)))
+        ));
+        assert!(inner.lookup_at(&"w".into(), at(9, 9)).is_none());
     }
 
     #[test]

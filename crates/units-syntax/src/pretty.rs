@@ -1,7 +1,7 @@
 //! Pretty-printer: kernel AST → surface syntax.
 //!
 //! Output is guaranteed to re-parse to an equal term (round-trip property,
-//! tested here and with proptest in `tests/roundtrip.rs`) for every form
+//! round-trip tested here and in `tests/properties.rs`) for every form
 //! the parser can produce. Machine-internal forms (locations, cell
 //! references, datatype operations, variants) are printed as `#⟨…⟩`
 //! pseudo-syntax for debugging and do not re-parse.
@@ -286,7 +286,9 @@ fn write_unit(out: &mut String, u: &UnitExpr) {
 
 fn write_expr(out: &mut String, expr: &Expr) {
     match expr {
-        Expr::Var(x) => out.push_str(x.as_str()),
+        // A resolved variable prints as its plain name: the address is
+        // derived data, and the result stays re-parseable.
+        Expr::Var(x) | Expr::VarAt(x, _) => out.push_str(x.as_str()),
         Expr::Lit(Lit::Int(n)) => {
             let _ = write!(out, "{n}");
         }
@@ -386,7 +388,7 @@ fn write_expr(out: &mut String, expr: &Expr) {
             out.push(')');
         }
         Expr::Set(target, value) => match &**target {
-            Expr::Var(x) => {
+            Expr::Var(x) | Expr::VarAt(x, _) => {
                 let _ = write!(out, "(set! {x} ");
                 write_expr(out, value);
                 out.push(')');

@@ -6,7 +6,7 @@
 //! evaluator (§4.1.6) or the reference substitution reducer (Fig. 11).
 
 use units_check::{check_program, CheckOptions, Level, Strictness};
-use units_compile::evaluate_program;
+use units_compile::{evaluate_program, resolve_program};
 use units_kernel::{Expr, Ty};
 use units_reduce::Reducer;
 use units_runtime::Machine;
@@ -57,6 +57,10 @@ pub struct Program {
     strictness: Strictness,
     fuel: Option<u64>,
     checked_ty: Option<Ty>,
+    resolve: bool,
+    /// Lazily computed slot-resolved form of `expr`; resolution is a
+    /// compile step, paid once per program rather than once per run.
+    resolved: std::cell::OnceCell<Expr>,
 }
 
 impl Program {
@@ -74,6 +78,8 @@ impl Program {
             strictness: Strictness::Paper,
             fuel: None,
             checked_ty: None,
+            resolve: true,
+            resolved: std::cell::OnceCell::new(),
         })
     }
 
@@ -85,6 +91,8 @@ impl Program {
             strictness: Strictness::Paper,
             fuel: None,
             checked_ty: None,
+            resolve: true,
+            resolved: std::cell::OnceCell::new(),
         }
     }
 
@@ -104,6 +112,16 @@ impl Program {
     /// Bounds evaluation to `fuel` steps.
     pub fn with_fuel(mut self, fuel: u64) -> Program {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Enables or disables the production backend's lexical-address
+    /// resolution prepass (`units_compile::resolve_program`). On by
+    /// default; turning it off forces every variable through the by-name
+    /// environment scan — the baseline the resolver is benchmarked
+    /// against, and a way to exercise the fallback path in tests.
+    pub fn with_resolution(mut self, on: bool) -> Program {
+        self.resolve = on;
         self
     }
 
@@ -164,7 +182,12 @@ impl Program {
                     Some(f) => Machine::with_fuel(f),
                     None => Machine::new(),
                 };
-                let value = evaluate_program(&self.expr, &mut machine)?;
+                let expr = if self.resolve {
+                    self.resolved.get_or_init(|| resolve_program(&self.expr))
+                } else {
+                    &self.expr
+                };
+                let value = evaluate_program(expr, &mut machine)?;
                 Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
             }
             Backend::Reducer => {

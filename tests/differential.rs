@@ -6,9 +6,13 @@
 //! programs — including random unit/compound/invoke topologies — is
 //! strong evidence that the compilation implements the rewriting
 //! semantics.
+//!
+//! A second axis of the same idea guards the lexical-address resolver:
+//! every program in the random corpus and every stdlib figure must
+//! produce identical outcomes with slot resolution on and off, since
+//! resolution is a pure lookup-strategy change.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bench::rng::SplitMix64;
 
 use units::{Backend, Error, Outcome, Program, RuntimeError, Strictness};
 use units_kernel::{
@@ -17,13 +21,13 @@ use units_kernel::{
 
 /// A generator of closed, well-scoped programs.
 struct Gen {
-    rng: StdRng,
+    rng: SplitMix64,
     fresh: u32,
 }
 
 impl Gen {
     fn new(seed: u64) -> Gen {
-        Gen { rng: StdRng::seed_from_u64(seed), fresh: 0 }
+        Gen { rng: SplitMix64::seed_from_u64(seed), fresh: 0 }
     }
 
     fn name(&mut self, prefix: &str) -> String {
@@ -36,12 +40,12 @@ impl Gen {
         if depth == 0 {
             return self.leaf(vars);
         }
-        match self.rng.gen_range(0..12u32) {
+        match self.rng.gen_range(0, 12) {
             0 | 1 => {
                 // arithmetic
                 const OPS: [PrimOp; 5] =
                     [PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::Lt, PrimOp::NumEq];
-                let op = OPS[self.rng.gen_range(0..OPS.len())];
+                let op = OPS[self.rng.gen_range(0, OPS.len())];
                 Expr::prim2(op, self.expr(depth - 1, vars), self.expr(depth - 1, vars))
             }
             2 => Expr::if_(
@@ -55,7 +59,7 @@ impl Gen {
             ),
             3 => {
                 // let
-                let n = self.rng.gen_range(1..3usize);
+                let n = self.rng.gen_range(1, 3);
                 let bindings: Vec<Binding> = (0..n)
                     .map(|_| {
                         let name = self.name("x");
@@ -69,7 +73,7 @@ impl Gen {
             4 => {
                 // immediately applied lambda (no self application ⇒ no
                 // divergence from this rule)
-                let n = self.rng.gen_range(1..3usize);
+                let n = self.rng.gen_range(1, 3);
                 let params: Vec<String> = (0..n).map(|_| self.name("p")).collect();
                 let mut inner: Vec<String> = vars.to_vec();
                 inner.extend(params.iter().cloned());
@@ -82,12 +86,12 @@ impl Gen {
                 Expr::app(lam, args)
             }
             5 => {
-                let n = self.rng.gen_range(1..4usize);
+                let n = self.rng.gen_range(1, 4);
                 Expr::Tuple((0..n).map(|_| self.expr(depth - 1, vars)).collect())
             }
             6 => {
-                let n = self.rng.gen_range(1..4usize);
-                let idx = self.rng.gen_range(0..n);
+                let n = self.rng.gen_range(1, 4);
+                let idx = self.rng.gen_range(0, n);
                 Expr::Proj(
                     idx,
                     Box::new(Expr::Tuple((0..n).map(|_| self.expr(depth - 1, vars)).collect())),
@@ -106,10 +110,10 @@ impl Gen {
 
     fn leaf(&mut self, vars: &[String]) -> Expr {
         if !vars.is_empty() && self.rng.gen_bool(0.4) {
-            let i = self.rng.gen_range(0..vars.len());
+            let i = self.rng.gen_range(0, vars.len());
             Expr::var(vars[i].as_str())
         } else {
-            Expr::int(self.rng.gen_range(-20..20))
+            Expr::int(self.rng.gen_range_i64(-20, 20))
         }
     }
 
@@ -130,7 +134,7 @@ impl Gen {
         } else {
             None
         };
-        let n_defs = self.rng.gen_range(1..4usize);
+        let n_defs = self.rng.gen_range(1, 4);
         let def_names: Vec<String> = (0..n_defs).map(|_| self.name("d")).collect();
         // Definitions are thunks over everything in scope (valuable, and
         // they may read imports lazily).
@@ -167,7 +171,7 @@ impl Gen {
             .collect();
         // The init expression may call any definition or import.
         let init_scope = def_scope;
-        let init = match self.rng.gen_range(0..3u32) {
+        let init = match self.rng.gen_range(0, 3) {
             0 => Expr::app(Expr::var(def_names[0].as_str()), vec![]),
             1 if !init_scope.is_empty() => self.expr(1, &init_scope),
             _ => self.expr(1, vars),
@@ -193,7 +197,7 @@ impl Gen {
     /// `invoke` of either one unit or a two-unit compound, with all
     /// imports satisfied by thunks over in-scope expressions.
     fn invoke(&mut self, depth: u32, vars: &[String]) -> Expr {
-        let pool: Vec<String> = (0..self.rng.gen_range(0..3usize))
+        let pool: Vec<String> = (0..self.rng.gen_range(0, 3))
             .map(|_| self.name("imp"))
             .collect();
         let (target, needed): (Expr, Vec<String>) = if self.rng.gen_bool(0.5) {
@@ -298,6 +302,23 @@ fn check_agreement(
     }
 }
 
+/// Compares the compiled backend with lexical-address resolution on
+/// (default) and off (pure by-name environment scans). The two must be
+/// observationally identical on every program; any divergence means the
+/// resolver computed an address the runtime frames don't honour.
+fn check_resolution_invariance(seed: u64, program: &Program) -> Result<(), String> {
+    let resolved = program.run_on(Backend::Compiled);
+    let by_name = program.clone().with_resolution(false).run_on(Backend::Compiled);
+    match (resolved, by_name) {
+        (Ok(x), Ok(y)) if x == y => Ok(()),
+        (Err(_), Err(_)) => Ok(()),
+        (x, y) => Err(format!(
+            "seed {seed}: resolution changed the outcome\n resolved: {x:?}\n by-name:  {y:?}\n program: {}",
+            program.to_source()
+        )),
+    }
+}
+
 #[test]
 fn backends_agree_on_random_core_programs() {
     let mut failures = Vec::new();
@@ -327,6 +348,50 @@ fn backends_agree_on_random_unit_programs() {
         }
     }
     assert!(failures.is_empty(), "{} disagreements:\n{}", failures.len(), failures.join("\n\n"));
+}
+
+#[test]
+fn resolution_is_invisible_on_random_programs() {
+    let mut failures = Vec::new();
+    for seed in 0..400 {
+        let mut gen = Gen::new(seed);
+        let program = Program::from_expr(gen.expr(4, &[]))
+            .with_strictness(Strictness::MzScheme)
+            .with_fuel(200_000);
+        if let Err(msg) = check_resolution_invariance(seed, &program) {
+            failures.push(msg);
+        }
+        let mut gen = Gen::new(0xBEEF ^ seed);
+        let program = Program::from_expr(gen.invoke(3, &[]))
+            .with_strictness(Strictness::MzScheme)
+            .with_fuel(200_000);
+        if let Err(msg) = check_resolution_invariance(seed, &program) {
+            failures.push(msg);
+        }
+    }
+    assert!(failures.is_empty(), "{} divergences:\n{}", failures.len(), failures.join("\n\n"));
+}
+
+#[test]
+fn resolution_is_invisible_on_stdlib_figures() {
+    use units::stdlib;
+    let sources: Vec<(&str, String)> = vec![
+        ("ipb_program", stdlib::ipb_program()),
+        ("ipb_expert", stdlib::make_ipb_program(true)),
+        ("ipb_novice", stdlib::make_ipb_program(false)),
+        ("plugin_program", stdlib::plugin_program(&stdlib::sample_loader_plugin())),
+        ("compiler_pipeline", stdlib::compiler_pipeline()),
+    ];
+    for (name, src) in sources {
+        let program = Program::parse(&src)
+            .unwrap_or_else(|e| panic!("{name}: parse failed: {e}"))
+            .with_strictness(Strictness::MzScheme);
+        let resolved = program.run_on(Backend::Compiled)
+            .unwrap_or_else(|e| panic!("{name}: resolved run failed: {e}"));
+        let by_name = program.with_resolution(false).run_on(Backend::Compiled)
+            .unwrap_or_else(|e| panic!("{name}: by-name run failed: {e}"));
+        assert_eq!(resolved, by_name, "{name}: resolution changed the outcome");
+    }
 }
 
 #[test]

@@ -1,8 +1,11 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: parser/printer round-trips, subtype laws, expansion
-//! idempotence, α-equivalence, and substitution.
+//! Property-based tests on the core data structures and invariants:
+//! parser/printer round-trips, subtype laws, expansion idempotence,
+//! α-equivalence, and substitution.
+//!
+//! The generators are seeded SplitMix64 loops (no registry crates), so
+//! every failure reports a seed that reproduces it forever.
 
-use proptest::prelude::*;
+use bench::rng::SplitMix64;
 
 use units::{
     alpha_eq, free_val_vars, parse_expr, parse_ty, pretty_expr, pretty_ty, subtype, ty_equal,
@@ -13,192 +16,248 @@ use units_kernel::{subst_vals, Lambda, NameGen, Param};
 const NAMES: &[&str] = &["a", "bb", "ccc", "dd", "e2", "f-g", "h!"];
 const TY_NAMES: &[&str] = &["t", "u", "vv", "w-x"];
 
-fn arb_name() -> impl Strategy<Value = String> {
-    prop::sample::select(NAMES).prop_map(str::to_string)
+fn pick<T: Copy>(rng: &mut SplitMix64, items: &[T]) -> T {
+    items[rng.gen_range(0, items.len())]
 }
 
-fn arb_ty_name() -> impl Strategy<Value = String> {
-    prop::sample::select(TY_NAMES).prop_map(str::to_string)
+fn arb_name(rng: &mut SplitMix64) -> &'static str {
+    pick(rng, NAMES)
 }
 
-fn arb_ty() -> impl Strategy<Value = Ty> {
-    let leaf = prop_oneof![
-        Just(Ty::Int),
-        Just(Ty::Bool),
-        Just(Ty::Str),
-        Just(Ty::Void),
-        arb_ty_name().prop_map(Ty::var),
-    ];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            (prop::collection::vec(inner.clone(), 0..3), inner.clone())
-                .prop_map(|(params, ret)| Ty::arrow(params, ret)),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Ty::Tuple),
-            inner.prop_map(Ty::hash),
-        ]
-    })
+fn arb_ty_name(rng: &mut SplitMix64) -> &'static str {
+    pick(rng, TY_NAMES)
 }
 
-fn arb_ports() -> impl Strategy<Value = Ports> {
-    (
-        prop::collection::btree_set(arb_ty_name(), 0..2),
-        prop::collection::btree_map(arb_name(), arb_ty(), 0..3),
-    )
-        .prop_map(|(tys, vals)| Ports {
-            types: tys.into_iter().map(TyPort::star).collect(),
-            vals: vals.into_iter().map(|(n, t)| ValPort::typed(n, t)).collect(),
-        })
+/// A random type of bounded depth (Fig. 13 grammar).
+fn arb_ty(rng: &mut SplitMix64, depth: u32) -> Ty {
+    if depth == 0 {
+        return match rng.gen_range(0, 5) {
+            0 => Ty::Int,
+            1 => Ty::Bool,
+            2 => Ty::Str,
+            3 => Ty::Void,
+            _ => Ty::var(arb_ty_name(rng)),
+        };
+    }
+    match rng.gen_range(0, 6) {
+        0 => {
+            let params = (0..rng.gen_range(0, 3)).map(|_| arb_ty(rng, depth - 1)).collect();
+            Ty::arrow(params, arb_ty(rng, depth - 1))
+        }
+        1 => Ty::Tuple((0..rng.gen_range(0, 3)).map(|_| arb_ty(rng, depth - 1)).collect()),
+        2 => Ty::hash(arb_ty(rng, depth - 1)),
+        _ => arb_ty(rng, 0),
+    }
 }
 
-fn arb_sig() -> impl Strategy<Value = Signature> {
-    (arb_ports(), arb_ports(), arb_ty()).prop_filter_map(
-        "import/export names must be disjoint",
-        |(imports, exports, init_ty)| {
-            let i_tys = imports.ty_names();
-            let e_tys = exports.ty_names();
-            if i_tys.intersection(&e_tys).next().is_some() {
-                return None;
+fn arb_ports(rng: &mut SplitMix64) -> Ports {
+    let tys: std::collections::BTreeSet<&str> =
+        (0..rng.gen_range(0, 2)).map(|_| arb_ty_name(rng)).collect();
+    let vals: std::collections::BTreeMap<&str, Ty> =
+        (0..rng.gen_range(0, 3)).map(|_| (arb_name(rng), arb_ty(rng, 2))).collect();
+    Ports {
+        types: tys.into_iter().map(TyPort::star).collect(),
+        vals: vals.into_iter().map(|(n, t)| ValPort::typed(n, t)).collect(),
+    }
+}
+
+/// A random well-formed signature: import and export names disjoint.
+/// Regenerates on collision, so every call yields a signature.
+fn arb_sig(rng: &mut SplitMix64) -> Signature {
+    loop {
+        let imports = arb_ports(rng);
+        let exports = arb_ports(rng);
+        let i_tys = imports.ty_names();
+        let e_tys = exports.ty_names();
+        if i_tys.intersection(&e_tys).next().is_some() {
+            continue;
+        }
+        let i_vals = imports.val_names();
+        let e_vals = exports.val_names();
+        if i_vals.intersection(&e_vals).next().is_some() {
+            continue;
+        }
+        let init_ty = arb_ty(rng, 2);
+        return Signature::new(imports, exports, init_ty);
+    }
+}
+
+/// A random expression with valid surface syntax (for round-trip
+/// testing): only forms the parser can produce, never machine-internal
+/// ones.
+fn arb_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    if depth == 0 {
+        return match rng.gen_range(0, 5) {
+            0 => Expr::int(rng.gen_range_i64(i64::from(i32::MIN), i64::from(i32::MAX) + 1)),
+            1 => Expr::bool(rng.gen_bool(0.5)),
+            2 => {
+                let n = rng.gen_range(0, 7);
+                let s: String = (0..n)
+                    .map(|_| pick(rng, &[' ', 'a', 'b', 'k', 'q', 'z']))
+                    .collect();
+                Expr::str(s)
             }
-            let i_vals = imports.val_names();
-            let e_vals = exports.val_names();
-            if i_vals.intersection(&e_vals).next().is_some() {
-                return None;
-            }
-            Some(Signature::new(imports, exports, init_ty))
-        },
-    )
+            3 => Expr::void(),
+            _ => Expr::var(arb_name(rng)),
+        };
+    }
+    match rng.gen_range(0, 9) {
+        0 => {
+            let mut seen = std::collections::BTreeSet::new();
+            let params = (0..rng.gen_range(0, 3))
+                .map(|_| arb_name(rng))
+                .filter(|p| seen.insert(*p))
+                .map(Param::untyped)
+                .collect();
+            Expr::lambda(params, arb_expr(rng, depth - 1))
+        }
+        1 => {
+            let f = arb_expr(rng, depth - 1);
+            let args = (0..rng.gen_range(0, 3)).map(|_| arb_expr(rng, depth - 1)).collect();
+            Expr::app(f, args)
+        }
+        2 => Expr::if_(
+            arb_expr(rng, depth - 1),
+            arb_expr(rng, depth - 1),
+            arb_expr(rng, depth - 1),
+        ),
+        3 => Expr::seq((0..rng.gen_range(1, 3)).map(|_| arb_expr(rng, depth - 1)).collect()),
+        4 => {
+            let bs: std::collections::BTreeMap<&str, Expr> = (0..rng.gen_range(1, 3))
+                .map(|_| (arb_name(rng), arb_expr(rng, depth - 1)))
+                .collect();
+            Expr::Let(
+                bs.into_iter()
+                    .map(|(name, expr)| units_kernel::Binding { name: name.into(), expr })
+                    .collect(),
+                Box::new(arb_expr(rng, depth - 1)),
+            )
+        }
+        5 => Expr::Tuple((0..rng.gen_range(0, 3)).map(|_| arb_expr(rng, depth - 1)).collect()),
+        6 => Expr::Proj(rng.gen_range(0, 3), Box::new(arb_expr(rng, depth - 1))),
+        7 => Expr::set(arb_name(rng), arb_expr(rng, depth - 1)),
+        _ => arb_expr(rng, 0),
+    }
 }
 
-/// Expressions with valid surface syntax (for round-trip testing).
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<i32>().prop_map(|n| Expr::int(n.into())),
-        any::<bool>().prop_map(Expr::bool),
-        "[a-z ]{0,6}".prop_map(Expr::str),
-        Just(Expr::void()),
-        arb_name().prop_map(Expr::var),
-    ];
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            (prop::collection::vec(arb_name(), 0..3), inner.clone()).prop_map(
-                |(params, body)| {
-                    let mut seen = std::collections::BTreeSet::new();
-                    let params = params
-                        .into_iter()
-                        .filter(|p| seen.insert(p.clone()))
-                        .map(Param::untyped)
-                        .collect();
-                    Expr::lambda(params, body)
-                }
-            ),
-            (inner.clone(), prop::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(f, args)| Expr::app(f, args)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Expr::if_(c, t, e)),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Expr::seq),
-            (prop::collection::btree_map(arb_name(), inner.clone(), 1..3), inner.clone())
-                .prop_map(|(bs, body)| Expr::Let(
-                    bs.into_iter()
-                        .map(|(name, expr)| units_kernel::Binding { name: name.into(), expr })
-                        .collect(),
-                    Box::new(body)
-                )),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Tuple),
-            (0..3usize, inner.clone()).prop_map(|(i, e)| Expr::Proj(i, Box::new(e))),
-            (arb_name(), inner.clone()).prop_map(|(x, e)| Expr::set(x, e)),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Fig. 9 grammar: printing and re-parsing is the identity.
-    #[test]
-    fn pretty_parse_round_trips_expressions(e in arb_expr()) {
+/// Fig. 9 grammar: printing and re-parsing is the identity.
+#[test]
+fn pretty_parse_round_trips_expressions() {
+    let mut rng = SplitMix64::seed_from_u64(0x51AB);
+    for case in 0..256 {
+        let e = arb_expr(&mut rng, 4);
         let printed = pretty_expr(&e);
         let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
-        prop_assert_eq!(e, reparsed);
+            .unwrap_or_else(|err| panic!("case {case}: reparse `{printed}`: {err}"));
+        assert_eq!(e, reparsed, "case {case}: `{printed}`");
     }
+}
 
-    /// Fig. 13 grammar: the same for types.
-    #[test]
-    fn pretty_parse_round_trips_types(t in arb_ty()) {
+/// Fig. 13 grammar: the same for types.
+#[test]
+fn pretty_parse_round_trips_types() {
+    let mut rng = SplitMix64::seed_from_u64(0x51AC);
+    for case in 0..256 {
+        let t = arb_ty(&mut rng, 3);
         let printed = pretty_ty(&t);
         let reparsed = parse_ty(&printed)
-            .unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
-        prop_assert_eq!(t, reparsed);
+            .unwrap_or_else(|err| panic!("case {case}: reparse `{printed}`: {err}"));
+        assert_eq!(t, reparsed, "case {case}: `{printed}`");
     }
+}
 
-    /// Fig. 14: the subtype relation is reflexive.
-    #[test]
-    fn subtype_is_reflexive(t in arb_ty()) {
-        prop_assert!(subtype(&Equations::new(), &t, &t).is_ok());
+/// Fig. 14: the subtype relation is reflexive.
+#[test]
+fn subtype_is_reflexive() {
+    let mut rng = SplitMix64::seed_from_u64(0x51AD);
+    for case in 0..256 {
+        let t = arb_ty(&mut rng, 3);
+        assert!(subtype(&Equations::new(), &t, &t).is_ok(), "case {case}: {t:?}");
     }
+}
 
-    /// Fig. 14: signatures are reflexive too, and `ty_equal` agrees.
-    #[test]
-    fn sig_subtype_is_reflexive(sig in arb_sig()) {
-        let t = Ty::sig(sig);
-        prop_assert!(subtype(&Equations::new(), &t, &t).is_ok());
-        prop_assert!(ty_equal(&Equations::new(), &t, &t));
+/// Fig. 14: signatures are reflexive too, and `ty_equal` agrees.
+#[test]
+fn sig_subtype_is_reflexive() {
+    let mut rng = SplitMix64::seed_from_u64(0x51AE);
+    for case in 0..256 {
+        let t = Ty::sig(arb_sig(&mut rng));
+        assert!(subtype(&Equations::new(), &t, &t).is_ok(), "case {case}: {t:?}");
+        assert!(ty_equal(&Equations::new(), &t, &t), "case {case}: {t:?}");
     }
+}
 
-    /// Fig. 14 condition 2: dropping an export or adding an unused import
-    /// *weakens* a signature (produces a supertype).
-    #[test]
-    fn weakening_produces_a_supertype(sig in arb_sig()) {
+/// Fig. 14 condition 2: dropping an export or adding an unused import
+/// *weakens* a signature (produces a supertype).
+#[test]
+fn weakening_produces_a_supertype() {
+    let mut rng = SplitMix64::seed_from_u64(0x51AF);
+    for case in 0..256 {
+        let sig = arb_sig(&mut rng);
         let specific = Ty::sig(sig.clone());
 
         let mut fewer_exports = sig.clone();
         let dropped = fewer_exports.exports.vals.pop();
         let general = Ty::sig(fewer_exports.clone());
-        prop_assert!(subtype(&Equations::new(), &specific, &general).is_ok());
+        assert!(
+            subtype(&Equations::new(), &specific, &general).is_ok(),
+            "case {case}: dropping an export must weaken"
+        );
         if dropped.is_some() {
             // The reverse direction must fail: the supertype is missing
             // an export the subtype demands.
-            prop_assert!(subtype(&Equations::new(), &general, &specific).is_err());
+            assert!(
+                subtype(&Equations::new(), &general, &specific).is_err(),
+                "case {case}: the reverse direction must fail"
+            );
         }
 
         let mut more_imports = sig.clone();
         more_imports.imports.vals.push(ValPort::typed("zz-extra", Ty::Int));
         if more_imports.exports.val_port(&"zz-extra".into()).is_none() {
             let general = Ty::sig(more_imports);
-            prop_assert!(subtype(&Equations::new(), &specific, &general).is_ok());
+            assert!(
+                subtype(&Equations::new(), &specific, &general).is_ok(),
+                "case {case}: adding an unused import must weaken"
+            );
         }
     }
+}
 
-    /// Fig. 18: expansion is idempotent for acyclic equation sets.
-    #[test]
-    fn expansion_is_idempotent(
-        t in arb_ty(),
-        bodies in prop::collection::vec(arb_ty(), TY_NAMES.len())
-    ) {
+/// Fig. 18: expansion is idempotent for acyclic equation sets.
+#[test]
+fn expansion_is_idempotent() {
+    let mut rng = SplitMix64::seed_from_u64(0x51B0);
+    for case in 0..256 {
+        let t = arb_ty(&mut rng, 3);
         // Build an acyclic set by only letting TY_NAMES[i] reference
         // strictly later names.
         let mut eqs = Equations::new();
-        for (i, (name, body)) in TY_NAMES.iter().zip(bodies).enumerate() {
-            let mut ok = body;
+        for i in 0..TY_NAMES.len() {
+            let mut body = arb_ty(&mut rng, 3);
             // Erase references to names ≤ i to keep the set acyclic.
             for earlier in &TY_NAMES[..=i] {
                 let map = std::collections::HashMap::from([(
                     Symbol::new(*earlier),
                     Ty::Int,
                 )]);
-                ok = units_kernel::subst_ty(&ok, &map).unwrap();
+                body = units_kernel::subst_ty(&body, &map).unwrap();
             }
-            eqs.insert(Symbol::new(*name), ok);
+            eqs.insert(Symbol::new(TY_NAMES[i]), body);
         }
-        prop_assert!(eqs.check_acyclic().is_ok());
+        assert!(eqs.check_acyclic().is_ok(), "case {case}");
         let once = units::expand_ty(&t, &eqs).unwrap();
         let twice = units::expand_ty(&once, &eqs).unwrap();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
+}
 
-    /// α-equivalence is preserved by renaming a λ's parameter.
-    #[test]
-    fn alpha_eq_respects_bound_renaming(body in arb_expr()) {
+/// α-equivalence is preserved by renaming a λ's parameter.
+#[test]
+fn alpha_eq_respects_bound_renaming() {
+    let mut rng = SplitMix64::seed_from_u64(0x51B1);
+    for case in 0..256 {
+        let body = arb_expr(&mut rng, 4);
         let original = Expr::Lambda(std::rc::Rc::new(Lambda {
             params: vec![Param::untyped("a")],
             ret_ty: None,
@@ -216,12 +275,16 @@ proptest! {
             ret_ty: None,
             body: renamed_body,
         }));
-        prop_assert!(alpha_eq(&original, &renamed));
+        assert!(alpha_eq(&original, &renamed), "case {case}");
     }
+}
 
-    /// Substitution eliminates the substituted free variable.
-    #[test]
-    fn substitution_removes_the_variable(e in arb_expr()) {
+/// Substitution eliminates the substituted free variable.
+#[test]
+fn substitution_removes_the_variable() {
+    let mut rng = SplitMix64::seed_from_u64(0x51B2);
+    for case in 0..256 {
+        let e = arb_expr(&mut rng, 4);
         let mut gen = NameGen::new();
         let target = Symbol::new("a");
         let out = subst_vals(
@@ -229,12 +292,16 @@ proptest! {
             &std::collections::HashMap::from([(target.clone(), Expr::int(0))]),
             &mut gen,
         );
-        prop_assert!(!free_val_vars(&out).contains(&target));
+        assert!(!free_val_vars(&out).contains(&target), "case {case}");
     }
+}
 
-    /// Substitution only shrinks the free-variable set (closed value).
-    #[test]
-    fn substitution_is_monotone_on_free_vars(e in arb_expr()) {
+/// Substitution only shrinks the free-variable set (closed value).
+#[test]
+fn substitution_is_monotone_on_free_vars() {
+    let mut rng = SplitMix64::seed_from_u64(0x51B3);
+    for case in 0..256 {
+        let e = arb_expr(&mut rng, 4);
         let mut gen = NameGen::new();
         let before = free_val_vars(&e);
         let out = subst_vals(
@@ -243,77 +310,96 @@ proptest! {
             &mut gen,
         );
         let after = free_val_vars(&out);
-        prop_assert!(after.is_subset(&before));
+        assert!(after.is_subset(&before), "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// A constructed chain sub ≤ mid ≤ sup is transitive: sub ≤ sup.
-    /// (sub strengthens `mid` by exporting more; sup weakens it by
-    /// importing more — both directions of Fig. 14's condition 2.)
-    #[test]
-    fn subtype_chains_compose(mid in arb_sig()) {
+/// A constructed chain sub ≤ mid ≤ sup is transitive: sub ≤ sup.
+/// (sub strengthens `mid` by exporting more; sup weakens it by
+/// importing more — both directions of Fig. 14's condition 2.)
+#[test]
+fn subtype_chains_compose() {
+    let mut rng = SplitMix64::seed_from_u64(0x51B4);
+    let mut checked = 0;
+    while checked < 128 {
+        let mid = arb_sig(&mut rng);
+        // Keep the generated signatures well-formed: the added names must
+        // not collide with existing ports.
+        if mid.exports.val_port(&"zz-more".into()).is_some()
+            || mid.imports.val_port(&"zz-need".into()).is_some()
+            || mid.imports.val_port(&"zz-more".into()).is_some()
+            || mid.exports.val_port(&"zz-need".into()).is_some()
+        {
+            continue;
+        }
+        checked += 1;
         let mut sub = mid.clone();
         sub.exports.vals.push(ValPort::typed("zz-more", Ty::Bool));
         let mut sup = mid.clone();
         sup.imports.vals.push(ValPort::typed("zz-need", Ty::Str));
-        // Keep the generated signature well-formed: the added names must
-        // not collide with existing ports.
-        prop_assume!(mid.exports.val_port(&"zz-more".into()).is_none());
-        prop_assume!(mid.imports.val_port(&"zz-need".into()).is_none());
-        prop_assume!(mid.imports.val_port(&"zz-more".into()).is_none());
-        prop_assume!(mid.exports.val_port(&"zz-need".into()).is_none());
 
         let eqs = Equations::new();
         let t_sub = Ty::sig(sub);
         let t_mid = Ty::sig(mid);
         let t_sup = Ty::sig(sup);
-        prop_assert!(subtype(&eqs, &t_sub, &t_mid).is_ok());
-        prop_assert!(subtype(&eqs, &t_mid, &t_sup).is_ok());
-        prop_assert!(subtype(&eqs, &t_sub, &t_sup).is_ok());
-    }
-
-    /// Expansion commutes with substitution-free types: expanding a type
-    /// with no abbreviation names in it is the identity.
-    #[test]
-    fn expansion_is_identity_off_the_domain(t in arb_ty()) {
-        // Equations over names disjoint from TY_NAMES.
-        let eqs = Equations::from([
-            ("zq1".into(), Ty::Int),
-            ("zq2".into(), Ty::Bool),
-        ]);
-        let mut free = std::collections::BTreeSet::new();
-        t.free_ty_vars(&mut free);
-        prop_assume!(!free.contains("zq1") && !free.contains("zq2"));
-        prop_assert_eq!(units::expand_ty(&t, &eqs).unwrap(), t);
-    }
-
-    /// α-equivalence is reflexive and agrees with structural equality on
-    /// closed-binder-free terms.
-    #[test]
-    fn alpha_eq_is_reflexive(e in arb_expr()) {
-        prop_assert!(alpha_eq(&e, &e));
-    }
-
-    /// The pretty-printer never emits the reserved `#` character for
-    /// source-level programs (it is reserved for generated names).
-    #[test]
-    fn printer_never_emits_reserved_hash(e in arb_expr()) {
-        prop_assert!(!pretty_expr(&e).contains('#'));
+        assert!(subtype(&eqs, &t_sub, &t_mid).is_ok());
+        assert!(subtype(&eqs, &t_mid, &t_sup).is_ok());
+        assert!(subtype(&eqs, &t_sub, &t_sup).is_ok());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Expansion commutes with substitution-free types: expanding a type
+/// with no abbreviation names in it is the identity.
+#[test]
+fn expansion_is_identity_off_the_domain() {
+    let mut rng = SplitMix64::seed_from_u64(0x51B5);
+    // Equations over names disjoint from TY_NAMES.
+    let eqs = Equations::from([
+        ("zq1".into(), Ty::Int),
+        ("zq2".into(), Ty::Bool),
+    ]);
+    for case in 0..128 {
+        let t = arb_ty(&mut rng, 3);
+        let mut free = std::collections::BTreeSet::new();
+        t.free_ty_vars(&mut free);
+        if free.contains("zq1") || free.contains("zq2") {
+            continue;
+        }
+        assert_eq!(units::expand_ty(&t, &eqs).unwrap(), t, "case {case}");
+    }
+}
 
-    /// Differential property: both evaluators agree on random *closed*
-    /// core terms (the open generator is closed by binding every free
-    /// name to a small integer).
-    #[test]
-    fn backends_agree_on_random_closed_terms(e in arb_expr()) {
-        use units::{Backend, Program, Strictness};
+/// α-equivalence is reflexive and agrees with structural equality on
+/// closed-binder-free terms.
+#[test]
+fn alpha_eq_is_reflexive() {
+    let mut rng = SplitMix64::seed_from_u64(0x51B6);
+    for case in 0..128 {
+        let e = arb_expr(&mut rng, 4);
+        assert!(alpha_eq(&e, &e), "case {case}");
+    }
+}
+
+/// The pretty-printer never emits the reserved `#` character for
+/// source-level programs (it is reserved for generated names).
+#[test]
+fn printer_never_emits_reserved_hash() {
+    let mut rng = SplitMix64::seed_from_u64(0x51B7);
+    for case in 0..128 {
+        let e = arb_expr(&mut rng, 4);
+        assert!(!pretty_expr(&e).contains('#'), "case {case}");
+    }
+}
+
+/// Differential property: both evaluators agree on random *closed*
+/// core terms (the open generator is closed by binding every free
+/// name to a small integer).
+#[test]
+fn backends_agree_on_random_closed_terms() {
+    use units::{Backend, Program, Strictness};
+    let mut rng = SplitMix64::seed_from_u64(0x51B8);
+    for case in 0..96 {
+        let e = arb_expr(&mut rng, 4);
         let closed = Expr::app(
             Expr::lambda(NAMES.iter().map(|n| Param::untyped(*n)).collect(), e),
             (0..NAMES.len() as i64).map(Expr::int).collect(),
@@ -324,9 +410,14 @@ proptest! {
         let a = program.run_on(Backend::Compiled);
         let b = program.run_on(Backend::Reducer);
         match (a, b) {
-            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Ok(x), Ok(y)) => assert_eq!(x, y, "case {case}: {}", program.to_source()),
             (Err(_), Err(_)) => {}
-            (x, y) => prop_assert!(false, "disagree: {:?} vs {:?}\n{}", x, y, program.to_source()),
+            (x, y) => panic!(
+                "case {case}: disagree: {:?} vs {:?}\n{}",
+                x,
+                y,
+                program.to_source()
+            ),
         }
     }
 }
