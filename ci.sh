@@ -1,10 +1,30 @@
 #!/bin/sh
 # Tier-1 verification, fully offline: the workspace has no registry
 # dependencies, so everything below must succeed with no network access.
+#
+# Every gate runs twice — with default features (all tracing hooks are
+# no-ops) and with `--features trace` (the live observability layer) —
+# so neither configuration can rot.
 set -eux
 
 cd "$(dirname "$0")"
 
+# Default features: the production configuration.
 cargo build --release
 cargo test -q
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+
+# With tracing compiled in.
+cargo build --release --features trace
+cargo test -q --features trace
+cargo clippy --workspace --all-targets --features trace -- -D warnings
+
+# The bench tables must emit a machine-readable summary. The binary
+# self-validates the document with units_trace::json before writing;
+# cross-check with a second parser when one is available.
+cargo run --release -p bench --bin tables --features trace -- --quick --json >/dev/null
+test -s BENCH_trace.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json; json.load(open('BENCH_trace.json'))"
+fi
+rm -f BENCH_trace.json

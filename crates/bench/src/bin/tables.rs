@@ -5,6 +5,14 @@
 //! system scales.
 //!
 //! Run with: `cargo run --release -p bench --bin tables`
+//!
+//! Flags:
+//!
+//! * `--json`  — also write every record (plus, with the `trace`
+//!   feature, a pipeline metrics snapshot of the even/odd example) to
+//!   `BENCH_trace.json`, self-validated with `units_trace::json`, so the
+//!   perf trajectory is machine-readable run over run;
+//! * `--quick` — smaller sizes and fewer repetitions (CI smoke mode).
 
 use std::time::Instant;
 
@@ -35,8 +43,99 @@ fn header(title: &str) {
     println!("\n== {title} {}", "=".repeat(60usize.saturating_sub(title.len())));
 }
 
+/// One measured point: which experiment/series, at what size, and the
+/// measured columns (name → microseconds or ratio).
+struct Record {
+    experiment: &'static str,
+    series: String,
+    size: String,
+    values: Vec<(&'static str, f64)>,
+}
+
+/// Collects records for the `--json` summary while the tables print.
+#[derive(Default)]
+struct Recorder {
+    records: Vec<Record>,
+}
+
+impl Recorder {
+    fn push(
+        &mut self,
+        experiment: &'static str,
+        series: impl Into<String>,
+        size: impl ToString,
+        values: Vec<(&'static str, f64)>,
+    ) {
+        self.records.push(Record {
+            experiment,
+            series: series.into(),
+            size: size.to_string(),
+            values,
+        });
+    }
+
+    /// The whole run as one JSON document. Floats are rendered with
+    /// three decimals (µs resolution is noise beyond that).
+    fn to_json(&self, quick: bool) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"bench\":\"tables\",\"quick\":{quick},\"trace_compiled\":{},",
+            units_trace::COMPILED
+        ));
+        out.push_str("\"records\":[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"experiment\":{},\"series\":{},\"size\":{}",
+                units_trace::json::escape(r.experiment),
+                units_trace::json::escape(&r.series),
+                units_trace::json::escape(&r.size)
+            ));
+            for (name, value) in &r.values {
+                out.push_str(&format!(",{}:{value:.3}", units_trace::json::escape(name)));
+            }
+            out.push('}');
+        }
+        out.push_str("],");
+        out.push_str(&format!("\"pipeline_metrics\":{}", pipeline_metrics_json()));
+        out.push('}');
+        out
+    }
+}
+
+/// With the `trace` feature: run the even/odd example once on each
+/// backend under a metrics session and return the counters/durations
+/// snapshot. Without it: an empty object (the hooks are no-ops).
+fn pipeline_metrics_json() -> String {
+    let metrics = std::sync::Arc::new(units_trace::Metrics::new());
+    units_trace::install(
+        std::rc::Rc::new(std::cell::RefCell::new(units_trace::NullSink)),
+        std::sync::Arc::clone(&metrics),
+    );
+    let p = Program::from_expr(even_odd_program(100)).with_strictness(Strictness::MzScheme);
+    p.run_unchecked(Backend::Compiled).unwrap();
+    p.run_unchecked(Backend::Reducer).unwrap();
+    units_trace::uninstall();
+    metrics.to_json()
+}
+
 fn main() {
-    let runs = 9;
+    let mut json = false;
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown flag {other:?}; usage: tables [--json] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut rec = Recorder::default();
+    let runs = if quick { 3 } else { 9 };
 
     header("link_reduction (Figs. 8/11): linking time vs. graph size");
     println!("{:>6} {:>8} {:>14} {:>14} {:>8}", "shape", "units", "compiled µs", "reducer µs", "ratio");
@@ -45,8 +144,8 @@ fn main() {
         ("star", star_program as fn(usize) -> units::Expr),
         ("cycle", cycle_program as fn(usize) -> units::Expr),
     ] {
-        for n in [2usize, 4, 8, 16] {
-            let p = Program::from_expr(make(n)).with_strictness(Strictness::MzScheme);
+        for n in if quick { &[2usize, 4][..] } else { &[2usize, 4, 8, 16][..] } {
+            let p = Program::from_expr(make(*n)).with_strictness(Strictness::MzScheme);
             let c = time_us(runs, || {
                 p.run_unchecked(Backend::Compiled).unwrap();
             });
@@ -54,13 +153,19 @@ fn main() {
                 p.run_unchecked(Backend::Reducer).unwrap();
             });
             println!("{shape:>6} {n:>8} {c:>14.1} {r:>14.1} {:>8.1}", r / c);
+            rec.push(
+                "link_reduction",
+                shape,
+                n,
+                vec![("compiled_us", c), ("reducer_us", r), ("ratio", r / c)],
+            );
         }
     }
 
     header("invoke_backends (§4.1.6): compiled vs. substitution");
     println!("{:>8} {:>14} {:>14} {:>8}", "depth", "compiled µs", "reducer µs", "ratio");
-    for depth in [25i64, 100, 400, 1600] {
-        let p = Program::from_expr(even_odd_program(depth)).with_strictness(Strictness::MzScheme);
+    for depth in if quick { &[25i64, 100][..] } else { &[25i64, 100, 400, 1600][..] } {
+        let p = Program::from_expr(even_odd_program(*depth)).with_strictness(Strictness::MzScheme);
         let c = time_us(runs, || {
             p.run_unchecked(Backend::Compiled).unwrap();
         });
@@ -68,6 +173,12 @@ fn main() {
             p.run_unchecked(Backend::Reducer).unwrap();
         });
         println!("{depth:>8} {c:>14.1} {r:>14.1} {:>8.1}", r / c);
+        rec.push(
+            "invoke_backends",
+            "even_odd",
+            depth,
+            vec![("compiled_us", c), ("reducer_us", r), ("ratio", r / c)],
+        );
     }
 
     header("resolution: slot-resolved vs. by-name variable lookup");
@@ -77,9 +188,9 @@ fn main() {
     );
     // Minimum over many runs: the A/B delta on even/odd is a few percent
     // of a ~100 µs run, well under median-of-9 scheduling noise.
-    let ab_runs = 60;
-    for depth in [25i64, 100, 400, 1600] {
-        let p = Program::from_expr(even_odd_program(depth)).with_strictness(Strictness::MzScheme);
+    let ab_runs = if quick { 10 } else { 60 };
+    for depth in if quick { &[25i64, 100][..] } else { &[25i64, 100, 400, 1600][..] } {
+        let p = Program::from_expr(even_odd_program(*depth)).with_strictness(Strictness::MzScheme);
         let off = p.clone().with_resolution(false);
         let on_us = bench::harness::min_us(ab_runs, || {
             p.run_unchecked(Backend::Compiled).unwrap();
@@ -88,11 +199,17 @@ fn main() {
             off.run_unchecked(Backend::Compiled).unwrap();
         });
         println!("{:>10} {depth:>8} {on_us:>14.1} {off_us:>14.1} {:>7.2}x", "even_odd", off_us / on_us);
+        rec.push(
+            "resolution",
+            "even_odd",
+            depth,
+            vec![("resolved_us", on_us), ("by_name_us", off_us), ("speedup", off_us / on_us)],
+        );
     }
     // The same trampoline inside units that carry extra definitions — the
     // production shape whose frame scans the resolver eliminates.
-    for extra in [4usize, 16, 64] {
-        let p = Program::from_expr(even_odd_wide_program(400, extra))
+    for extra in if quick { &[4usize][..] } else { &[4usize, 16, 64][..] } {
+        let p = Program::from_expr(even_odd_wide_program(400, *extra))
             .with_strictness(Strictness::MzScheme);
         let off = p.clone().with_resolution(false);
         let on_us = bench::harness::min_us(ab_runs, || {
@@ -107,9 +224,19 @@ fn main() {
             format!("400+{extra}"),
             off_us / on_us
         );
+        rec.push(
+            "resolution",
+            "even_odd_wide",
+            format!("400+{extra}"),
+            vec![("resolved_us", on_us), ("by_name_us", off_us), ("speedup", off_us / on_us)],
+        );
     }
-    for (d, w) in [(64usize, 8usize), (128, 8), (256, 8), (256, 16)] {
-        let p = Program::from_expr(deep_let_program(d, w)).with_strictness(Strictness::MzScheme);
+    for (d, w) in if quick {
+        &[(64usize, 8usize)][..]
+    } else {
+        &[(64usize, 8usize), (128, 8), (256, 8), (256, 16)][..]
+    } {
+        let p = Program::from_expr(deep_let_program(*d, *w)).with_strictness(Strictness::MzScheme);
         let off = p.clone().with_resolution(false);
         let on_us = bench::harness::min_us(ab_runs, || {
             p.run_unchecked(Backend::Compiled).unwrap();
@@ -123,30 +250,43 @@ fn main() {
             format!("{d}x{w}"),
             off_us / on_us
         );
+        rec.push(
+            "resolution",
+            "deep_let",
+            format!("{d}x{w}"),
+            vec![("resolved_us", on_us), ("by_name_us", off_us), ("speedup", off_us / on_us)],
+        );
     }
 
     header("instantiation (§4.1.6): per-instance cost stays flat");
     println!("{:>10} {:>14} {:>16}", "instances", "total µs", "per-instance µs");
-    for count in [1usize, 10, 100, 1000] {
-        let p = Program::from_expr(repeated_invoke(one_unit(), count))
+    for count in if quick { &[1usize, 10][..] } else { &[1usize, 10, 100, 1000][..] } {
+        let p = Program::from_expr(repeated_invoke(one_unit(), *count))
             .with_strictness(Strictness::MzScheme);
         let t = time_us(runs, || {
             p.run_unchecked(Backend::Compiled).unwrap();
         });
-        println!("{count:>10} {t:>14.1} {:>16.3}", t / count as f64);
+        println!("{count:>10} {t:>14.1} {:>16.3}", t / *count as f64);
+        rec.push(
+            "instantiation",
+            "repeated_invoke",
+            count,
+            vec![("total_us", t), ("per_instance_us", t / *count as f64)],
+        );
     }
 
     header("typecheck (Fig. 15): cost vs. interface width / graph size");
     println!("{:>14} {:>8} {:>12}", "series", "size", "µs");
-    for width in [4usize, 16, 64, 256] {
-        let unit = wide_typed_unit(width);
+    for width in if quick { &[4usize, 16][..] } else { &[4usize, 16, 64, 256][..] } {
+        let unit = wide_typed_unit(*width);
         let t = time_us(runs, || {
             type_of(&unit, Level::Constructed).unwrap();
         });
         println!("{:>14} {width:>8} {t:>12.1}", "unit_width");
+        rec.push("typecheck", "unit_width", width, vec![("us", t)]);
     }
-    for n in [4usize, 16, 64] {
-        let program = chain_program(n);
+    for n in if quick { &[4usize, 16][..] } else { &[4usize, 16, 64][..] } {
+        let program = chain_program(*n);
         let t = time_us(runs, || {
             check_program(
                 &program,
@@ -155,12 +295,13 @@ fn main() {
             .unwrap();
         });
         println!("{:>14} {n:>8} {t:>12.1}", "context_chain");
+        rec.push("typecheck", "context_chain", n, vec![("us", t)]);
     }
 
     header("ablation: valuability analysis / merge α-renaming");
     println!("{:>22} {:>8} {:>12}", "series", "size", "µs");
-    for n in [16usize, 64] {
-        let program = chain_program(n);
+    for n in if quick { &[16usize][..] } else { &[16usize, 64][..] } {
+        let program = chain_program(*n);
         for (label, strictness) in
             [("paper", Strictness::Paper), ("mzscheme", Strictness::MzScheme)]
         {
@@ -169,63 +310,74 @@ fn main() {
                     .unwrap();
             });
             println!("{:>22} {n:>8} {t:>12.1}", format!("valuability/{label}"));
+            rec.push(
+                "ablation",
+                format!("valuability/{label}"),
+                n,
+                vec![("us", t)],
+            );
         }
     }
-    for n in [4usize, 8, 16] {
+    for n in if quick { &[4usize, 8][..] } else { &[4usize, 8, 16][..] } {
         for (label, make) in [
             ("merge/disjoint", chain_program as fn(usize) -> units::Expr),
             ("merge/colliding", bench::colliding_chain_program as fn(usize) -> units::Expr),
         ] {
-            let p = Program::from_expr(make(n)).with_strictness(Strictness::MzScheme);
+            let p = Program::from_expr(make(*n)).with_strictness(Strictness::MzScheme);
             let t = time_us(runs, || {
                 p.run_unchecked(Backend::Reducer).unwrap();
             });
             println!("{:>22} {n:>8} {t:>12.1}", label);
+            rec.push("ablation", label, n, vec![("us", t)]);
         }
     }
 
     header("subtyping (Figs. 14/17): wide and deep signatures");
     println!("{:>8} {:>8} {:>12}", "series", "size", "µs");
-    for width in [4usize, 16, 64, 256] {
-        let specific = Ty::sig(wide_signature(width, 8));
-        let general = Ty::sig(wide_signature(width, 0));
+    for width in if quick { &[4usize, 16][..] } else { &[4usize, 16, 64, 256][..] } {
+        let specific = Ty::sig(wide_signature(*width, 8));
+        let general = Ty::sig(wide_signature(*width, 0));
         let t = time_us(runs, || {
             subtype(&Equations::new(), &specific, &general).unwrap();
         });
         println!("{:>8} {width:>8} {t:>12.1}", "width");
+        rec.push("subtyping", "width", width, vec![("us", t)]);
     }
-    for depth in [2usize, 4, 8, 16] {
-        let ty = deep_signature(depth);
+    for depth in if quick { &[2usize, 4][..] } else { &[2usize, 4, 8, 16][..] } {
+        let ty = deep_signature(*depth);
         let t = time_us(runs, || {
             subtype(&Equations::new(), &ty, &ty).unwrap();
         });
         println!("{:>8} {depth:>8} {t:>12.1}", "depth");
+        rec.push("subtyping", "depth", depth, vec![("us", t)]);
     }
 
     header("dependency_analysis (Figs. 18/19): expansion & UNITe checking");
     println!("{:>12} {:>8} {:>12}", "series", "chain", "µs");
-    for n in [4usize, 16, 64, 256] {
-        let eqs = alias_chain(n);
+    for n in if quick { &[4usize, 16][..] } else { &[4usize, 16, 64, 256][..] } {
+        let eqs = alias_chain(*n);
         let target = Ty::var(format!("a{}", n - 1));
         let t = time_us(runs, || {
             eqs.check_acyclic().unwrap();
             expand_ty(&target, &eqs).unwrap();
         });
         println!("{:>12} {n:>8} {t:>12.1}", "expand");
+        rec.push("dependency_analysis", "expand", n, vec![("us", t)]);
     }
-    for n in [4usize, 16, 64] {
-        let unit = alias_chain_unit(n);
+    for n in if quick { &[4usize][..] } else { &[4usize, 16, 64][..] } {
+        let unit = alias_chain_unit(*n);
         let t = time_us(runs, || {
             type_of(&unit, Level::Equations).unwrap();
         });
         println!("{:>12} {n:>8} {t:>12.1}", "unite_check");
+        rec.push("dependency_analysis", "unite_check", n, vec![("us", t)]);
     }
 
     header("dynlink (Fig. 7 / §3.4): per-load cost of checked loading");
     println!("{:>10} {:>16} {:>16}", "archive", "load+check µs", "load+run µs");
-    for count in [1usize, 8, 64] {
+    for count in if quick { &[1usize, 8][..] } else { &[1usize, 8, 64][..] } {
         let mut archive = Archive::new();
-        for i in 0..count {
+        for i in 0..*count {
             archive.publish(format!("p{i}"), plugin_source(i));
         }
         let expected = plugin_signature();
@@ -251,7 +403,24 @@ fn main() {
             program.run_unchecked(Backend::Compiled).unwrap();
         });
         println!("{count:>10} {t_load:>16.1} {t_run:>16.1}");
+        rec.push(
+            "dynlink",
+            "archive",
+            count,
+            vec![("load_check_us", t_load), ("load_run_us", t_run)],
+        );
     }
 
+    if json {
+        let doc = rec.to_json(quick);
+        units_trace::json::validate(&doc)
+            .unwrap_or_else(|e| panic!("BENCH_trace.json would be invalid at {e:?}"));
+        std::fs::write("BENCH_trace.json", &doc).expect("write BENCH_trace.json");
+        println!(
+            "\nWrote BENCH_trace.json ({} records, pipeline metrics {}).",
+            rec.records.len(),
+            if units_trace::COMPILED { "included" } else { "empty — built without trace" }
+        );
+    }
     println!("\nDone. Record these series in EXPERIMENTS.md.");
 }

@@ -76,9 +76,18 @@ pub fn check_program(
     expr: &units_kernel::Expr,
     opts: CheckOptions,
 ) -> Result<Option<units_kernel::Ty>, Vec<CheckError>> {
+    let _timer = units_trace::time("check");
     context_check(expr, opts.strictness)?;
-    match opts.level {
+    let result = match opts.level {
         Level::Untyped => Ok(None),
         level => type_of(expr, level).map(Some).map_err(|e| vec![e]),
-    }
+    };
+    units_trace::emit(
+        units_trace::Phase::Check,
+        "check/program",
+        None,
+        || opts.level.name().to_string(),
+        &[("check/programs", 1)],
+    );
+    result
 }

@@ -75,7 +75,37 @@ impl SubtypeError {
 pub fn subtype(eqs: &Equations, sub: &Ty, sup: &Ty) -> Result<(), SubtypeError> {
     let sub = expand_ty(sub, eqs).map_err(|e| SubtypeError::new(e.to_string()))?;
     let sup = expand_ty(sup, eqs).map_err(|e| SubtypeError::new(e.to_string()))?;
-    st(&sub, &sup)
+    units_trace::count("check/fig14/subtype", 1);
+    // Memoize proven judgments. Expansion already folded the equation
+    // set into both sides, so `st` is a pure function of the pair; the
+    // derived `Debug` rendering is a faithful (injective) key for it.
+    // Only successes are cached — failures re-run so error messages
+    // keep their exact shape and context.
+    let key = format!("{sub:?}\u{0}{sup:?}");
+    if PROVEN.with(|cache| cache.borrow().contains(&key)) {
+        units_trace::count("check/subtype/cache_hit", 1);
+        return Ok(());
+    }
+    units_trace::count("check/subtype/cache_miss", 1);
+    st(&sub, &sup)?;
+    PROVEN.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if cache.len() >= SUBTYPE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key);
+    });
+    Ok(())
+}
+
+/// Bound on the per-thread proven-pair memo; the whole cache is dropped
+/// when full (keys can be large for wide signatures, so the cap bounds
+/// memory, not entries kept hot).
+const SUBTYPE_CACHE_CAP: usize = 1024;
+
+thread_local! {
+    static PROVEN: std::cell::RefCell<std::collections::HashSet<String>> =
+        std::cell::RefCell::new(std::collections::HashSet::new());
 }
 
 /// Type equality under `D`: `a ≤ b` and `b ≤ a`.
@@ -84,6 +114,7 @@ pub fn ty_equal(eqs: &Equations, a: &Ty, b: &Ty) -> bool {
 }
 
 fn st(sub: &Ty, sup: &Ty) -> Result<(), SubtypeError> {
+    units_trace::count("check/fig14/st", 1);
     match (sub, sup) {
         (Ty::Var(a), Ty::Var(b)) if a == b => Ok(()),
         (Ty::Int, Ty::Int) | (Ty::Bool, Ty::Bool) | (Ty::Str, Ty::Str) | (Ty::Void, Ty::Void) => {

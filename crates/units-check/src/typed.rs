@@ -224,6 +224,15 @@ impl Typer {
     }
 
     fn infer(&mut self, env: &mut Env, expr: &Expr) -> Result<Ty, CheckError> {
+        // One typing rule fires per node: Fig. 15 for UNITc, Fig. 19
+        // for UNITe (UNITd never reaches the typer).
+        units_trace::count(
+            match self.level {
+                Level::Equations => "check/fig19/rules",
+                _ => "check/fig15/rules",
+            },
+            1,
+        );
         match expr {
             Expr::Var(x) => match env.val_ty(x) {
                 Some(ty) => Ok(ty.clone()),

@@ -105,6 +105,13 @@ impl Checker {
     }
 
     fn expr(&mut self, expr: &Expr, scope: &mut Scope) {
+        units_trace::count("check/fig10/exprs", 1);
+        match expr {
+            Expr::Unit(_) => units_trace::count("check/fig10/unit", 1),
+            Expr::Compound(_) => units_trace::count("check/fig10/compound", 1),
+            Expr::Invoke(_) => units_trace::count("check/fig10/invoke", 1),
+            _ => {}
+        }
         match expr {
             Expr::Var(x) | Expr::VarAt(x, _) => {
                 if !scope.contains(x) {

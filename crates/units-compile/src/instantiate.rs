@@ -59,6 +59,7 @@ pub fn invoke_unit(
     supplied: &HashMap<Symbol, Value>,
     machine: &mut Machine,
 ) -> Result<Value, RuntimeError> {
+    let _timer = units_trace::time("link");
     let mut import_cells = HashMap::with_capacity(unit.imports().vals.len());
     for port in &unit.imports().vals {
         match supplied.get(&port.name) {
@@ -70,6 +71,18 @@ pub fn invoke_unit(
     }
     let mut pendings = Vec::new();
     wire(unit, &import_cells, &HashMap::new(), machine, &mut pendings)?;
+    units_trace::emit(
+        units_trace::Phase::Link,
+        "link/invoke",
+        None,
+        || {
+            let mut names: Vec<&str> =
+                unit.exports().vals.iter().map(|p| p.name.as_str()).collect();
+            names.sort_unstable();
+            names.join(" ")
+        },
+        &[("link/invocations", 1), ("link/constituents", pendings.len() as u64)],
+    );
     for p in &pendings {
         p.run_defs(machine)?;
     }

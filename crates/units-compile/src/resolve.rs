@@ -99,14 +99,21 @@ fn letrec_frame_names(types: &[TypeDefn], vals: &[ValDefn]) -> Vec<Symbol> {
 /// Idempotent; free variables and machine-internal forms pass through
 /// unchanged.
 pub fn resolve_program(expr: &Expr) -> Expr {
+    let _timer = units_trace::time("resolve");
     go(expr, &mut Scope::default())
 }
 
 fn go(expr: &Expr, scope: &mut Scope) -> Expr {
     match expr {
         Expr::Var(x) => match scope.resolve(x) {
-            Some(addr) => Expr::VarAt(x.clone(), addr),
-            None => expr.clone(),
+            Some(addr) => {
+                units_trace::count("resolve/resolved", 1);
+                Expr::VarAt(x.clone(), addr)
+            }
+            None => {
+                units_trace::count("resolve/free", 1);
+                expr.clone()
+            }
         },
         // Re-resolving resolved code recomputes the address in the
         // current scope (making the pass idempotent at the top level).

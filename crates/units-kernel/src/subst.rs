@@ -92,6 +92,8 @@ impl ValSubst {
 
 /// One-shot convenience for [`ValSubst`].
 pub fn subst_vals(expr: &Expr, map: &HashMap<Symbol, Expr>, gen: &mut NameGen) -> Expr {
+    units_trace::count("kernel/subst_calls", 1);
+    units_trace::count("kernel/subst_bindings", map.len() as u64);
     ValSubst::new(map).apply(expr, gen)
 }
 

@@ -43,18 +43,55 @@ pub struct Reducer {
     pub gen: NameGen,
     /// Fuel and output buffer (shared type with the cells backend).
     pub machine: Machine,
+    /// Reductions performed so far (monotonic over the reducer's life).
+    steps: u64,
+    /// Which redex the in-flight step contracted — the Reduce-phase
+    /// event kind, set at each contraction site.
+    last_redex: &'static str,
+    /// Fault injection for divergence-diagnosis tests: after this many
+    /// steps, every integer δ-result is off by one.
+    #[cfg(feature = "trace")]
+    diverge_after: Option<u64>,
 }
 
 impl Reducer {
     /// A reducer with no step limit.
     pub fn new() -> Reducer {
-        Reducer { store: Store::new(), gen: NameGen::new(), machine: Machine::new() }
+        Reducer::with_machine(Machine::new())
     }
 
     /// A reducer that gives up with [`RuntimeError::OutOfFuel`] after
     /// `fuel` steps.
     pub fn with_fuel(fuel: u64) -> Reducer {
-        Reducer { store: Store::new(), gen: NameGen::new(), machine: Machine::with_fuel(fuel) }
+        Reducer::with_machine(Machine::with_fuel(fuel))
+    }
+
+    fn with_machine(machine: Machine) -> Reducer {
+        Reducer {
+            store: Store::new(),
+            gen: NameGen::new(),
+            machine,
+            steps: 0,
+            last_redex: "step/context",
+            #[cfg(feature = "trace")]
+            diverge_after: None,
+        }
+    }
+
+    /// How many reduction steps this reducer has performed — the
+    /// Fig. 11 step count reported by `:profile` and checked against
+    /// the Reduce-phase event stream in `tests/tracing.rs`.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Deliberately breaks the reducer for testing the divergence
+    /// report: once `steps` reductions have happened, every integer
+    /// result a δ-rule produces is off by one, so the backends' prim
+    /// event streams disagree at the first post-threshold primitive.
+    #[cfg(feature = "trace")]
+    pub fn inject_divergence_after(&mut self, steps: u64) {
+        self.diverge_after = Some(steps);
     }
 
     /// Reduces an expression all the way to a value.
@@ -64,6 +101,7 @@ impl Reducer {
     /// Any [`RuntimeError`] a reduction rule signals, or
     /// [`RuntimeError::OutOfFuel`].
     pub fn reduce_to_value(&mut self, expr: &Expr) -> Result<Expr, RuntimeError> {
+        let _timer = units_trace::time("reduce");
         let mut current = expr.clone();
         loop {
             match self.step(&current)? {
@@ -101,7 +139,16 @@ impl Reducer {
             return Ok(Step::Value);
         }
         self.machine.step()?;
-        self.reduce(expr).map(Step::Reduced)
+        let next = self.reduce(expr)?;
+        self.steps += 1;
+        units_trace::emit(
+            units_trace::Phase::Reduce,
+            self.last_redex,
+            None,
+            || self.steps.to_string(),
+            &[("reduce/steps", 1), ("reduce/store_size", self.store.len() as u64)],
+        );
+        Ok(Step::Reduced(next))
     }
 
     /// Finds the leftmost-outermost redex and contracts it. `expr` must
@@ -127,6 +174,7 @@ impl Reducer {
                 if !c.is_value() {
                     return Ok(Expr::If(Box::new(self.reduce(c)?), t.clone(), e.clone()));
                 }
+                self.last_redex = "step/if";
                 match &**c {
                     Expr::Lit(Lit::Bool(true)) => Ok((**t).clone()),
                     Expr::Lit(Lit::Bool(false)) => Ok((**e).clone()),
@@ -137,9 +185,13 @@ impl Reducer {
                 }
             }
             Expr::Seq(es) => match &es[..] {
-                [] => Ok(Expr::void()),
+                [] => {
+                    self.last_redex = "step/seq";
+                    Ok(Expr::void())
+                }
                 [only] => {
                     if only.is_value() {
+                        self.last_redex = "step/seq";
                         Ok(only.clone())
                     } else {
                         Ok(self.reduce(only)?)
@@ -147,6 +199,7 @@ impl Reducer {
                 }
                 [first, rest @ ..] => {
                     if first.is_value() {
+                        self.last_redex = "step/seq";
                         Ok(Expr::seq(rest.to_vec()))
                     } else {
                         let mut es = es.clone();
@@ -163,6 +216,7 @@ impl Reducer {
                         return Ok(Expr::Let(bs, body.clone()));
                     }
                 }
+                self.last_redex = "step/let";
                 let map: HashMap<Symbol, Expr> =
                     bindings.iter().map(|b| (b.name.clone(), b.expr.clone())).collect();
                 Ok(subst_vals(body, &map, &mut self.gen))
@@ -177,6 +231,7 @@ impl Reducer {
                                 Box::new(self.reduce(value)?),
                             ));
                         }
+                        self.last_redex = "step/set";
                         self.store.write_cell(*loc, (**value).clone())?;
                         Ok(Expr::void())
                     }
@@ -203,6 +258,7 @@ impl Reducer {
                 if !e.is_value() {
                     return Ok(Expr::Proj(*i, Box::new(self.reduce(e)?)));
                 }
+                self.last_redex = "step/proj";
                 match &**e {
                     Expr::Tuple(items) => items
                         .get(*i)
@@ -224,7 +280,10 @@ impl Reducer {
                     payload,
                 })))
             }
-            Expr::CellRef(loc) => Ok(self.store.read_cell(*loc)?.clone()),
+            Expr::CellRef(loc) => {
+                self.last_redex = "step/cell-read";
+                Ok(self.store.read_cell(*loc)?.clone())
+            }
             Expr::Compound(c) => {
                 for (i, link) in c.links.iter().enumerate() {
                     if !link.expr.is_value() {
@@ -244,6 +303,7 @@ impl Reducer {
                         }),
                     })
                     .collect::<Result<_, _>>()?;
+                self.last_redex = "step/compound";
                 let merged = merge_compound(c, &units, &mut self.gen)?;
                 Ok(Expr::Unit(Rc::new(merged)))
             }
@@ -266,6 +326,7 @@ impl Reducer {
                 if !e.is_value() {
                     return Ok(Expr::Seal(Box::new(self.reduce(e)?), sig.clone()));
                 }
+                self.last_redex = "step/seal";
                 match &**e {
                     Expr::Unit(u) => {
                         for port in &sig.exports.vals {
@@ -303,6 +364,7 @@ impl Reducer {
     /// references, and sequences the initializations before the body
     /// (Fig. 11's `invoke` rule reduces to exactly this form).
     fn reduce_letrec(&mut self, lr: &units_kernel::LetrecExpr) -> Result<Expr, RuntimeError> {
+        self.last_redex = "step/letrec";
         let mut map: HashMap<Symbol, Expr> = HashMap::new();
         // Datatype definitions: fresh instance, operations become values.
         for td in &lr.types {
@@ -361,6 +423,7 @@ impl Reducer {
                 found: crate::render(&inv.target),
             });
         };
+        self.last_redex = "step/invoke";
         // The with clause must cover the unit's imports.
         let mut map: HashMap<Symbol, Expr> = HashMap::new();
         for port in &unit.imports.vals {
@@ -392,6 +455,7 @@ impl Reducer {
                         found: args.len(),
                     });
                 }
+                self.last_redex = "step/beta";
                 let map: HashMap<Symbol, Expr> = lam
                     .params
                     .iter()
@@ -409,6 +473,7 @@ impl Reducer {
     }
 
     fn apply_data(&mut self, op: &DataOp, args: &[Expr]) -> Result<Expr, RuntimeError> {
+        self.last_redex = "step/data";
         let [arg] = args else {
             return Err(RuntimeError::Arity { expected: 1, found: args.len() });
         };
@@ -458,6 +523,33 @@ impl Reducer {
     /// the only place the substitution semantics touches σ apart from
     /// definition cells.
     fn delta(&mut self, op: PrimOp, args: &[Expr]) -> Result<Expr, RuntimeError> {
+        self.last_redex = "step/delta";
+        #[allow(unused_mut)]
+        let mut result = self.delta_result(op, args)?;
+        #[cfg(feature = "trace")]
+        if self.diverge_after.is_some_and(|after| self.steps >= after) {
+            if let Expr::Lit(Lit::Int(n)) = &result {
+                result = Expr::int(n.wrapping_add(1));
+            }
+        }
+        units_trace::emit(
+            units_trace::Phase::Reduce,
+            "prim",
+            None,
+            || {
+                units_runtime::render_prim_call(
+                    op,
+                    args.iter().map(ground_expr),
+                    &ground_expr(&result),
+                )
+            },
+            &[("reduce/prim_calls", 1)],
+        );
+        Ok(result)
+    }
+
+    /// The δ-function proper: the table of primitive contractions.
+    fn delta_result(&mut self, op: PrimOp, args: &[Expr]) -> Result<Expr, RuntimeError> {
         use Expr::Lit as L;
         if args.len() != op.arity() {
             return Err(RuntimeError::Arity { expected: op.arity(), found: args.len() });
@@ -563,6 +655,19 @@ impl Reducer {
 impl Default for Reducer {
     fn default() -> Self {
         Reducer::new()
+    }
+}
+
+/// Ground rendering of a reducer expression for prim events — formats
+/// match `units-runtime`'s value rendering exactly so the two backends'
+/// `"prim"` payload streams are comparable.
+fn ground_expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(Lit::Int(n)) => n.to_string(),
+        Expr::Lit(Lit::Bool(b)) => b.to_string(),
+        Expr::Lit(Lit::Str(s)) => format!("{s:?}"),
+        Expr::Lit(Lit::Void) => "void".to_string(),
+        _ => "·".to_string(),
     }
 }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! units-repl [OPTIONS] [FILE]
 //!   -e, --expr <SRC>       evaluate a source string instead of a file
+//!   -i, --interactive      read-eval-print loop (default on a terminal)
 //!   -l, --level <d|c|e>    UNITd (default) / UNITc / UNITe
 //!   -b, --backend <name>   compiled (default) | reducer
 //!       --mzscheme         relax the valuability restriction (§4.1.1)
@@ -12,17 +13,22 @@
 //!       --fuel <N>         bound evaluation to N machine steps
 //! ```
 //!
-//! With no file and no `--expr`, reads the program from standard input.
+//! With no file and no `--expr`, reads the program from standard input —
+//! or, when standard input is a terminal, starts the interactive loop,
+//! which adds the observability commands `:trace on|off|json`, `:stats`,
+//! and `:profile <expr>` (live when built with `--features trace`).
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use units::{Backend, Level, Program, Reducer, Step, Strictness};
 
+mod repl;
 
 struct Options {
     source: Option<String>,
     file: Option<String>,
+    interactive: bool,
     level: Level,
     strictness: Strictness,
     backend: Backend,
@@ -33,7 +39,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: units-repl [-e EXPR] [-l d|c|e] [-b compiled|reducer] \
+    "usage: units-repl [-e EXPR] [-i] [-l d|c|e] [-b compiled|reducer] \
      [--mzscheme] [--check-only] [--diagram] [--trace N] [--fuel N] [FILE]"
 }
 
@@ -41,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         source: None,
         file: None,
+        interactive: false,
         level: Level::Untyped,
         strictness: Strictness::Paper,
         backend: Backend::Compiled,
@@ -55,6 +62,7 @@ fn parse_args() -> Result<Options, String> {
             "-e" | "--expr" => {
                 opts.source = Some(args.next().ok_or("--expr needs an argument")?);
             }
+            "-i" | "--interactive" => opts.interactive = true,
             "-l" | "--level" => {
                 opts.level = match args.next().as_deref() {
                     Some("d") | Some("untyped") => Level::Untyped,
@@ -100,6 +108,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    let want_repl = opts.interactive
+        || (opts.source.is_none() && opts.file.is_none() && {
+            use std::io::IsTerminal;
+            std::io::stdin().is_terminal()
+        });
+    if want_repl {
+        return repl::run(&opts);
+    }
 
     let source = match (&opts.source, &opts.file) {
         (Some(src), _) => src.clone(),

@@ -1,0 +1,374 @@
+//! The interactive read-eval-print loop.
+//!
+//! Multi-line friendly: input accumulates until its parentheses balance,
+//! with a continuation prompt, and the buffer is dropped (with a fresh
+//! prompt and an explicit flush) after both parse and runtime errors —
+//! an error can never leave half an expression silently queued.
+//!
+//! Observability commands (`:trace`, `:stats`, `:profile`) are live when
+//! the binary is built with `--features trace`; otherwise they explain
+//! how to get them.
+
+use std::cell::RefCell;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use units::trace::{Event, Metrics, TraceSink};
+use units::{Backend, Program};
+
+use crate::Options;
+
+/// How events reach the user while the loop runs.
+#[derive(Clone, Copy, PartialEq)]
+enum TraceMode {
+    Off,
+    /// Each event printed as readable text.
+    On,
+    /// Each event printed as one JSON line.
+    Json,
+}
+
+/// Prints events as `;; trace:`-prefixed text.
+struct PrintSink;
+
+impl TraceSink for PrintSink {
+    fn event(&mut self, event: &Event) {
+        println!(";; trace: {event}");
+    }
+}
+
+/// Prints events as JSON lines.
+struct JsonSink;
+
+impl TraceSink for JsonSink {
+    fn event(&mut self, event: &Event) {
+        println!("{}", event.to_json());
+    }
+}
+
+struct Repl {
+    opts_level: units::Level,
+    strictness: units::Strictness,
+    backend: Backend,
+    fuel: Option<u64>,
+    mode: TraceMode,
+    /// Metrics accumulated across the session (what `:stats` prints).
+    metrics: Arc<Metrics>,
+}
+
+const HELP: &str = ";; commands:
+;;   :help                 this message
+;;   :quit                 leave the repl (also Ctrl-D)
+;;   :trace on|off|json    stream events per evaluation (text or JSON lines)
+;;   :stats                print accumulated counters and phase timings
+;;   :profile <expr>       run <expr> on both backends; report per-phase
+;;                         durations and the Fig. 11 step count
+;; anything else is evaluated as a program (multi-line until parens balance)";
+
+/// Runs the interactive loop. Returns failure only when standard input
+/// cannot be read at all.
+pub fn run(opts: &Options) -> ExitCode {
+    let mut repl = Repl {
+        opts_level: opts.level,
+        strictness: opts.strictness,
+        backend: opts.backend,
+        fuel: opts.fuel,
+        mode: TraceMode::Off,
+        metrics: Arc::new(Metrics::new()),
+    };
+    println!(";; units repl — :help for commands");
+    if !units::trace::COMPILED {
+        println!(";; (tracing not compiled in; rebuild with --features trace)");
+    }
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let mut buffer = String::new();
+    loop {
+        prompt(if buffer.is_empty() { "units> " } else { "  ...> " });
+        let line = match lines.next() {
+            Some(Ok(line)) => line,
+            Some(Err(e)) => {
+                eprintln!("error: cannot read standard input: {e}");
+                return ExitCode::FAILURE;
+            }
+            None => {
+                println!();
+                return ExitCode::SUCCESS;
+            }
+        };
+        if buffer.is_empty() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(command) = trimmed.strip_prefix(':') {
+                if !repl.command(command) {
+                    return ExitCode::SUCCESS;
+                }
+                continue;
+            }
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        match paren_balance(&buffer) {
+            Ok(n) if n > 0 => continue, // still open — keep reading
+            Ok(_) => {}
+            Err(()) => {} // too many closers: let the parser report it
+        }
+        let source = std::mem::take(&mut buffer);
+        repl.evaluate(&source);
+        // An evaluation (or its error report) must never swallow the next
+        // prompt: push everything out before reading again.
+        flush_all();
+    }
+}
+
+fn prompt(text: &str) {
+    print!("{text}");
+    flush_all();
+}
+
+fn flush_all() {
+    let _ = std::io::stdout().flush();
+    let _ = std::io::stderr().flush();
+}
+
+/// Net open parentheses, ignoring string literals and `;` comments.
+/// `Err(())` means more closers than openers (unbalanced beyond repair).
+fn paren_balance(src: &str) -> Result<i64, ()> {
+    let mut depth = 0i64;
+    let mut chars = src.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err(());
+                }
+            }
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '"' => {
+                let mut escaped = false;
+                for c in chars.by_ref() {
+                    match c {
+                        _ if escaped => escaped = false,
+                        '\\' => escaped = true,
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(depth)
+}
+
+impl Repl {
+    /// Handles a `:command`; returns `false` to quit.
+    fn command(&mut self, command: &str) -> bool {
+        let mut words = command.split_whitespace();
+        match words.next() {
+            Some("help") | Some("h") => println!("{HELP}"),
+            Some("quit") | Some("q") | Some("exit") => return false,
+            Some("trace") => self.set_trace(words.next()),
+            Some("stats") => self.stats(),
+            Some("profile") => {
+                let rest = command.strip_prefix("profile").unwrap_or("").trim();
+                if rest.is_empty() {
+                    println!(";; usage: :profile <expr>");
+                } else {
+                    self.profile(rest);
+                }
+            }
+            Some(other) => println!(";; unknown command :{other} — :help lists commands"),
+            None => println!("{HELP}"),
+        }
+        true
+    }
+
+    fn set_trace(&mut self, arg: Option<&str>) {
+        if !units::trace::COMPILED {
+            println!(";; tracing not compiled in; rebuild with --features trace");
+            return;
+        }
+        match arg {
+            Some("on") => self.mode = TraceMode::On,
+            Some("off") => self.mode = TraceMode::Off,
+            Some("json") => self.mode = TraceMode::Json,
+            other => {
+                println!(
+                    ";; usage: :trace on|off|json (got {})",
+                    other.unwrap_or("nothing")
+                );
+                return;
+            }
+        }
+        println!(
+            ";; trace {}",
+            match self.mode {
+                TraceMode::Off => "off",
+                TraceMode::On => "on",
+                TraceMode::Json => "json",
+            }
+        );
+    }
+
+    /// Installs the session for the current trace mode (events to the
+    /// chosen sink, metrics into the accumulated registry).
+    fn install(&self) {
+        let sink: Rc<RefCell<dyn TraceSink>> = match self.mode {
+            TraceMode::Off => Rc::new(RefCell::new(units::trace::NullSink)),
+            TraceMode::On => Rc::new(RefCell::new(PrintSink)),
+            TraceMode::Json => Rc::new(RefCell::new(JsonSink)),
+        };
+        units::trace::install(sink, Arc::clone(&self.metrics));
+    }
+
+    fn program(&self, source: &str) -> Result<Program, units::Error> {
+        let mut p = Program::parse(source)?
+            .at_level(self.opts_level)
+            .with_strictness(self.strictness);
+        if let Some(fuel) = self.fuel {
+            p = p.with_fuel(fuel);
+        }
+        Ok(p)
+    }
+
+    fn evaluate(&mut self, source: &str) {
+        // Install before parsing so the parse phase is traced too.
+        self.install();
+        let result = self.program(source).and_then(|p| p.run_on(self.backend));
+        units::trace::uninstall();
+        match result {
+            Ok(outcome) => {
+                for line in &outcome.output {
+                    println!("{line}");
+                }
+                println!("{}", outcome.value);
+            }
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+
+    fn stats(&self) {
+        if !units::trace::COMPILED {
+            println!(";; tracing not compiled in; rebuild with --features trace");
+            return;
+        }
+        let counters = self.metrics.counters();
+        if counters.is_empty() {
+            println!(";; no counters yet — evaluate something first");
+        } else {
+            println!(";; counters:");
+            for (name, value) in &counters {
+                println!(";;   {name:<28} {value}");
+            }
+        }
+        print_durations(&self.metrics);
+    }
+
+    /// Runs `source` on *both* backends under a fresh metrics registry
+    /// and reports per-phase durations plus the Fig. 11 step count.
+    fn profile(&mut self, source: &str) {
+        if !units::trace::COMPILED {
+            println!(";; tracing not compiled in; rebuild with --features trace");
+            return;
+        }
+        let metrics = Arc::new(Metrics::new());
+        units::trace::install(
+            Rc::new(RefCell::new(units::trace::NullSink)),
+            Arc::clone(&metrics),
+        );
+        let runs = self.program(source).map(|p| {
+            (p.run_on(Backend::Compiled), p.run_on(Backend::Reducer))
+        });
+        units::trace::uninstall();
+        let (compiled, reduced) = match runs {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("{e}");
+                return;
+            }
+        };
+        match (&compiled, &reduced) {
+            (Ok(a), Ok(b)) if a == b => println!(";; both backends: {}", a.value),
+            (Ok(a), Ok(b)) => {
+                println!(";; BACKENDS DISAGREE: compiled={} reduced={}", a.value, b.value);
+            }
+            (Err(e), _) => eprintln!("compiled backend: {e}"),
+            (_, Err(e)) => eprintln!("reducer backend: {e}"),
+        }
+        println!(";; Fig. 11 steps: {}", metrics.counter("reduce/steps"));
+        println!(";; prim calls: compiled {}, reducer {}",
+            metrics.counter("prim/calls"),
+            metrics.counter("reduce/prim_calls"));
+        print_durations(&metrics);
+        // Fold the profile into the session totals so `:stats` sees it.
+        for (name, value) in metrics.counters() {
+            self.metrics.add(name, value);
+        }
+    }
+}
+
+fn print_durations(metrics: &Metrics) {
+    let durations = metrics.durations();
+    if durations.is_empty() {
+        return;
+    }
+    println!(";; phase durations:");
+    println!(";;   {:<10} {:>6} {:>12} {:>12}", "phase", "count", "total", "mean");
+    for (name, stats) in &durations {
+        println!(
+            ";;   {:<10} {:>6} {:>12} {:>12}",
+            name,
+            stats.count,
+            format_ns(stats.total_ns),
+            format_ns(stats.mean_ns())
+        );
+    }
+}
+
+/// Renders nanoseconds with a human unit.
+fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{}µs", ns / 1_000),
+        10_000_000..=9_999_999_999 => format!("{}ms", ns / 1_000_000),
+        _ => format!("{}s", ns / 1_000_000_000),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paren_balance_tracks_strings_and_comments() {
+        assert_eq!(paren_balance("(+ 1 2)"), Ok(0));
+        assert_eq!(paren_balance("(define x"), Ok(1));
+        assert_eq!(paren_balance("((("), Ok(3));
+        assert_eq!(paren_balance("\"(((\""), Ok(0));
+        assert_eq!(paren_balance("; (((\n"), Ok(0));
+        assert_eq!(paren_balance("(display \"a)b\")"), Ok(0));
+        assert_eq!(paren_balance("(f \"esc\\\")\")"), Ok(0));
+        assert_eq!(paren_balance(")("), Err(()));
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(5), "5ns");
+        assert_eq!(format_ns(25_000), "25µs");
+        assert_eq!(format_ns(42_000_000), "42ms");
+        assert_eq!(format_ns(12_000_000_000), "12s");
+    }
+}

@@ -40,6 +40,7 @@ impl Env {
 
     /// A new environment with one extra frame of bindings.
     pub fn extend(&self, bindings: Vec<(Symbol, Binding)>) -> Env {
+        units_trace::count("runtime/frames", 1);
         Env(Some(Rc::new(Frame { bindings, parent: self.clone() })))
     }
 
@@ -68,12 +69,21 @@ impl Env {
         for _ in 0..addr.depth {
             match frame {
                 Some(f) => frame = f.parent.0.as_deref(),
-                None => return self.lookup(name),
+                None => {
+                    units_trace::count("runtime/lookup_at/miss", 1);
+                    return self.lookup(name);
+                }
             }
         }
         match frame.and_then(|f| f.bindings.get(addr.slot as usize)) {
-            Some((n, b)) if n == name => Some(b),
-            _ => self.lookup(name),
+            Some((n, b)) if n == name => {
+                units_trace::count("runtime/lookup_at/hit", 1);
+                Some(b)
+            }
+            _ => {
+                units_trace::count("runtime/lookup_at/miss", 1);
+                self.lookup(name)
+            }
         }
     }
 

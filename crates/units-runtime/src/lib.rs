@@ -33,7 +33,7 @@ mod value;
 pub use env::{Binding, Env};
 pub use error::RuntimeError;
 pub use machine::Machine;
-pub use prim::apply_prim;
+pub use prim::{apply_prim, render_prim_call};
 pub use value::{
     filled_cell, new_cell, AtomicUnit, CellRef, Closure, DataOpValue, LinkedConstituent,
     LinkedUnit, UnitValue, Value, VariantValue,

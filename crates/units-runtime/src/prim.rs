@@ -62,6 +62,84 @@ pub fn apply_prim(
     args: &[Value],
     machine: &mut Machine,
 ) -> Result<Value, RuntimeError> {
+    let result = prim_result(op, args, machine)?;
+    units_trace::emit(
+        units_trace::Phase::Eval,
+        "prim",
+        None,
+        || render_prim_call(op, args.iter().map(ground_value), &ground_value(&result)),
+        &[("prim/calls", 1), (prim_counter(op), 1)],
+    );
+    Ok(result)
+}
+
+/// Renders a prim call as `(op arg…) -> result` from already-ground
+/// pieces. The reducer's delta events use the same renderer, so the two
+/// backends' `"prim"` event streams are directly comparable — that
+/// alignment is what lets divergence diagnosis name the first
+/// disagreeing step.
+pub fn render_prim_call(
+    op: PrimOp,
+    args: impl Iterator<Item = String>,
+    result: &str,
+) -> String {
+    let mut out = String::from("(");
+    out.push_str(op.name());
+    for arg in args {
+        out.push(' ');
+        out.push_str(&arg);
+    }
+    out.push_str(") -> ");
+    out.push_str(result);
+    out
+}
+
+/// Ground rendering of a value for prim events: literals print
+/// canonically, anything higher-order is an opaque `·` (both backends
+/// agree on that by construction).
+fn ground_value(v: &Value) -> String {
+    match v {
+        Value::Int(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => format!("{s:?}"),
+        Value::Void => "void".to_string(),
+        _ => "·".to_string(),
+    }
+}
+
+/// The per-operation counter name (`"prim/<surface name>"`).
+fn prim_counter(op: PrimOp) -> &'static str {
+    match op {
+        PrimOp::Add => "prim/+",
+        PrimOp::Sub => "prim/-",
+        PrimOp::Mul => "prim/*",
+        PrimOp::Div => "prim//",
+        PrimOp::Rem => "prim/rem",
+        PrimOp::Lt => "prim/<",
+        PrimOp::Le => "prim/<=",
+        PrimOp::NumEq => "prim/=",
+        PrimOp::Not => "prim/not",
+        PrimOp::BoolEq => "prim/bool=?",
+        PrimOp::StrAppend => "prim/string-append",
+        PrimOp::StrEq => "prim/string=?",
+        PrimOp::StrLen => "prim/string-length",
+        PrimOp::IntToStr => "prim/int->string",
+        PrimOp::Display => "prim/display",
+        PrimOp::Fail => "prim/fail",
+        PrimOp::HashNew => "prim/hash-new",
+        PrimOp::HashSet => "prim/hash-set!",
+        PrimOp::HashGet => "prim/hash-get",
+        PrimOp::HashHas => "prim/hash-has?",
+        PrimOp::HashRemove => "prim/hash-remove!",
+        PrimOp::HashCount => "prim/hash-count",
+    }
+}
+
+fn prim_result(
+    op: PrimOp,
+    args: &[Value],
+    machine: &mut Machine,
+) -> Result<Value, RuntimeError> {
     if args.len() != op.arity() {
         return Err(RuntimeError::Arity { expected: op.arity(), found: args.len() });
     }

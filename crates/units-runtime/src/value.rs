@@ -22,6 +22,7 @@ pub type CellRef = Rc<RefCell<Option<Value>>>;
 
 /// Creates a fresh, uninitialized cell.
 pub fn new_cell() -> CellRef {
+    units_trace::count("runtime/cells", 1);
     Rc::new(RefCell::new(None))
 }
 

@@ -65,7 +65,10 @@ pub const RESERVED: &[&str] = &[
 /// # Ok::<(), units_syntax::ParseError>(())
 /// ```
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
-    expr(&read_one(src)?)
+    let _timer = units_trace::time("parse");
+    let form = read_one(src)?;
+    trace_forms("parse/expr", src, std::slice::from_ref(&form));
+    expr(&form)
 }
 
 /// Parses a type expression from source text.
@@ -111,7 +114,9 @@ pub fn parse_signature(src: &str) -> Result<Signature, ParseError> {
 /// # Ok::<(), units_syntax::ParseError>(())
 /// ```
 pub fn parse_file(src: &str) -> Result<Expr, ParseError> {
+    let _timer = units_trace::time("parse");
     let forms = read_all(src)?;
+    trace_forms("parse/file", src, &forms);
     let mut types = Vec::new();
     let mut vals = Vec::new();
     let mut exprs = Vec::new();
@@ -131,6 +136,29 @@ pub fn parse_file(src: &str) -> Result<Expr, ParseError> {
     } else {
         Ok(Expr::Letrec(std::rc::Rc::new(LetrecExpr { types, vals, body })))
     }
+}
+
+/// Emits one Parse-phase event summarizing a successful read: how many
+/// top-level forms, leaf atoms, and source bytes, with the whole-input
+/// span. Compiles to nothing without the `trace` feature.
+fn trace_forms(kind: &'static str, src: &str, forms: &[SExpr]) {
+    fn atoms(sx: &SExpr) -> u64 {
+        match sx.as_list() {
+            Some(items) => items.iter().map(atoms).sum(),
+            None => 1,
+        }
+    }
+    units_trace::emit(
+        units_trace::Phase::Parse,
+        kind,
+        Some(units_trace::Span::new(0, src.len() as u32)),
+        String::new,
+        &[
+            ("parse/forms", forms.len() as u64),
+            ("parse/atoms", forms.iter().map(atoms).sum()),
+            ("parse/bytes", src.len() as u64),
+        ],
+    );
 }
 
 fn is_defn(sx: &SExpr) -> bool {

@@ -1,0 +1,192 @@
+//! A thread-safe registry of monotonic counters and duration
+//! histograms.
+//!
+//! Counters are keyed by `'static` names following a `phase/what`
+//! convention (`"reduce/steps"`, `"prim/+"`, `"runtime/cells"`).
+//! Durations are recorded into per-name statistics with log₂(ns)
+//! buckets — wall-clock data lives only here, never in events, so event
+//! streams stay deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of log₂ nanosecond buckets ([`DurationStats::buckets`]).
+/// Bucket `i` counts samples with `floor(log2(ns)) == i`, clamped at
+/// the top; bucket 31 therefore holds everything ≥ ~2.1 s.
+pub const DURATION_BUCKETS: usize = 32;
+
+/// Aggregated statistics for one named duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationStats {
+    /// How many samples were recorded.
+    pub count: u64,
+    /// Sum of all samples, in nanoseconds.
+    pub total_ns: u64,
+    /// Smallest sample, in nanoseconds.
+    pub min_ns: u64,
+    /// Largest sample, in nanoseconds.
+    pub max_ns: u64,
+    /// log₂(ns) histogram; see [`DURATION_BUCKETS`].
+    pub buckets: [u64; DURATION_BUCKETS],
+}
+
+impl Default for DurationStats {
+    fn default() -> DurationStats {
+        DurationStats {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; DURATION_BUCKETS],
+        }
+    }
+}
+
+impl DurationStats {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        let bucket = (63 - ns.max(1).leading_zeros() as usize).min(DURATION_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean sample duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The registry. Cheap to share (`Arc<Metrics>`) and safe to update
+/// from any thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    durations: Mutex<BTreeMap<&'static str, DurationStats>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn add(&self, name: &'static str, delta: u64) {
+        let mut counters = self.counters.lock().expect("metrics counter lock");
+        *counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records one sample of the duration `name`.
+    pub fn record_duration(&self, name: &'static str, duration: Duration) {
+        let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        let mut durations = self.durations.lock().expect("metrics duration lock");
+        durations.entry(name).or_default().record(ns);
+    }
+
+    /// The current value of one counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().expect("metrics counter lock").get(name).copied().unwrap_or(0)
+    }
+
+    /// A snapshot of every counter.
+    pub fn counters(&self) -> BTreeMap<&'static str, u64> {
+        self.counters.lock().expect("metrics counter lock").clone()
+    }
+
+    /// A snapshot of every duration's statistics.
+    pub fn durations(&self) -> BTreeMap<&'static str, DurationStats> {
+        self.durations.lock().expect("metrics duration lock").clone()
+    }
+
+    /// Clears all counters and histograms.
+    pub fn reset(&self) {
+        self.counters.lock().expect("metrics counter lock").clear();
+        self.durations.lock().expect("metrics duration lock").clear();
+    }
+
+    /// The whole registry as one JSON object:
+    /// `{"counters": {...}, "durations": {name: {count, total_ns, ...}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::json::escape(name));
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"durations\":{");
+        for (i, (name, stats)) in self.durations().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::json::escape(name));
+            out.push_str(&format!(
+                ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
+                stats.count,
+                stats.total_ns,
+                if stats.count == 0 { 0 } else { stats.min_ns },
+                stats.max_ns,
+                stats.mean_ns()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = Metrics::new();
+        m.add("reduce/steps", 2);
+        m.add("reduce/steps", 3);
+        m.add("prim/+", 1);
+        assert_eq!(m.counter("reduce/steps"), 5);
+        assert_eq!(m.counter("never"), 0);
+        let snap = m.counters();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap["prim/+"], 1);
+    }
+
+    #[test]
+    fn durations_track_count_min_max_and_buckets() {
+        let m = Metrics::new();
+        m.record_duration("parse", Duration::from_nanos(100));
+        m.record_duration("parse", Duration::from_nanos(1_000_000));
+        let stats = &m.durations()["parse"];
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.min_ns, 100);
+        assert_eq!(stats.max_ns, 1_000_000);
+        assert_eq!(stats.total_ns, 1_000_100);
+        assert_eq!(stats.buckets.iter().sum::<u64>(), 2);
+        // floor(log2(100)) = 6, floor(log2(1e6)) = 19.
+        assert_eq!(stats.buckets[6], 1);
+        assert_eq!(stats.buckets[19], 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = Metrics::new();
+        m.add("x", 1);
+        m.record_duration("y", Duration::from_nanos(5));
+        m.reset();
+        assert!(m.counters().is_empty());
+        assert!(m.durations().is_empty());
+    }
+
+    #[test]
+    fn metrics_json_is_valid() {
+        let m = Metrics::new();
+        m.add("prim/+", 4);
+        m.record_duration("eval", Duration::from_micros(3));
+        crate::json::validate(&m.to_json()).unwrap();
+    }
+}

@@ -53,7 +53,14 @@ pub mod typed_stdlib;
 
 pub use error::Error;
 pub use observe::{observe_expr, observe_value, Observation};
+#[cfg(feature = "trace")]
+pub use observe::{diagnose_divergence, DivergenceReport};
 pub use program::{Backend, Outcome, Program};
+
+/// The tracing substrate, re-exported so downstream users can install
+/// sinks and read metrics without naming the `units-trace` crate. With
+/// the `trace` cargo feature off every hook is a no-op.
+pub use units_trace as trace;
 
 // Re-export the pieces a downstream user needs without naming every crate.
 pub use units_check::{

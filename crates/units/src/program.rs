@@ -61,6 +61,11 @@ pub struct Program {
     /// Lazily computed slot-resolved form of `expr`; resolution is a
     /// compile step, paid once per program rather than once per run.
     resolved: std::cell::OnceCell<Expr>,
+    /// Fault injection (tests only): make the reducer's δ-rules
+    /// mis-compute integers after this many steps, so the divergence
+    /// report has something real to find.
+    #[cfg(feature = "trace")]
+    diverge_after: Option<u64>,
 }
 
 impl Program {
@@ -80,6 +85,8 @@ impl Program {
             checked_ty: None,
             resolve: true,
             resolved: std::cell::OnceCell::new(),
+            #[cfg(feature = "trace")]
+            diverge_after: None,
         })
     }
 
@@ -93,6 +100,8 @@ impl Program {
             checked_ty: None,
             resolve: true,
             resolved: std::cell::OnceCell::new(),
+            #[cfg(feature = "trace")]
+            diverge_after: None,
         }
     }
 
@@ -122,6 +131,16 @@ impl Program {
     /// against, and a way to exercise the fallback path in tests.
     pub fn with_resolution(mut self, on: bool) -> Program {
         self.resolve = on;
+        self
+    }
+
+    /// Deliberately breaks the reference reducer after `steps`
+    /// reductions (integer δ-results come back off by one), so tests can
+    /// force the backends apart and exercise the divergence report. See
+    /// [`units_reduce::Reducer::inject_divergence_after`].
+    #[cfg(feature = "trace")]
+    pub fn with_injected_divergence(mut self, steps: u64) -> Program {
+        self.diverge_after = Some(steps);
         self
     }
 
@@ -178,6 +197,7 @@ impl Program {
     pub fn run_unchecked(&self, backend: Backend) -> Result<Outcome, Error> {
         match backend {
             Backend::Compiled => {
+                let _timer = units_trace::time("eval");
                 let mut machine = match self.fuel {
                     Some(f) => Machine::with_fuel(f),
                     None => Machine::new(),
@@ -195,6 +215,10 @@ impl Program {
                     Some(f) => Reducer::with_fuel(f),
                     None => Reducer::new(),
                 };
+                #[cfg(feature = "trace")]
+                if let Some(after) = self.diverge_after {
+                    reducer.inject_divergence_after(after);
+                }
                 let value = reducer.reduce_to_value(&self.expr)?;
                 Ok(Outcome {
                     value: observe_expr(&value),
@@ -223,11 +247,19 @@ impl Program {
         let reduced = self.run_on(Backend::Reducer);
         match (compiled, reduced) {
             (Ok(a), Ok(b)) => {
-                assert_eq!(
-                    a, b,
-                    "backends disagree: compiled={a:?} vs reduced={b:?}\nprogram: {}",
-                    self.to_source()
-                );
+                if a != b {
+                    #[cfg(feature = "trace")]
+                    panic!(
+                        "backends disagree: compiled={a:?} vs reduced={b:?}\n{}\nprogram: {}",
+                        crate::observe::diagnose_divergence(self),
+                        self.to_source()
+                    );
+                    #[cfg(not(feature = "trace"))]
+                    panic!(
+                        "backends disagree: compiled={a:?} vs reduced={b:?}\nprogram: {}",
+                        self.to_source()
+                    );
+                }
                 Ok(a)
             }
             (Err(a), Err(_b)) => Err(a),

@@ -1,0 +1,165 @@
+//! Observability invariants: event streams are deterministic, the
+//! no-event path changes nothing observable, and the reducer's event
+//! stream is an exact account of its Fig. 11 step count.
+//!
+//! Everything here needs the `trace` cargo feature except the
+//! NullSink-identity test, which also pins the no-op build's behavior.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[cfg(feature = "trace")]
+use units::Backend;
+use units::Program;
+
+/// The stdlib programs these tests replay: the paper's running examples
+/// (Figs. 1–8) plus the cyclic even/odd of Fig. 12.
+fn stdlib_programs() -> Vec<(&'static str, String)> {
+    vec![
+        ("ipb", units::stdlib::ipb_program()),
+        ("make-ipb-novice", units::stdlib::make_ipb_program(false)),
+        ("make-ipb-expert", units::stdlib::make_ipb_program(true)),
+        ("plugin", units::stdlib::plugin_program(&units::stdlib::sample_loader_plugin())),
+        ("even-odd", EVEN_ODD.to_string()),
+    ]
+}
+
+const EVEN_ODD: &str = "(invoke (compound (import) (export)
+    (link ((unit (import odd) (export even)
+             (define even (lambda (n) (if (= n 0) true (odd (- n 1))))))
+           (with odd) (provides even))
+          ((unit (import even) (export odd)
+             (define odd (lambda (n) (if (= n 0) false (even (- n 1)))))
+             (init (odd 13)))
+           (with even) (provides odd)))))";
+
+/// Running with a `NullSink` installed is observably identical to running
+/// with no session at all — in both feature configurations (without
+/// `trace`, `install` itself is a no-op and this pins that too).
+#[test]
+fn null_sink_is_observably_inert() {
+    for (name, src) in stdlib_programs() {
+        let program = Program::parse(&src).unwrap();
+        let bare = program.run_differential().unwrap();
+        units::trace::install(
+            Rc::new(RefCell::new(units::trace::NullSink)),
+            Arc::new(units::trace::Metrics::new()),
+        );
+        let sunk = program.run_differential().unwrap();
+        units::trace::uninstall();
+        assert_eq!(bare, sunk, "{name}: NullSink changed the outcome");
+    }
+}
+
+/// The same program run twice produces byte-identical event streams —
+/// events carry no wall-clock data, so traces are reproducible.
+#[cfg(feature = "trace")]
+#[test]
+fn event_streams_are_deterministic() {
+    for (name, src) in stdlib_programs() {
+        for backend in [Backend::Compiled, Backend::Reducer] {
+            let run = || {
+                let program = Program::parse(&src).unwrap();
+                let (outcome, events) = units::trace::capture(|| program.run_on(backend));
+                outcome.unwrap();
+                events.iter().map(units::trace::Event::to_json).collect::<Vec<_>>()
+            };
+            let first = run();
+            let second = run();
+            assert!(!first.is_empty(), "{name}: no events captured");
+            assert_eq!(first, second, "{name} ({backend:?}): nondeterministic stream");
+        }
+    }
+}
+
+/// The reducer's Reduce-phase `step/…` events are a complete account of
+/// its work: exactly one event per reduction, so the stream length equals
+/// [`units::Reducer::steps`], and each payload is the 1-based step index.
+#[cfg(feature = "trace")]
+#[test]
+fn step_events_match_the_reducers_step_count() {
+    for (name, src) in stdlib_programs() {
+        let program = Program::parse(&src).unwrap();
+        let mut reducer = units::Reducer::new();
+        let (value, events) =
+            units::trace::capture(|| reducer.reduce_to_value(program.expr()));
+        value.unwrap();
+        let step_events: Vec<_> =
+            events.iter().filter(|e| e.kind.starts_with("step/")).collect();
+        assert!(reducer.steps() > 0, "{name}: no reductions happened");
+        assert_eq!(
+            step_events.len() as u64,
+            reducer.steps(),
+            "{name}: {} step events vs {} reported steps",
+            step_events.len(),
+            reducer.steps()
+        );
+        for (i, e) in step_events.iter().enumerate() {
+            assert_eq!(e.payload, (i as u64 + 1).to_string(), "{name}: step payload");
+        }
+    }
+}
+
+/// An injected reducer fault makes the backends disagree, and the
+/// divergence report names the exact primitive call and Fig. 11 step
+/// where their streams part ways.
+#[cfg(feature = "trace")]
+#[test]
+fn divergence_report_names_the_first_diverging_step() {
+    // The fault makes `(- n 1)` come back as `n`, so even/odd would loop
+    // forever — fuel bounds the broken reducer run; the streams diverge
+    // long before it runs out.
+    let program =
+        Program::parse(EVEN_ODD).unwrap().with_fuel(10_000).with_injected_divergence(0);
+    let report = units::diagnose_divergence(&program);
+    let call = report.diverging_call.expect("fault injection must diverge the streams");
+    let step = report.diverging_step.expect("a diverging call happens during some step");
+    assert!(step >= 1, "steps are 1-based");
+    assert_ne!(report.compiled_call, report.reduced_call, "renderings must differ");
+    let text = report.to_string();
+    assert!(
+        text.contains(&format!("#{}", call + 1)) && text.contains(&format!("step {step}")),
+        "report names call and step: {text}"
+    );
+
+    // Sanity: without injection the same program's streams agree.
+    let clean = units::diagnose_divergence(&Program::parse(EVEN_ODD).unwrap());
+    assert_eq!(clean.diverging_call, None, "{clean}");
+    assert_eq!(clean.prim_calls.0, clean.prim_calls.1);
+}
+
+/// The differential harness itself surfaces the report on mismatch.
+#[cfg(feature = "trace")]
+#[test]
+fn run_differential_panics_with_the_report_on_divergence() {
+    let program = Program::parse("(invoke (unit (import) (export) (init (+ 20 22))))")
+        .unwrap()
+        .with_injected_divergence(0);
+    let panic =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| program.run_differential()));
+    let message = *panic.unwrap_err().downcast::<String>().unwrap();
+    assert!(message.contains("divergence report"), "missing report: {message}");
+    assert!(message.contains("first diverging prim call"), "missing call: {message}");
+}
+
+/// Every JSON line the `JsonLinesSink` writes parses, and the metrics
+/// snapshot renders as valid JSON too.
+#[cfg(feature = "trace")]
+#[test]
+fn emitted_json_is_valid() {
+    let sink = Rc::new(RefCell::new(units::trace::JsonLinesSink::new(Vec::new())));
+    let metrics = Arc::new(units::trace::Metrics::new());
+    units::trace::install(Rc::clone(&sink) as _, Arc::clone(&metrics));
+    Program::parse(EVEN_ODD).unwrap().run_differential().unwrap();
+    units::trace::uninstall();
+    let bytes = Rc::try_unwrap(sink).expect("session dropped").into_inner().into_inner();
+    let lines = String::from_utf8(bytes).unwrap();
+    assert!(!lines.is_empty(), "no JSON lines written");
+    for line in lines.lines() {
+        units::trace::json::validate(line)
+            .unwrap_or_else(|e| panic!("bad event JSON {e:?}: {line}"));
+    }
+    units::trace::json::validate(&metrics.to_json()).expect("metrics snapshot is JSON");
+    assert!(metrics.counter("reduce/steps") > 0, "step counter folded into metrics");
+}
