@@ -19,11 +19,19 @@ cargo build --release --features trace
 cargo test -q --features trace
 cargo clippy --workspace --all-targets --features trace -- -D warnings
 
+# Engine determinism: with the worker pool pinned to one thread, batch
+# loading must degenerate to sequential in-thread loads and the whole
+# suite must still pass (tests/engine.rs compares parallel-vs-sequential
+# batches and cold-vs-warm trace streams).
+UNITS_ENGINE_THREADS=1 cargo test -q --features trace --test engine
+
 # The bench tables must emit a machine-readable summary. The binary
 # self-validates the document with units_trace::json before writing;
-# cross-check with a second parser when one is available.
+# cross-check with a second parser when one is available. The summary
+# must include the engine cache series.
 cargo run --release -p bench --bin tables --features trace -- --quick --json >/dev/null
 test -s BENCH_trace.json
+grep -q repeat_invoke BENCH_trace.json
 if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json; json.load(open('BENCH_trace.json'))"
 fi

@@ -5,6 +5,9 @@
 //! Series printed: time per load (check only) and per load-and-run, vs.
 //! archive size (lookup is O(1); the cost is the signature check).
 
+// Benches measure the raw per-run Program pipeline on purpose.
+#![allow(deprecated)]
+
 use std::hint::black_box;
 
 use bench::harness::{median_us, report};

@@ -6,6 +6,9 @@
 //! lexical-address resolution on and off); a flat per-instance figure
 //! demonstrates O(1) instantiation over shared code.
 
+// Benches measure the raw per-run Program pipeline on purpose.
+#![allow(deprecated)]
+
 use std::hint::black_box;
 
 use bench::harness::{median_us, report};

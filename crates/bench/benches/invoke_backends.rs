@@ -9,6 +9,9 @@
 //! the cells backend reads one cell per call — and slot-resolved lookup
 //! beats the by-name scan on every call into the unit's frames.
 
+// Benches measure the raw per-run Program pipeline on purpose.
+#![allow(deprecated)]
+
 use std::hint::black_box;
 
 use bench::harness::{median_us, report};

@@ -7,6 +7,9 @@
 //! substitution), growing super-linearly — which is exactly why §4.1.6
 //! compiles units instead of rewriting them.
 
+// Benches measure the raw per-run Program pipeline on purpose.
+#![allow(deprecated)]
+
 use std::hint::black_box;
 
 use bench::harness::{median_us, report};

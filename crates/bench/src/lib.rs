@@ -484,6 +484,7 @@ pub fn plugin_signature() -> Signature {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the raw per-run pipeline is what these measure
 mod tests {
     use super::*;
     use units::{Backend, Observation, Program, Strictness};
@@ -622,6 +623,7 @@ pub fn colliding_chain_program(n: usize) -> Expr {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod ablation_tests {
     use super::*;
     use units::{Observation, Program, Strictness};

@@ -170,6 +170,38 @@ pub enum CheckError {
     },
 }
 
+impl CheckError {
+    /// The paper figure (or section) whose rule rejected the program —
+    /// the stable rule name `units::Error`'s `Display` reports.
+    pub fn figure(&self) -> &'static str {
+        match self {
+            CheckError::Duplicate { .. }
+            | CheckError::ExportUndefined { .. }
+            | CheckError::Unbound { .. }
+            | CheckError::UnsatisfiedLink { .. }
+            | CheckError::ExportNotProvided { .. }
+            | CheckError::NotValuable { .. } => "Fig. 10",
+            CheckError::NotSubsignature { .. } => "Fig. 14/17",
+            CheckError::Mismatch { .. }
+            | CheckError::Arity { .. }
+            | CheckError::NotAFunction { .. }
+            | CheckError::NotATuple { .. }
+            | CheckError::NotAUnit { .. }
+            | CheckError::MissingAnnotation { .. }
+            | CheckError::MissingInvokeLink { .. }
+            | CheckError::InitTypeEscape { .. }
+            | CheckError::TypeEscape { .. }
+            | CheckError::PrimInstantiation { .. }
+            | CheckError::UnboundTy { .. } => "Fig. 15",
+            CheckError::KindMismatch { .. }
+            | CheckError::CyclicTypeEquation { .. }
+            | CheckError::CyclicLink { .. } => "Fig. 19",
+            CheckError::Capture { .. } => "Fig. 18",
+            CheckError::UnsupportedAtLevel { .. } => "§4.1.1",
+        }
+    }
+}
+
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -324,6 +356,11 @@ mod display_coverage {
             assert!(shown.len() > 8, "too terse: {shown}");
             assert!(!shown.ends_with('.'), "no trailing punctuation: {shown}");
             assert_eq!(shown, shown.trim());
+            let fig = err.figure();
+            assert!(
+                fig.starts_with("Fig.") || fig.starts_with('§'),
+                "rule name must cite the paper: {fig}"
+            );
         }
     }
 }

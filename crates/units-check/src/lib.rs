@@ -46,7 +46,7 @@ pub use unitd::{context_check, port_name_sets, Strictness};
 pub use valuable::is_valuable;
 
 /// How a program should be checked.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CheckOptions {
     /// Which calculus to check against.
     pub level: Level,

@@ -31,7 +31,7 @@ use crate::expand::{expand_ty, reachable_tys, Equations};
 use crate::subtype::subtype;
 
 /// Which calculus a program is checked against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Level {
     /// UNITd — dynamically typed; only [`crate::context_check`] applies.
     Untyped,

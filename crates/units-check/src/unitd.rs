@@ -25,7 +25,7 @@ use crate::valuable::is_valuable;
 /// lifted for an implementation, as in MzScheme, where accessing an
 /// undefined variable returns a default value or signals a run-time
 /// error").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Strictness {
     /// Enforce valuability of definitions statically (the calculi).
     #[default]

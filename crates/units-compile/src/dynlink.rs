@@ -68,7 +68,14 @@ impl fmt::Display for DynlinkError {
     }
 }
 
-impl std::error::Error for DynlinkError {}
+impl std::error::Error for DynlinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DynlinkError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A store of named unit sources — the paper's plug-in archive.
 ///
@@ -119,6 +126,11 @@ impl Archive {
             }
         }
         Ok(archive)
+    }
+
+    /// The raw source published under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries.get(name).map(String::as_str)
     }
 
     /// Published names, sorted.

@@ -51,8 +51,21 @@ pub fn evaluate_program(expr: &Expr, machine: &mut Machine) -> Result<Value, Run
 ///
 /// # Errors
 ///
-/// Returns any [`RuntimeError`] the expression signals.
+/// Returns any [`RuntimeError`] the expression signals, including
+/// [`RuntimeError::ResourceExhausted`] when the machine's
+/// [`units_runtime::Limits`] deem the evaluation too deep, too long, or
+/// too allocation-hungry.
 pub fn eval(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, RuntimeError> {
+    // Rust-stack recursion in this evaluator tracks term depth, so the
+    // depth budget is charged here (and in `eval_tail`): a hostile
+    // program hits `ResourceExhausted` before it can overflow the stack.
+    machine.enter()?;
+    let result = eval_inner(expr, env, machine);
+    machine.exit();
+    result
+}
+
+fn eval_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, RuntimeError> {
     machine.step()?;
     match expr {
         Expr::Var(x) => read_binding(env.lookup(x), x),
@@ -100,7 +113,7 @@ pub fn eval(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Runt
             eval(body, &env.extend(frame), machine)
         }
         Expr::Letrec(lr) => {
-            let (inner, cells) = bind_letrec_frame(&lr.types, &lr.vals, env, machine);
+            let (inner, cells) = bind_letrec_frame(&lr.types, &lr.vals, env, machine)?;
             for (defn, cell) in lr.vals.iter().zip(&cells) {
                 let v = eval(&defn.body, &inner, machine)?;
                 *cell.borrow_mut() = Some(v);
@@ -242,12 +255,18 @@ fn as_unit(v: Value) -> Result<Rc<UnitValue>, RuntimeError> {
 /// Builds the recursive frame for a `letrec` or unit body: fresh cells for
 /// value definitions and freshly instantiated datatype operations.
 /// Returns the extended environment and the definition cells in order.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::ResourceExhausted`] when allocating the
+/// definition cells would exceed the machine's store-cell budget.
 pub(crate) fn bind_letrec_frame(
     types: &[TypeDefn],
     vals: &[units_kernel::ValDefn],
     env: &Env,
     machine: &mut Machine,
-) -> (Env, Vec<units_runtime::CellRef>) {
+) -> Result<(Env, Vec<units_runtime::CellRef>), RuntimeError> {
+    machine.alloc_cells(vals.len() as u64)?;
     let mut frame = Vec::new();
     for td in types {
         if let TypeDefn::Data(d) = td {
@@ -286,7 +305,7 @@ pub(crate) fn bind_letrec_frame(
         frame.push((defn.name.clone(), Binding::Cell(cell.clone())));
         cells.push(cell);
     }
-    (env.extend(frame), cells)
+    Ok((env.extend(frame), cells))
 }
 
 /// What a body evaluation steps to: a final value, or a call in tail
@@ -302,6 +321,13 @@ enum Tail {
 /// expression ends in one. Tail positions: an application itself, `if`
 /// branches, the last expression of a `begin`, and `let`/`letrec` bodies.
 fn eval_tail(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Tail, RuntimeError> {
+    machine.enter()?;
+    let result = eval_tail_inner(expr, env, machine);
+    machine.exit();
+    result
+}
+
+fn eval_tail_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Tail, RuntimeError> {
     machine.step()?;
     match expr {
         Expr::App(f, args) => {
@@ -335,7 +361,7 @@ fn eval_tail(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Tail, Runt
             eval_tail(body, &env.extend(frame), machine)
         }
         Expr::Letrec(lr) => {
-            let (inner, cells) = bind_letrec_frame(&lr.types, &lr.vals, env, machine);
+            let (inner, cells) = bind_letrec_frame(&lr.types, &lr.vals, env, machine)?;
             for (defn, cell) in lr.vals.iter().zip(&cells) {
                 let v = eval(&defn.body, &inner, machine)?;
                 *cell.borrow_mut() = Some(v);

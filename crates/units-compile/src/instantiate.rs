@@ -60,6 +60,7 @@ pub fn invoke_unit(
     machine: &mut Machine,
 ) -> Result<Value, RuntimeError> {
     let _timer = units_trace::time("link");
+    machine.alloc_cells(unit.imports().vals.len() as u64)?;
     let mut import_cells = HashMap::with_capacity(unit.imports().vals.len());
     for port in &unit.imports().vals {
         match supplied.get(&port.name) {
@@ -126,7 +127,7 @@ pub(crate) fn wire(
                 frame.push((port.name.clone(), Binding::Cell(cell)));
             }
             let pre_env = atomic.env.extend(frame);
-            let (env, mut def_cells) = bind_letrec_frame(&source.types, &source.vals, &pre_env, machine);
+            let (env, mut def_cells) = bind_letrec_frame(&source.types, &source.vals, &pre_env, machine)?;
             // Exported definitions write directly into the caller's cells.
             let defined: Vec<&Symbol> = source.vals.iter().map(|d| &d.name).collect();
             for (name, cell) in wanted_exports {
@@ -166,7 +167,10 @@ pub(crate) fn wire(
                     let outer = lc.renames.outer_export_val(&port.name).clone();
                     let cell = match wanted_exports.get(&outer) {
                         Some(c) => c.clone(),
-                        None => new_cell(),
+                        None => {
+                            machine.alloc_cells(1)?;
+                            new_cell()
+                        }
                     };
                     cell_of.insert(outer, cell);
                 }

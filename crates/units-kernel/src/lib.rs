@@ -51,6 +51,7 @@
 
 mod alpha;
 mod free;
+mod hash;
 mod kind;
 mod sig;
 mod subst;
@@ -59,6 +60,7 @@ mod term;
 mod ty;
 
 pub use alpha::{alpha_eq, alpha_eq_ty};
+pub use hash::alpha_hash;
 pub use free::{free_ty_vars_expr, free_val_vars};
 pub use kind::Kind;
 pub use sig::{Depend, Ports, SigEquation, Signature, TyPort, ValPort};

@@ -20,7 +20,7 @@ use units_kernel::{
     subst_vals, DataOp, DataRole, Expr, Lit, NameGen, PrimOp, Symbol, TypeDefn, UnitExpr,
     VariantVal,
 };
-use units_runtime::{Machine, RuntimeError};
+use units_runtime::{Limits, Machine, RuntimeError};
 
 use crate::merge::merge_compound;
 use crate::store::Store;
@@ -60,10 +60,16 @@ impl Reducer {
         Reducer::with_machine(Machine::new())
     }
 
-    /// A reducer that gives up with [`RuntimeError::OutOfFuel`] after
-    /// `fuel` steps.
+    /// A reducer that gives up with [`RuntimeError::ResourceExhausted`]
+    /// after `fuel` steps.
     pub fn with_fuel(fuel: u64) -> Reducer {
         Reducer::with_machine(Machine::with_fuel(fuel))
+    }
+
+    /// A reducer governed by the full [`Limits`] budget set: fuel,
+    /// spine depth, and store cells.
+    pub fn with_limits(limits: Limits) -> Reducer {
+        Reducer::with_machine(Machine::with_limits(limits))
     }
 
     fn with_machine(machine: Machine) -> Reducer {
@@ -96,17 +102,71 @@ impl Reducer {
 
     /// Reduces an expression all the way to a value.
     ///
+    /// Clones `expr` up front (a recursive operation on the term):
+    /// callers reducing terms deeper than the Rust stack should build
+    /// the term by value and use [`Reducer::reduce_owned`].
+    ///
     /// # Errors
     ///
-    /// Any [`RuntimeError`] a reduction rule signals, or
-    /// [`RuntimeError::OutOfFuel`].
+    /// Any [`RuntimeError`] a reduction rule signals, including
+    /// [`RuntimeError::ResourceExhausted`] when a [`Limits`] budget runs
+    /// out.
     pub fn reduce_to_value(&mut self, expr: &Expr) -> Result<Expr, RuntimeError> {
+        self.reduce_owned(expr.clone())
+    }
+
+    /// Reduces an owned expression all the way to a value.
+    ///
+    /// The leftmost-outermost redex search keeps the evaluation-context
+    /// spine as an explicit worklist (a `Vec` of parent frames with the
+    /// active child hole punched out), so term depth never translates
+    /// into Rust-stack depth: the only depth limit is the
+    /// `Limits::max_depth` budget, and a 50 000-deep `let` chain reduces
+    /// in constant stack space.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Reducer::reduce_to_value`].
+    pub fn reduce_owned(&mut self, expr: Expr) -> Result<Expr, RuntimeError> {
         let _timer = units_trace::time("reduce");
-        let mut current = expr.clone();
+        // Parent frames above the current focus; `usize` is the child
+        // index the focus was taken from (see `child_slot`). Each frame
+        // holds a void placeholder in that slot, so dropping the spine
+        // on an error never recurses deeply either.
+        let mut spine: Vec<(Expr, usize)> = Vec::new();
+        let mut current = expr;
         loop {
-            match self.step(&current)? {
-                Step::Value => return Ok(current),
-                Step::Reduced(next) => current = next,
+            if current.is_value() {
+                match spine.pop() {
+                    None => return Ok(current),
+                    Some((mut parent, idx)) => {
+                        put_child(&mut parent, idx, current);
+                        current = parent;
+                    }
+                }
+            } else if let Some(idx) = search_child(&current) {
+                self.machine.check_depth(spine.len() as u64 + 1)?;
+                let child = take_child(&mut current, idx);
+                spine.push((current, idx));
+                current = child;
+            } else {
+                // `current` is the leftmost-outermost redex. Everything
+                // left of the hole is already a value, so contracting
+                // here and resuming in place is the same reduction
+                // sequence a from-the-root search would produce.
+                self.machine.step()?;
+                current = self.contract(current)?;
+                self.steps += 1;
+                units_trace::emit(
+                    units_trace::Phase::Reduce,
+                    self.last_redex,
+                    None,
+                    || self.steps.to_string(),
+                    &[
+                        ("reduce/steps", 1),
+                        ("reduce/store_size", self.store.len() as u64),
+                    ],
+                );
             }
         }
     }
@@ -131,6 +191,10 @@ impl Reducer {
 
     /// Performs one reduction step, if the expression is not a value.
     ///
+    /// Runs the same worklist search as [`Reducer::reduce_owned`] (the
+    /// spine is a `Vec`, never Rust recursion) on a clone of `expr` and
+    /// rebuilds the whole expression around the contractum.
+    ///
     /// # Errors
     ///
     /// Any [`RuntimeError`] the contracted redex signals.
@@ -139,7 +203,15 @@ impl Reducer {
             return Ok(Step::Value);
         }
         self.machine.step()?;
-        let next = self.reduce(expr)?;
+        let mut spine: Vec<(Expr, usize)> = Vec::new();
+        let mut current = expr.clone();
+        while let Some(idx) = search_child(&current) {
+            self.machine.check_depth(spine.len() as u64 + 1)?;
+            let child = take_child(&mut current, idx);
+            spine.push((current, idx));
+            current = child;
+        }
+        current = self.contract(current)?;
         self.steps += 1;
         units_trace::emit(
             units_trace::Phase::Reduce,
@@ -148,150 +220,81 @@ impl Reducer {
             || self.steps.to_string(),
             &[("reduce/steps", 1), ("reduce/store_size", self.store.len() as u64)],
         );
-        Ok(Step::Reduced(next))
+        while let Some((mut parent, idx)) = spine.pop() {
+            put_child(&mut parent, idx, current);
+            current = parent;
+        }
+        Ok(Step::Reduced(current))
     }
 
-    /// Finds the leftmost-outermost redex and contracts it. `expr` must
-    /// not be a value.
-    fn reduce(&mut self, expr: &Expr) -> Result<Expr, RuntimeError> {
+    /// Contracts the leftmost-outermost redex, which [`search_child`]
+    /// has located: every proper subterm left of the focus is a value.
+    fn contract(&mut self, expr: Expr) -> Result<Expr, RuntimeError> {
         debug_assert!(!expr.is_value());
         match expr {
-            // ---- context traversal + redexes -------------------------
-            Expr::App(f, args) => {
-                if !f.is_value() {
-                    return Ok(Expr::App(Box::new(self.reduce(f)?), args.clone()));
-                }
-                for (i, a) in args.iter().enumerate() {
-                    if !a.is_value() {
-                        let mut new_args = args.clone();
-                        new_args[i] = self.reduce(a)?;
-                        return Ok(Expr::App(f.clone(), new_args));
-                    }
-                }
-                self.apply(f, args)
-            }
+            Expr::App(f, args) => self.apply(*f, args),
             Expr::If(c, t, e) => {
-                if !c.is_value() {
-                    return Ok(Expr::If(Box::new(self.reduce(c)?), t.clone(), e.clone()));
-                }
                 self.last_redex = "step/if";
-                match &**c {
-                    Expr::Lit(Lit::Bool(true)) => Ok((**t).clone()),
-                    Expr::Lit(Lit::Bool(false)) => Ok((**e).clone()),
-                    other => Err(RuntimeError::WrongType {
+                match *c {
+                    Expr::Lit(Lit::Bool(true)) => Ok(*t),
+                    Expr::Lit(Lit::Bool(false)) => Ok(*e),
+                    ref other => Err(RuntimeError::WrongType {
                         expected: "a boolean",
                         found: crate::render(other),
                     }),
                 }
             }
-            Expr::Seq(es) => match &es[..] {
-                [] => {
-                    self.last_redex = "step/seq";
-                    Ok(Expr::void())
-                }
-                [only] => {
-                    if only.is_value() {
-                        self.last_redex = "step/seq";
-                        Ok(only.clone())
-                    } else {
-                        Ok(self.reduce(only)?)
+            Expr::Seq(mut es) => {
+                self.last_redex = "step/seq";
+                match es.len() {
+                    0 => Ok(Expr::void()),
+                    1 => Ok(es.pop().expect("non-empty")),
+                    _ => {
+                        es.remove(0);
+                        Ok(Expr::seq(es))
                     }
                 }
-                [first, rest @ ..] => {
-                    if first.is_value() {
-                        self.last_redex = "step/seq";
-                        Ok(Expr::seq(rest.to_vec()))
-                    } else {
-                        let mut es = es.clone();
-                        es[0] = self.reduce(first)?;
-                        Ok(Expr::Seq(es))
-                    }
-                }
-            },
+            }
             Expr::Let(bindings, body) => {
-                for (i, b) in bindings.iter().enumerate() {
-                    if !b.expr.is_value() {
-                        let mut bs = bindings.clone();
-                        bs[i].expr = self.reduce(&b.expr)?;
-                        return Ok(Expr::Let(bs, body.clone()));
-                    }
-                }
                 self.last_redex = "step/let";
                 let map: HashMap<Symbol, Expr> =
-                    bindings.iter().map(|b| (b.name.clone(), b.expr.clone())).collect();
-                Ok(subst_vals(body, &map, &mut self.gen))
+                    bindings.into_iter().map(|b| (b.name, b.expr)).collect();
+                Ok(subst_vals(&body, &map, &mut self.gen))
             }
-            Expr::Letrec(lr) => self.reduce_letrec(lr),
-            Expr::Set(target, value) => {
-                match &**target {
-                    Expr::CellRef(loc) => {
-                        if !value.is_value() {
-                            return Ok(Expr::Set(
-                                target.clone(),
-                                Box::new(self.reduce(value)?),
-                            ));
-                        }
-                        self.last_redex = "step/set";
-                        self.store.write_cell(*loc, (**value).clone())?;
-                        Ok(Expr::void())
-                    }
-                    Expr::Var(x) | Expr::VarAt(x, _) => {
-                        Err(RuntimeError::Unbound { name: x.clone() })
-                    }
-                    other => Err(RuntimeError::WrongType {
-                        expected: "an assignable cell",
-                        found: crate::render(other),
-                    }),
+            Expr::Letrec(lr) => self.reduce_letrec(&lr),
+            Expr::Set(target, value) => match *target {
+                Expr::CellRef(loc) => {
+                    self.last_redex = "step/set";
+                    self.store.write_cell(loc, *value)?;
+                    Ok(Expr::void())
                 }
-            }
-            Expr::Tuple(items) => {
-                for (i, item) in items.iter().enumerate() {
-                    if !item.is_value() {
-                        let mut new_items = items.clone();
-                        new_items[i] = self.reduce(item)?;
-                        return Ok(Expr::Tuple(new_items));
-                    }
-                }
-                unreachable!("a tuple of values is a value")
-            }
+                Expr::Var(x) | Expr::VarAt(x, _) => Err(RuntimeError::Unbound { name: x }),
+                ref other => Err(RuntimeError::WrongType {
+                    expected: "an assignable cell",
+                    found: crate::render(other),
+                }),
+            },
             Expr::Proj(i, e) => {
-                if !e.is_value() {
-                    return Ok(Expr::Proj(*i, Box::new(self.reduce(e)?)));
-                }
                 self.last_redex = "step/proj";
-                match &**e {
-                    Expr::Tuple(items) => items
-                        .get(*i)
-                        .cloned()
-                        .ok_or(RuntimeError::BadProjection { index: *i, width: items.len() }),
-                    other => Err(RuntimeError::WrongType {
+                match *e {
+                    Expr::Tuple(mut items) => {
+                        if i < items.len() {
+                            Ok(items.swap_remove(i))
+                        } else {
+                            Err(RuntimeError::BadProjection { index: i, width: items.len() })
+                        }
+                    }
+                    ref other => Err(RuntimeError::WrongType {
                         expected: "a tuple",
                         found: crate::render(other),
                     }),
                 }
             }
-            Expr::Variant(v) => {
-                // Payload still reducing (can only arise transiently).
-                let payload = self.reduce(&v.payload)?;
-                Ok(Expr::Variant(Rc::new(VariantVal {
-                    ty_name: v.ty_name.clone(),
-                    instance: v.instance,
-                    tag: v.tag,
-                    payload,
-                })))
-            }
             Expr::CellRef(loc) => {
                 self.last_redex = "step/cell-read";
-                Ok(self.store.read_cell(*loc)?.clone())
+                Ok(self.store.read_cell(loc)?.clone())
             }
             Expr::Compound(c) => {
-                for (i, link) in c.links.iter().enumerate() {
-                    if !link.expr.is_value() {
-                        let mut new = (**c).clone();
-                        new.links[i].expr = self.reduce(&link.expr)?;
-                        return Ok(Expr::Compound(Rc::new(new)));
-                    }
-                }
                 let units: Vec<Rc<UnitExpr>> = c
                     .links
                     .iter()
@@ -304,31 +307,14 @@ impl Reducer {
                     })
                     .collect::<Result<_, _>>()?;
                 self.last_redex = "step/compound";
-                let merged = merge_compound(c, &units, &mut self.gen)?;
+                let merged = merge_compound(&c, &units, &mut self.gen)?;
                 Ok(Expr::Unit(Rc::new(merged)))
             }
-            Expr::Invoke(inv) => {
-                if !inv.target.is_value() {
-                    let mut new = (**inv).clone();
-                    new.target = self.reduce(&inv.target)?;
-                    return Ok(Expr::Invoke(Rc::new(new)));
-                }
-                for (i, (_, e)) in inv.val_links.iter().enumerate() {
-                    if !e.is_value() {
-                        let mut new = (**inv).clone();
-                        new.val_links[i].1 = self.reduce(e)?;
-                        return Ok(Expr::Invoke(Rc::new(new)));
-                    }
-                }
-                self.reduce_invoke(inv)
-            }
+            Expr::Invoke(inv) => self.reduce_invoke(&inv),
             Expr::Seal(e, sig) => {
-                if !e.is_value() {
-                    return Ok(Expr::Seal(Box::new(self.reduce(e)?), sig.clone()));
-                }
                 self.last_redex = "step/seal";
-                match &**e {
-                    Expr::Unit(u) => {
+                match *e {
+                    Expr::Unit(ref u) => {
                         for port in &sig.exports.vals {
                             if u.exports.val_port(&port.name).is_none() {
                                 return Err(RuntimeError::SealFailure {
@@ -343,20 +329,23 @@ impl Reducer {
                         narrowed.exports = sig.exports.clone();
                         Ok(Expr::Unit(Rc::new(narrowed)))
                     }
-                    other => Err(RuntimeError::WrongType {
+                    ref other => Err(RuntimeError::WrongType {
                         expected: "a unit",
                         found: crate::render(other),
                     }),
                 }
             }
-            Expr::Var(x) | Expr::VarAt(x, _) => Err(RuntimeError::Unbound { name: x.clone() }),
-            // Values are handled by the caller.
-            Expr::Lit(_)
+            Expr::Var(x) | Expr::VarAt(x, _) => Err(RuntimeError::Unbound { name: x }),
+            // A non-value Tuple/Variant always has a non-value child, so
+            // the search never stops on one; values never reach here.
+            Expr::Tuple(_)
+            | Expr::Variant(_)
+            | Expr::Lit(_)
             | Expr::Lambda(_)
             | Expr::Prim(..)
             | Expr::Unit(_)
             | Expr::Loc(_)
-            | Expr::Data(_) => unreachable!("values do not step"),
+            | Expr::Data(_) => unreachable!("not a redex"),
         }
     }
 
@@ -399,6 +388,7 @@ impl Reducer {
             }
         }
         // Value definitions: one cell each.
+        self.machine.alloc_cells(lr.vals.len() as u64)?;
         let mut cells = Vec::with_capacity(lr.vals.len());
         for defn in &lr.vals {
             let loc = self.store.alloc_cell();
@@ -446,7 +436,7 @@ impl Reducer {
     }
 
     /// Function application redexes: β, δ, datatype operations.
-    fn apply(&mut self, f: &Expr, args: &[Expr]) -> Result<Expr, RuntimeError> {
+    fn apply(&mut self, f: Expr, args: Vec<Expr>) -> Result<Expr, RuntimeError> {
         match f {
             Expr::Lambda(lam) => {
                 if lam.params.len() != args.len() {
@@ -460,13 +450,13 @@ impl Reducer {
                     .params
                     .iter()
                     .zip(args)
-                    .map(|(p, a)| (p.name.clone(), a.clone()))
+                    .map(|(p, a)| (p.name.clone(), a))
                     .collect();
                 Ok(subst_vals(&lam.body, &map, &mut self.gen))
             }
-            Expr::Prim(op, _) => self.delta(*op, args),
-            Expr::Data(op) => self.apply_data(op, args),
-            other => {
+            Expr::Prim(op, _) => self.delta(op, &args),
+            Expr::Data(ref op) => self.apply_data(op, &args),
+            ref other => {
                 Err(RuntimeError::NotAFunction { found: crate::render(other) })
             }
         }
@@ -618,7 +608,10 @@ impl Reducer {
             PrimOp::Fail => {
                 return Err(RuntimeError::User { message: string(&args[0])?.to_string() })
             }
-            PrimOp::HashNew => Expr::Loc(self.store.alloc_hash()),
+            PrimOp::HashNew => {
+                self.machine.alloc_cells(1)?;
+                Expr::Loc(self.store.alloc_hash())
+            }
             PrimOp::HashSet => {
                 let l = loc(&args[0])?;
                 let key = string(&args[1])?.to_string();
@@ -656,6 +649,98 @@ impl Default for Reducer {
     fn default() -> Self {
         Reducer::new()
     }
+}
+
+/// The child index the leftmost-outermost search must descend into, or
+/// `None` when `expr` is itself the redex. `expr` must not be a value.
+/// Indices follow [`child_slot`]'s numbering.
+fn search_child(expr: &Expr) -> Option<usize> {
+    match expr {
+        Expr::App(f, args) => {
+            if !f.is_value() {
+                return Some(0);
+            }
+            args.iter().position(|a| !a.is_value()).map(|i| i + 1)
+        }
+        Expr::If(c, ..) => (!c.is_value()).then_some(0),
+        Expr::Seq(es) => match es.first() {
+            Some(e) if !e.is_value() => Some(0),
+            _ => None,
+        },
+        Expr::Let(bindings, _) => bindings.iter().position(|b| !b.expr.is_value()),
+        // Assignment evaluates its right-hand side only once the target
+        // has become a cell; any other target is an error the
+        // contraction reports.
+        Expr::Set(target, value) => match (&**target, value.is_value()) {
+            (Expr::CellRef(_), false) => Some(1),
+            _ => None,
+        },
+        Expr::Tuple(items) => items.iter().position(|e| !e.is_value()),
+        Expr::Proj(_, e) => (!e.is_value()).then_some(0),
+        // A non-value Variant's payload is still reducing (transient).
+        Expr::Variant(_) => Some(0),
+        Expr::Compound(c) => c.links.iter().position(|l| !l.expr.is_value()),
+        Expr::Invoke(inv) => {
+            if !inv.target.is_value() {
+                return Some(0);
+            }
+            inv.val_links.iter().position(|(_, e)| !e.is_value()).map(|i| i + 1)
+        }
+        Expr::Seal(e, _) => (!e.is_value()).then_some(0),
+        Expr::Letrec(_) | Expr::CellRef(_) | Expr::Var(_) | Expr::VarAt(..) => None,
+        // Values never enter the search.
+        Expr::Lit(_)
+        | Expr::Lambda(_)
+        | Expr::Prim(..)
+        | Expr::Unit(_)
+        | Expr::Loc(_)
+        | Expr::Data(_) => None,
+    }
+}
+
+/// The mutable slot for child `idx` of `parent`, in [`search_child`]'s
+/// numbering: slot 0 is the head position (function, condition,
+/// target…), slots `1 + i` the i-th element of the trailing vector
+/// where one exists.
+fn child_slot(parent: &mut Expr, idx: usize) -> &mut Expr {
+    match parent {
+        Expr::App(f, args) => {
+            if idx == 0 {
+                f
+            } else {
+                &mut args[idx - 1]
+            }
+        }
+        Expr::If(c, ..) => c,
+        Expr::Seq(es) | Expr::Tuple(es) => &mut es[idx],
+        Expr::Let(bindings, _) => &mut bindings[idx].expr,
+        Expr::Set(_, value) => value,
+        Expr::Proj(_, e) => e,
+        Expr::Variant(v) => &mut Rc::make_mut(v).payload,
+        Expr::Compound(c) => &mut Rc::make_mut(c).links[idx].expr,
+        Expr::Invoke(inv) => {
+            let inv = Rc::make_mut(inv);
+            if idx == 0 {
+                &mut inv.target
+            } else {
+                &mut inv.val_links[idx - 1].1
+            }
+        }
+        Expr::Seal(e, _) => e,
+        _ => unreachable!("node has no reducible children"),
+    }
+}
+
+/// Removes child `idx` from `parent`, leaving a void placeholder. The
+/// placeholder keeps every spine frame shallow: cloning or dropping a
+/// frame never traverses the term below the hole.
+fn take_child(parent: &mut Expr, idx: usize) -> Expr {
+    std::mem::replace(child_slot(parent, idx), Expr::void())
+}
+
+/// Restores child `idx` of `parent` (undoes [`take_child`]).
+fn put_child(parent: &mut Expr, idx: usize, child: Expr) {
+    *child_slot(parent, idx) = child;
 }
 
 /// Ground rendering of a reducer expression for prim events — formats
@@ -828,7 +913,61 @@ mod tests {
         let src = "(letrec ((define loop (lambda () (loop)))) (loop))";
         let e = parse_expr(src).unwrap();
         let err = Reducer::with_fuel(10_000).reduce_to_value(&e).unwrap_err();
-        assert!(matches!(err, RuntimeError::OutOfFuel));
+        assert!(matches!(
+            err,
+            RuntimeError::ResourceExhausted { resource: units_runtime::Resource::Fuel, limit: 10_000 }
+        ));
+    }
+
+    /// Regression test for the recursive redex search: a ~50k-deep `let`
+    /// chain in binding position used to overflow the Rust stack before
+    /// the search became an explicit worklist. The term is built (and
+    /// reduced) without ever recursing on its depth.
+    #[test]
+    fn deep_let_chains_reduce_in_constant_stack() {
+        let mut e = Expr::int(1);
+        for _ in 0..50_000 {
+            e = Expr::Let(
+                vec![units_kernel::Binding { name: "x".into(), expr: e }],
+                Box::new(Expr::var("x")),
+            );
+        }
+        let mut r = Reducer::new();
+        assert_eq!(r.reduce_owned(e).unwrap(), Expr::int(1));
+        assert_eq!(r.steps(), 50_000);
+    }
+
+    #[test]
+    fn max_depth_is_the_only_depth_limit() {
+        let mut e = Expr::int(1);
+        for _ in 0..100 {
+            e = Expr::Let(
+                vec![units_kernel::Binding { name: "x".into(), expr: e }],
+                Box::new(Expr::var("x")),
+            );
+        }
+        let mut r = Reducer::with_limits(Limits::none().max_depth(10));
+        let err = r.reduce_owned(e).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::ResourceExhausted { resource: units_runtime::Resource::Depth, limit: 10 }
+        ));
+    }
+
+    #[test]
+    fn store_cell_budget_bounds_letrec_allocation() {
+        let src = "(letrec ((define a 1) (define b 2) (define c 3)) a)";
+        let e = parse_expr(src).unwrap();
+        let err = Reducer::with_limits(Limits::none().max_store_cells(2))
+            .reduce_to_value(&e)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::ResourceExhausted {
+                resource: units_runtime::Resource::StoreCells,
+                limit: 2
+            }
+        ));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use units::{Backend, Level, Program, Reducer, Step, Strictness};
+use units::{Backend, Engine, Level, Limits, Reducer, Step, Strictness};
 
 mod repl;
 
@@ -36,6 +36,18 @@ struct Options {
     diagram: bool,
     trace: Option<usize>,
     fuel: Option<u64>,
+}
+
+/// One engine per process: the session that checks, caches, and runs.
+fn engine_for(opts: &Options) -> Engine {
+    let mut builder = Engine::builder()
+        .level(opts.level)
+        .strictness(opts.strictness)
+        .backend(opts.backend);
+    if let Some(fuel) = opts.fuel {
+        builder = builder.limits(Limits::none().fuel(fuel));
+    }
+    builder.build()
 }
 
 fn usage() -> &'static str {
@@ -137,28 +149,20 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut program = match Program::parse(&source) {
-        Ok(p) => p.at_level(opts.level).with_strictness(opts.strictness),
+    let engine = engine_for(&opts);
+    let loaded = match engine.load(&source) {
+        Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    if let Some(fuel) = opts.fuel {
-        program = program.with_fuel(fuel);
-    }
-
-    match program.check() {
-        Ok(Some(ty)) => println!(";; type: {ty}"),
-        Ok(None) => {}
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+    if let Some(ty) = loaded.ty() {
+        println!(";; type: {ty}");
     }
     if opts.diagram {
         // Diagram the program's unit: for `(invoke u)` diagrams u.
-        let target = match program.expr() {
+        let target = match loaded.expr() {
             units::Expr::Invoke(inv) => inv.target.clone(),
             other => other.clone(),
         };
@@ -171,7 +175,7 @@ fn main() -> ExitCode {
 
     if let Some(n) = opts.trace {
         let mut reducer = Reducer::new();
-        let mut current = program.expr().clone();
+        let mut current = loaded.expr().clone();
         for i in 0..n {
             match reducer.step(&current) {
                 Ok(Step::Value) => break,
@@ -187,7 +191,7 @@ fn main() -> ExitCode {
         }
     }
 
-    match program.run_unchecked(opts.backend) {
+    match loaded.run() {
         Ok(outcome) => {
             for line in &outcome.output {
                 println!("{line}");

@@ -16,7 +16,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use units::trace::{Event, Metrics, TraceSink};
-use units::{Backend, Program};
+use units::{Backend, Engine, Loaded};
 
 use crate::Options;
 
@@ -49,10 +49,9 @@ impl TraceSink for JsonSink {
 }
 
 struct Repl {
-    opts_level: units::Level,
-    strictness: units::Strictness,
-    backend: Backend,
-    fuel: Option<u64>,
+    /// The session: artifacts loaded at the prompt stay cached, so
+    /// re-evaluating a line skips checking and resolution.
+    engine: Engine,
     mode: TraceMode,
     /// Metrics accumulated across the session (what `:stats` prints).
     metrics: Arc<Metrics>,
@@ -71,10 +70,7 @@ const HELP: &str = ";; commands:
 /// cannot be read at all.
 pub fn run(opts: &Options) -> ExitCode {
     let mut repl = Repl {
-        opts_level: opts.level,
-        strictness: opts.strictness,
-        backend: opts.backend,
-        fuel: opts.fuel,
+        engine: crate::engine_for(opts),
         mode: TraceMode::Off,
         metrics: Arc::new(Metrics::new()),
     };
@@ -234,20 +230,15 @@ impl Repl {
         units::trace::install(sink, Arc::clone(&self.metrics));
     }
 
-    fn program(&self, source: &str) -> Result<Program, units::Error> {
-        let mut p = Program::parse(source)?
-            .at_level(self.opts_level)
-            .with_strictness(self.strictness);
-        if let Some(fuel) = self.fuel {
-            p = p.with_fuel(fuel);
-        }
-        Ok(p)
+    fn load(&self, source: &str) -> Result<Loaded<'_>, units::Error> {
+        self.engine.load(source)
     }
 
     fn evaluate(&mut self, source: &str) {
-        // Install before parsing so the parse phase is traced too.
+        // Install before loading so the parse and check phases are
+        // traced too (a cache hit skips both).
         self.install();
-        let result = self.program(source).and_then(|p| p.run_on(self.backend));
+        let result = self.load(source).and_then(|p| p.run());
         units::trace::uninstall();
         match result {
             Ok(outcome) => {
@@ -274,6 +265,11 @@ impl Repl {
                 println!(";;   {name:<28} {value}");
             }
         }
+        let cache = self.engine.cache_stats();
+        println!(
+            ";; engine cache: {} hits, {} misses, {} artifacts",
+            cache.hits, cache.misses, cache.entries
+        );
         print_durations(&self.metrics);
     }
 
@@ -289,7 +285,7 @@ impl Repl {
             Rc::new(RefCell::new(units::trace::NullSink)),
             Arc::clone(&metrics),
         );
-        let runs = self.program(source).map(|p| {
+        let runs = self.load(source).map(|p| {
             (p.run_on(Backend::Compiled), p.run_on(Backend::Reducer))
         });
         units::trace::uninstall();

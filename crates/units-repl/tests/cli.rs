@@ -90,7 +90,7 @@ fn fuel_limit_is_enforced() {
         "(letrec ((define loop (lambda () (loop)))) (loop))",
     );
     assert!(!ok);
-    assert!(stderr.contains("step budget"), "{stderr}");
+    assert!(stderr.contains("fuel budget"), "{stderr}");
 }
 
 #[test]

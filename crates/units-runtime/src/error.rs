@@ -12,6 +12,32 @@ use std::fmt;
 
 use units_kernel::Symbol;
 
+/// A bounded resource an evaluator can run out of.
+///
+/// Budgets are set via [`crate::Limits`]; exhausting one surfaces as
+/// [`RuntimeError::ResourceExhausted`] naming the resource, so callers
+/// can distinguish "the program loops" (fuel) from "the program is too
+/// deep" (depth) from "the program allocates too much" (store cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Evaluation steps (β/δ contractions, machine steps).
+    Fuel,
+    /// Nesting depth of the term being evaluated.
+    Depth,
+    /// Mutable store cells (letrec frames, import wiring, hash tables).
+    StoreCells,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::Fuel => "fuel",
+            Resource::Depth => "depth",
+            Resource::StoreCells => "store cells",
+        })
+    }
+}
+
 /// A dynamic failure during evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
@@ -103,8 +129,14 @@ pub enum RuntimeError {
         /// Tuple width.
         width: usize,
     },
-    /// The reducer/evaluator exceeded its step or recursion budget.
-    OutOfFuel,
+    /// The reducer/evaluator exceeded one of its [`crate::Limits`]
+    /// budgets.
+    ResourceExhausted {
+        /// Which budget ran out.
+        resource: Resource,
+        /// The configured limit that was hit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -147,7 +179,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::BadProjection { index, width } => {
                 write!(f, "projection {index} out of range for width-{width} tuple")
             }
-            RuntimeError::OutOfFuel => f.write_str("evaluation exceeded its step budget"),
+            RuntimeError::ResourceExhausted { resource, limit } => {
+                write!(f, "evaluation exceeded its {resource} budget of {limit}")
+            }
         }
     }
 }

@@ -31,8 +31,8 @@ mod prim;
 mod value;
 
 pub use env::{Binding, Env};
-pub use error::RuntimeError;
-pub use machine::Machine;
+pub use error::{Resource, RuntimeError};
+pub use machine::{Limits, Machine};
 pub use prim::{apply_prim, render_prim_call};
 pub use value::{
     filled_cell, new_cell, AtomicUnit, CellRef, Closure, DataOpValue, LinkedConstituent,

@@ -1,13 +1,54 @@
-//! Shared machine state: instance nonces, the output buffer, and a step
-//! budget.
+//! Shared machine state: instance nonces, the output buffer, and
+//! resource budgets.
 //!
 //! Both evaluators (the cells backend and the substitution reducer) thread
 //! a [`Machine`] through evaluation. It is deliberately small: datatype
 //! instantiation needs fresh nonces (§5.3), `display` needs somewhere to
-//! write, and tests/benches want a fuel limit so accidental divergence
-//! fails fast instead of hanging.
+//! write, and callers want [`Limits`] so a hostile or merely deep program
+//! fails with a typed [`RuntimeError::ResourceExhausted`] instead of
+//! hanging or overflowing the stack.
 
-use crate::error::RuntimeError;
+use crate::error::{Resource, RuntimeError};
+
+/// Resource budgets for one evaluation.
+///
+/// Every field defaults to `None` (unlimited). Exhausting a budget
+/// surfaces as [`RuntimeError::ResourceExhausted`] naming the
+/// [`Resource`] that ran out — never a panic or a stack overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Limits {
+    /// Maximum evaluation steps.
+    pub fuel: Option<u64>,
+    /// Maximum term-nesting depth the evaluator will descend.
+    pub max_depth: Option<u64>,
+    /// Maximum mutable store cells allocated over the run.
+    pub max_store_cells: Option<u64>,
+}
+
+impl Limits {
+    /// No budgets at all (the default).
+    pub fn none() -> Limits {
+        Limits::default()
+    }
+
+    /// Bounds evaluation steps.
+    pub fn fuel(mut self, fuel: u64) -> Limits {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Bounds evaluation depth.
+    pub fn max_depth(mut self, depth: u64) -> Limits {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Bounds store-cell allocation.
+    pub fn max_store_cells(mut self, cells: u64) -> Limits {
+        self.max_store_cells = Some(cells);
+        self
+    }
+}
 
 /// Mutable machine-wide state.
 #[derive(Debug)]
@@ -15,19 +56,41 @@ pub struct Machine {
     next_instance: u64,
     /// Everything `display` wrote, in order.
     output: Vec<String>,
-    fuel: Option<u64>,
+    limits: Limits,
+    fuel_left: Option<u64>,
+    steps_taken: u64,
+    depth: u64,
+    cells_allocated: u64,
 }
 
 impl Machine {
-    /// A machine with no step limit.
+    /// A machine with no budgets.
     pub fn new() -> Machine {
-        Machine { next_instance: 0, output: Vec::new(), fuel: None }
+        Machine::with_limits(Limits::none())
     }
 
-    /// A machine that fails with [`RuntimeError::OutOfFuel`] after `fuel`
-    /// steps.
+    /// A machine that fails with [`RuntimeError::ResourceExhausted`]
+    /// (fuel) after `fuel` steps.
     pub fn with_fuel(fuel: u64) -> Machine {
-        Machine { next_instance: 0, output: Vec::new(), fuel: Some(fuel) }
+        Machine::with_limits(Limits::none().fuel(fuel))
+    }
+
+    /// A machine governed by `limits`.
+    pub fn with_limits(limits: Limits) -> Machine {
+        Machine {
+            next_instance: 0,
+            output: Vec::new(),
+            limits,
+            fuel_left: limits.fuel,
+            steps_taken: 0,
+            depth: 0,
+            cells_allocated: 0,
+        }
+    }
+
+    /// The budgets this machine enforces.
+    pub fn limits(&self) -> Limits {
+        self.limits
     }
 
     /// Draws a fresh datatype-instance nonce (never zero — zero marks
@@ -37,19 +100,80 @@ impl Machine {
         self.next_instance
     }
 
-    /// Records one evaluation step against the budget.
+    /// Records one evaluation step against the fuel budget.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::OutOfFuel`] when the budget is exhausted.
+    /// Returns [`RuntimeError::ResourceExhausted`] when the budget is
+    /// exhausted.
     pub fn step(&mut self) -> Result<(), RuntimeError> {
-        if let Some(fuel) = &mut self.fuel {
+        if let Some(fuel) = &mut self.fuel_left {
             if *fuel == 0 {
-                return Err(RuntimeError::OutOfFuel);
+                return Err(RuntimeError::ResourceExhausted {
+                    resource: Resource::Fuel,
+                    limit: self.limits.fuel.unwrap_or(0),
+                });
             }
             *fuel -= 1;
         }
+        self.steps_taken += 1;
         Ok(())
+    }
+
+    /// Steps taken so far (fuel consumed, whether or not a limit is set).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Enters one level of term nesting; pair with [`Machine::exit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ResourceExhausted`] when descending would
+    /// exceed the depth budget.
+    pub fn enter(&mut self) -> Result<(), RuntimeError> {
+        self.depth += 1;
+        self.check_depth(self.depth)
+    }
+
+    /// Leaves one level of term nesting.
+    pub fn exit(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Checks an externally tracked nesting depth against the budget
+    /// (used by the reducer, whose spine is an explicit worklist rather
+    /// than Rust recursion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ResourceExhausted`] when `depth` exceeds
+    /// the budget.
+    pub fn check_depth(&self, depth: u64) -> Result<(), RuntimeError> {
+        match self.limits.max_depth {
+            Some(max) if depth > max => Err(RuntimeError::ResourceExhausted {
+                resource: Resource::Depth,
+                limit: max,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Records `n` store-cell allocations against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ResourceExhausted`] when the allocation
+    /// would exceed the cell budget.
+    pub fn alloc_cells(&mut self, n: u64) -> Result<(), RuntimeError> {
+        self.cells_allocated += n;
+        match self.limits.max_store_cells {
+            Some(max) if self.cells_allocated > max => Err(RuntimeError::ResourceExhausted {
+                resource: Resource::StoreCells,
+                limit: max,
+            }),
+            _ => Ok(()),
+        }
     }
 
     /// Appends a line to the output buffer (the `display` primitive).
@@ -92,7 +216,11 @@ mod tests {
         let mut m = Machine::with_fuel(2);
         m.step().unwrap();
         m.step().unwrap();
-        assert_eq!(m.step(), Err(RuntimeError::OutOfFuel));
+        assert_eq!(
+            m.step(),
+            Err(RuntimeError::ResourceExhausted { resource: Resource::Fuel, limit: 2 })
+        );
+        assert_eq!(m.steps_taken(), 2);
     }
 
     #[test]
@@ -101,6 +229,33 @@ mod tests {
         for _ in 0..10_000 {
             m.step().unwrap();
         }
+        assert_eq!(m.steps_taken(), 10_000);
+    }
+
+    #[test]
+    fn depth_budget_trips_on_entry() {
+        let mut m = Machine::with_limits(Limits::none().max_depth(2));
+        m.enter().unwrap();
+        m.enter().unwrap();
+        assert_eq!(
+            m.enter(),
+            Err(RuntimeError::ResourceExhausted { resource: Resource::Depth, limit: 2 })
+        );
+        m.exit();
+        m.exit();
+        m.exit();
+        m.enter().unwrap();
+    }
+
+    #[test]
+    fn cell_budget_counts_cumulatively() {
+        let mut m = Machine::with_limits(Limits::none().max_store_cells(3));
+        m.alloc_cells(2).unwrap();
+        m.alloc_cells(1).unwrap();
+        assert_eq!(
+            m.alloc_cells(1),
+            Err(RuntimeError::ResourceExhausted { resource: Resource::StoreCells, limit: 3 })
+        );
     }
 
     #[test]

@@ -51,12 +51,21 @@ pub enum Phase {
     Reduce,
     /// Value-level evaluation and primitives (`units-runtime`).
     Eval,
+    /// Artifact caching and worker-pool scheduling (`units::engine`).
+    Engine,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 6] =
-        [Phase::Parse, Phase::Check, Phase::Resolve, Phase::Link, Phase::Reduce, Phase::Eval];
+    pub const ALL: [Phase; 7] = [
+        Phase::Parse,
+        Phase::Check,
+        Phase::Resolve,
+        Phase::Link,
+        Phase::Reduce,
+        Phase::Eval,
+        Phase::Engine,
+    ];
 
     /// The lowercase phase name used in event output and metric names.
     pub fn name(self) -> &'static str {
@@ -67,6 +76,7 @@ impl Phase {
             Phase::Link => "link",
             Phase::Reduce => "reduce",
             Phase::Eval => "eval",
+            Phase::Engine => "engine",
         }
     }
 }

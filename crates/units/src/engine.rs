@@ -1,0 +1,609 @@
+//! Engine sessions: cached artifacts, parallel checking, budgeted runs.
+//!
+//! An [`Engine`] is a long-lived session that owns a cache of checked and
+//! slot-resolved unit artifacts. The cache is keyed by a content hash of
+//! the alpha-normalized kernel term together with the [`CheckOptions`],
+//! so loading the same source twice — or an alpha-renamed copy of it —
+//! skips the Fig. 10/15/19 checks and the §4.1.6 resolution prepass, and
+//! every instantiation shares one compiled copy of the code (the paper's
+//! "one copy of the code regardless of how many times the unit is linked
+//! or invoked").
+//!
+//! Independent sources (top-level batches, [`Archive`] entries) are
+//! checked in parallel on a `std::thread` worker pool: checkers are pure
+//! and share only the process-wide interned symbols. The
+//! `UNITS_ENGINE_THREADS` environment variable pins the pool size (1
+//! forces fully sequential, deterministic loading).
+//!
+//! Execution is governed by [`Limits`]: fuel, evaluation depth, and
+//! store-cell budgets all surface as [`Error::ResourceExhausted`] instead
+//! of a panic or a stack overflow.
+//!
+//! # Example
+//!
+//! ```
+//! use units::{Engine, Level, Limits, Observation};
+//!
+//! let engine = Engine::builder()
+//!     .level(Level::Untyped)
+//!     .limits(Limits::none().fuel(100_000))
+//!     .build();
+//! let outcome = engine.invoke(
+//!     "(define hello (unit (import) (export) (init (* 6 7))))
+//!      (invoke hello)",
+//! )?;
+//! assert_eq!(outcome.value, Observation::Int(42));
+//! // A second invocation of the same source is a cache hit.
+//! engine.invoke("(define hello (unit (import) (export) (init (* 6 7))))
+//!                (invoke hello)")?;
+//! assert_eq!(engine.cache_stats().hits, 1);
+//! # Ok::<(), units::Error>(())
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+use std::sync::Mutex;
+
+use units_check::{check_program, CheckError, CheckOptions, Level, Strictness};
+use units_compile::{evaluate_program, resolve_program, Archive};
+use units_kernel::{alpha_eq, alpha_hash, Expr, Ty};
+use units_reduce::Reducer;
+use units_runtime::{Limits, Machine};
+use units_syntax::{parse_file, ParseError};
+
+use crate::error::Error;
+use crate::observe::{observe_expr, observe_value};
+use crate::program::{Backend, Outcome};
+
+/// A checked (and, for the production backend, slot-resolved) program,
+/// shared by every load that produced it.
+#[derive(Debug)]
+struct Artifact {
+    /// The parsed kernel term, as written.
+    expr: Expr,
+    /// The program's type at typed levels.
+    ty: Option<Ty>,
+    /// The lexical-address-resolved form the compiled backend runs.
+    resolved: Option<Expr>,
+}
+
+#[derive(Debug, Default)]
+struct Cache {
+    /// Exact-source fast path: hash of the raw text (plus options).
+    by_source: HashMap<u64, Rc<Artifact>>,
+    /// Content path: alpha-normalized term hash (plus options), with the
+    /// bucket confirmed by [`alpha_eq`] to rule out collisions.
+    by_term: HashMap<u64, Vec<Rc<Artifact>>>,
+}
+
+/// Cache counters, for tests and dashboards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Loads satisfied from the cache (by source text or by term).
+    pub hits: u64,
+    /// Loads that had to check and resolve from scratch.
+    pub misses: u64,
+    /// Distinct artifacts currently cached.
+    pub entries: usize,
+}
+
+/// Configures and constructs an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    level: Level,
+    strictness: Strictness,
+    backend: Backend,
+    limits: Limits,
+    resolve: Option<bool>,
+    threads: Option<usize>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> EngineBuilder {
+        EngineBuilder {
+            // UNITd, like `Program::parse`: the facade checks statically
+            // only when a typed level is asked for.
+            level: Level::Untyped,
+            strictness: Strictness::default(),
+            backend: Backend::default(),
+            limits: Limits::default(),
+            resolve: None,
+            threads: None,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Selects the calculus to check against (default [`Level::Untyped`]).
+    pub fn level(mut self, level: Level) -> EngineBuilder {
+        self.level = level;
+        self
+    }
+
+    /// Selects paper-strict or MzScheme-strict definition checking.
+    pub fn strictness(mut self, strictness: Strictness) -> EngineBuilder {
+        self.strictness = strictness;
+        self
+    }
+
+    /// Selects the default backend for [`Loaded::run`].
+    pub fn backend(mut self, backend: Backend) -> EngineBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the resource budgets every run is governed by.
+    pub fn limits(mut self, limits: Limits) -> EngineBuilder {
+        self.limits = limits;
+        self
+    }
+
+    /// Enables or disables the lexical-address resolution prepass
+    /// (`units_compile::resolve_program`). On by default.
+    pub fn resolution(mut self, on: bool) -> EngineBuilder {
+        self.resolve = Some(on);
+        self
+    }
+
+    /// Sets the checking worker-pool size. Defaults to the available
+    /// parallelism (capped at 8); the `UNITS_ENGINE_THREADS` environment
+    /// variable overrides both.
+    pub fn threads(mut self, threads: usize) -> EngineBuilder {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Engine {
+        let threads = match std::env::var("UNITS_ENGINE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => self.threads.unwrap_or_else(default_threads),
+        };
+        Engine {
+            opts: CheckOptions { level: self.level, strictness: self.strictness },
+            backend: self.backend,
+            limits: self.limits,
+            resolve: self.resolve.unwrap_or(true),
+            threads,
+            cache: RefCell::new(Cache::default()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+}
+
+/// A session that checks, caches, and runs programs.
+///
+/// See the [module documentation](self) for the full story.
+#[derive(Debug)]
+pub struct Engine {
+    opts: CheckOptions,
+    backend: Backend,
+    limits: Limits,
+    resolve: bool,
+    threads: usize,
+    cache: RefCell<Cache>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::builder().build()
+    }
+}
+
+/// What a worker can report back across the thread boundary. `Expr` is
+/// `Rc`-backed and deliberately not `Send`, so workers return only the
+/// check verdict; the main thread re-parses winners to materialize terms.
+enum BatchFailure {
+    Parse(ParseError),
+    Check(Vec<CheckError>),
+}
+
+impl From<BatchFailure> for Error {
+    fn from(f: BatchFailure) -> Error {
+        match f {
+            BatchFailure::Parse(e) => Error::Parse(e),
+            BatchFailure::Check(errs) => Error::Check(errs),
+        }
+    }
+}
+
+fn check_source(source: &str, opts: CheckOptions) -> Result<Option<Ty>, BatchFailure> {
+    let expr = parse_file(source).map_err(BatchFailure::Parse)?;
+    check_program(&expr, opts).map_err(BatchFailure::Check)
+}
+
+impl Engine {
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine with all defaults (untyped, compiled backend, no limits).
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// The level programs are checked at.
+    pub fn level(&self) -> Level {
+        self.opts.level
+    }
+
+    /// The default backend [`Loaded::run`] uses.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The resource budgets every run is governed by.
+    pub fn limits(&self) -> Limits {
+        self.limits
+    }
+
+    /// The checking worker-pool size.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cache hit/miss counters and current entry count.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            entries: self.cache.borrow().by_term.values().map(Vec::len).sum(),
+        }
+    }
+
+    fn source_key(&self, source: &str) -> u64 {
+        let mut h = DefaultHasher::new();
+        source.hash(&mut h);
+        self.opts.hash(&mut h);
+        self.resolve.hash(&mut h);
+        h.finish()
+    }
+
+    fn term_key(&self, expr: &Expr) -> u64 {
+        let mut h = DefaultHasher::new();
+        alpha_hash(expr).hash(&mut h);
+        self.opts.hash(&mut h);
+        self.resolve.hash(&mut h);
+        h.finish()
+    }
+
+    fn record_hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+        units_trace::count("engine/cache_hit", 1);
+    }
+
+    fn record_miss(&self) {
+        self.misses.set(self.misses.get() + 1);
+        units_trace::count("engine/cache_miss", 1);
+    }
+
+    /// The cached artifact alpha-equal to `expr`, if any, registering the
+    /// source key as a fast path for next time.
+    fn term_lookup(&self, skey: u64, tkey: u64, expr: &Expr) -> Option<Rc<Artifact>> {
+        let mut cache = self.cache.borrow_mut();
+        let found = cache
+            .by_term
+            .get(&tkey)?
+            .iter()
+            .find(|a| alpha_eq(&a.expr, expr))
+            .cloned()?;
+        cache.by_source.insert(skey, found.clone());
+        Some(found)
+    }
+
+    /// Checks and resolves `expr` from scratch, caching the artifact
+    /// under both keys. `ty` short-circuits checking when a worker
+    /// already produced the verdict.
+    fn admit(
+        &self,
+        skey: u64,
+        tkey: u64,
+        expr: Expr,
+        ty: Option<Option<Ty>>,
+    ) -> Result<Rc<Artifact>, Error> {
+        let ty = match ty {
+            Some(ty) => ty,
+            None => check_program(&expr, self.opts)?,
+        };
+        let resolved = if self.resolve { Some(resolve_program(&expr)) } else { None };
+        let artifact = Rc::new(Artifact { expr, ty, resolved });
+        let mut cache = self.cache.borrow_mut();
+        cache.by_source.insert(skey, artifact.clone());
+        cache.by_term.entry(tkey).or_default().push(artifact.clone());
+        self.record_miss();
+        Ok(artifact)
+    }
+
+    /// Parses, checks, and resolves `source` — or retrieves the cached
+    /// artifact if an identical (or alpha-equal) program was loaded
+    /// before under the same options.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] or [`Error::Check`]; never a runtime error
+    /// (nothing is evaluated yet).
+    pub fn load(&self, source: &str) -> Result<Loaded<'_>, Error> {
+        let skey = self.source_key(source);
+        if let Some(artifact) = self.cache.borrow().by_source.get(&skey).cloned() {
+            self.record_hit();
+            return Ok(Loaded { engine: self, artifact });
+        }
+        let expr = parse_file(source)?;
+        let tkey = self.term_key(&expr);
+        if let Some(artifact) = self.term_lookup(skey, tkey, &expr) {
+            self.record_hit();
+            return Ok(Loaded { engine: self, artifact });
+        }
+        let artifact = self.admit(skey, tkey, expr, None)?;
+        Ok(Loaded { engine: self, artifact })
+    }
+
+    /// Wraps an already-built expression (no parsing; still checked,
+    /// resolved, and cached by term).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Check`] when the expression does not check.
+    pub fn load_expr(&self, expr: Expr) -> Result<Loaded<'_>, Error> {
+        // No source text, so key the source map by the term hash too.
+        let tkey = self.term_key(&expr);
+        if let Some(artifact) = self.term_lookup(tkey, tkey, &expr) {
+            self.record_hit();
+            return Ok(Loaded { engine: self, artifact });
+        }
+        let artifact = self.admit(tkey, tkey, expr, None)?;
+        Ok(Loaded { engine: self, artifact })
+    }
+
+    /// [`load`](Engine::load) followed by [`Loaded::run`]: the one-call
+    /// parse → check → evaluate pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Any load or runtime error.
+    pub fn invoke(&self, source: &str) -> Result<Outcome, Error> {
+        self.load(source)?.run()
+    }
+
+    /// Loads many independent sources, checking cache misses in parallel
+    /// on the engine's worker pool. Results come back in input order, one
+    /// per source; artifacts land in the same cache as [`Engine::load`].
+    ///
+    /// With one thread (or one job) this degenerates to sequential
+    /// [`Engine::load`] calls — the `UNITS_ENGINE_THREADS=1` determinism
+    /// mode.
+    pub fn load_batch(&self, sources: &[&str]) -> Vec<Result<Loaded<'_>, Error>> {
+        let jobs: Vec<(usize, String)> = sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                !self.cache.borrow().by_source.contains_key(&self.source_key(s))
+            })
+            .map(|(i, s)| (i, (*s).to_string()))
+            .collect();
+        let workers = self.threads.min(jobs.len());
+        if workers <= 1 {
+            return sources.iter().map(|s| self.load(s)).collect();
+        }
+        units_trace::count("engine/pool_jobs", jobs.len() as u64);
+        units_trace::count("engine/pool_queue_depth", jobs.len() as u64);
+        units_trace::count("engine/pool_workers", workers as u64);
+        let opts = self.opts;
+        let queue = Mutex::new(jobs);
+        let verdicts = Mutex::new(
+            (0..sources.len()).map(|_| None).collect::<Vec<_>>(),
+        );
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some((idx, src)) = queue.lock().unwrap().pop() else { break };
+                    let verdict = check_source(&src, opts);
+                    verdicts.lock().unwrap()[idx] = Some(verdict);
+                });
+            }
+        });
+        let verdicts = verdicts.into_inner().unwrap();
+        sources
+            .iter()
+            .zip(verdicts)
+            .map(|(source, verdict)| match verdict {
+                // Cached before the batch started: a plain (hitting) load.
+                None => self.load(source),
+                Some(Err(failure)) => Err(failure.into()),
+                Some(Ok(ty)) => {
+                    // The worker checked; re-parse here to materialize the
+                    // (non-Send) term, then resolve and cache it.
+                    let skey = self.source_key(source);
+                    let expr = parse_file(source)?;
+                    let tkey = self.term_key(&expr);
+                    let artifact = match self.term_lookup(skey, tkey, &expr) {
+                        Some(found) => {
+                            self.record_hit();
+                            found
+                        }
+                        None => self.admit(skey, tkey, expr, Some(ty))?,
+                    };
+                    Ok(Loaded { engine: self, artifact })
+                }
+            })
+            .collect()
+    }
+
+    /// Loads every entry of an [`Archive`] (in name order) through
+    /// [`Engine::load_batch`]. Returns `(name, result)` pairs.
+    pub fn load_archive<'e>(
+        &'e self,
+        archive: &Archive,
+    ) -> Vec<(String, Result<Loaded<'e>, Error>)> {
+        let names = archive.names();
+        let sources: Vec<&str> =
+            names.iter().map(|n| archive.get(n).expect("listed name is published")).collect();
+        let loaded = self.load_batch(&sources);
+        names.into_iter().map(String::from).zip(loaded).collect()
+    }
+}
+
+/// A checked, cached program, ready to run under the engine's limits.
+///
+/// Produced by [`Engine::load`]; borrowing the engine keeps the cache
+/// alive and lets `run` pick up the session's backend and budgets.
+#[derive(Debug)]
+pub struct Loaded<'e> {
+    engine: &'e Engine,
+    artifact: Rc<Artifact>,
+}
+
+impl Loaded<'_> {
+    /// The program's type at typed levels (`None` at UNITd).
+    pub fn ty(&self) -> Option<&Ty> {
+        self.artifact.ty.as_ref()
+    }
+
+    /// The parsed kernel term.
+    pub fn expr(&self) -> &Expr {
+        &self.artifact.expr
+    }
+
+    /// Runs on the engine's default backend.
+    ///
+    /// # Errors
+    ///
+    /// Any runtime error; budget exhaustion surfaces as
+    /// [`Error::ResourceExhausted`].
+    pub fn run(&self) -> Result<Outcome, Error> {
+        self.run_on(self.engine.backend)
+    }
+
+    /// Runs on a specific backend under the engine's [`Limits`].
+    ///
+    /// The compiled backend evaluates the cached resolved term in place —
+    /// every instantiation shares the one compiled copy (§4.1.6); the
+    /// reducer works on the substitution semantics of Fig. 11.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Loaded::run`].
+    pub fn run_on(&self, backend: Backend) -> Result<Outcome, Error> {
+        match backend {
+            Backend::Compiled => {
+                let _timer = units_trace::time("eval");
+                let mut machine = Machine::with_limits(self.engine.limits);
+                let expr = self.artifact.resolved.as_ref().unwrap_or(&self.artifact.expr);
+                let value = evaluate_program(expr, &mut machine)?;
+                units_trace::count("engine/fuel_used", machine.steps_taken());
+                Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
+            }
+            Backend::Reducer => {
+                let mut reducer = Reducer::with_limits(self.engine.limits);
+                let value = reducer.reduce_to_value(&self.artifact.expr)?;
+                units_trace::count("engine/fuel_used", reducer.machine.steps_taken());
+                Ok(Outcome { value: observe_expr(&value), output: reducer.machine.take_output() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Observation;
+
+    const SQUARE: &str = "(invoke (unit (import) (export)
+        (define square (lambda (n) (* n n)))
+        (init (square 12))))";
+
+    #[test]
+    fn invoke_runs_and_caches() {
+        let engine = Engine::new();
+        assert_eq!(engine.invoke(SQUARE).unwrap().value, Observation::Int(144));
+        assert_eq!(engine.invoke(SQUARE).unwrap().value, Observation::Int(144));
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn alpha_renamed_sources_share_one_artifact() {
+        let engine = Engine::new();
+        engine.invoke(SQUARE).unwrap();
+        let renamed = "(invoke (unit (import) (export)
+            (define sq (lambda (m) (* m m)))
+            (init (sq 12))))";
+        assert_eq!(engine.invoke(renamed).unwrap().value, Observation::Int(144));
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_options_do_not_share_artifacts() {
+        let untyped = Engine::new();
+        untyped.invoke("(invoke (unit (import) (export) (init 5)))").unwrap();
+        let typed = Engine::builder().level(Level::Constructed).build();
+        let loaded = typed.load("(invoke (unit (import) (export) (init 5)))").unwrap();
+        assert_eq!(loaded.ty(), Some(&Ty::Int));
+        assert_eq!(typed.cache_stats().misses, 1);
+        assert_eq!(typed.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn check_errors_surface_before_running() {
+        let err = Engine::new().invoke("(+ nope 1)").unwrap_err();
+        assert!(err.as_check().is_some());
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_typed_on_both_backends() {
+        let engine = Engine::builder()
+            .strictness(Strictness::MzScheme)
+            .limits(Limits::none().fuel(5_000))
+            .build();
+        let loaded = engine
+            .load("(letrec ((define loop (lambda () (loop)))) (loop))")
+            .unwrap();
+        for backend in [Backend::Compiled, Backend::Reducer] {
+            let err = loaded.run_on(backend).unwrap_err();
+            assert_eq!(
+                err.as_resource_exhausted(),
+                Some((units_runtime::Resource::Fuel, 5_000)),
+                "{backend:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_batch_preserves_input_order() {
+        let engine = Engine::builder().threads(4).build();
+        let sources = [
+            "(invoke (unit (import) (export) (init 1)))",
+            "(+ nope 1)",
+            "(invoke (unit (import) (export) (init 3)))",
+        ];
+        let results = engine.load_batch(&sources);
+        assert_eq!(results[0].as_ref().unwrap().run().unwrap().value, Observation::Int(1));
+        assert!(results[1].as_ref().err().and_then(|e| e.as_check()).is_some());
+        assert_eq!(results[2].as_ref().unwrap().run().unwrap().value, Observation::Int(3));
+    }
+
+    #[test]
+    fn load_expr_caches_by_term() {
+        let engine = Engine::new();
+        let expr = units_syntax::parse_expr(SQUARE).unwrap();
+        engine.load_expr(expr.clone()).unwrap();
+        engine.load_expr(expr).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}

@@ -1,13 +1,27 @@
 //! The unified error type of the facade.
+//!
+//! Every failure between source text and a value — parsing, the static
+//! checks of Figs. 10/14/15/19, separate-compilation artifacts (§2),
+//! dynamic linking (§3.4), evaluation, and resource budgets — surfaces
+//! as one [`Error`]. The [`Display`](fmt::Display) form of a check
+//! failure names the figure whose rule fired, and
+//! [`source`](std::error::Error::source) chains reach the underlying
+//! error for callers that walk causes.
 
 use std::fmt;
 
 use units_check::CheckError;
-use units_runtime::RuntimeError;
+use units_compile::{ArtifactError, DynlinkError};
+use units_runtime::{Resource, RuntimeError};
 use units_syntax::ParseError;
 
 /// Anything that can go wrong between source text and a value.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard
+/// arm, so future failure classes can be added without a breaking
+/// release.
+#[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// The source does not parse.
     Parse(ParseError),
@@ -15,6 +29,17 @@ pub enum Error {
     Check(Vec<CheckError>),
     /// The program signalled a run-time error.
     Runtime(RuntimeError),
+    /// Publishing or loading a separate-compilation artifact failed.
+    Artifact(ArtifactError),
+    /// A dynamic load from an [`Archive`](crate::Archive) was refused.
+    Dynlink(DynlinkError),
+    /// Evaluation exceeded a configured [`Limits`](crate::Limits) budget.
+    ResourceExhausted {
+        /// Which budget ran out.
+        resource: Resource,
+        /// The configured limit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -24,16 +49,32 @@ impl fmt::Display for Error {
             Error::Check(errs) => {
                 write!(f, "check error")?;
                 for e in errs {
-                    write!(f, ": {e}")?;
+                    write!(f, ": [{}] {e}", e.figure())?;
                 }
                 Ok(())
             }
             Error::Runtime(e) => write!(f, "runtime error: {e}"),
+            Error::Artifact(e) => write!(f, "artifact error: {e}"),
+            Error::Dynlink(e) => write!(f, "dynamic-link error: {e}"),
+            Error::ResourceExhausted { resource, limit } => {
+                write!(f, "evaluation exceeded its {resource} budget of {limit}")
+            }
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Check(errs) => errs.first().map(|e| e as _),
+            Error::Runtime(e) => Some(e),
+            Error::Artifact(e) => Some(e),
+            Error::Dynlink(e) => Some(e),
+            Error::ResourceExhausted { .. } => None,
+        }
+    }
+}
 
 impl From<ParseError> for Error {
     fn from(e: ParseError) -> Self {
@@ -55,7 +96,24 @@ impl From<CheckError> for Error {
 
 impl From<RuntimeError> for Error {
     fn from(e: RuntimeError) -> Self {
-        Error::Runtime(e)
+        match e {
+            RuntimeError::ResourceExhausted { resource, limit } => {
+                Error::ResourceExhausted { resource, limit }
+            }
+            other => Error::Runtime(other),
+        }
+    }
+}
+
+impl From<ArtifactError> for Error {
+    fn from(e: ArtifactError) -> Self {
+        Error::Artifact(e)
+    }
+}
+
+impl From<DynlinkError> for Error {
+    fn from(e: DynlinkError) -> Self {
+        Error::Dynlink(e)
     }
 }
 
@@ -75,6 +133,14 @@ impl Error {
             _ => None,
         }
     }
+
+    /// The exhausted resource and its limit, if a budget ran out.
+    pub fn as_resource_exhausted(&self) -> Option<(Resource, u64)> {
+        match self {
+            Error::ResourceExhausted { resource, limit } => Some((*resource, *limit)),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +156,30 @@ mod tests {
 
         let e: Error = CheckError::Unbound { name: "x".into() }.into();
         assert_eq!(e.as_check().map(<[_]>::len), Some(1));
+    }
+
+    #[test]
+    fn check_display_names_the_figure() {
+        let e: Error = CheckError::Unbound { name: "x".into() }.into();
+        assert!(e.to_string().contains("[Fig. 10]"), "{e}");
+    }
+
+    #[test]
+    fn resource_exhaustion_is_its_own_variant() {
+        let e: Error =
+            RuntimeError::ResourceExhausted { resource: Resource::Fuel, limit: 7 }.into();
+        assert_eq!(e.as_resource_exhausted(), Some((Resource::Fuel, 7)));
+        assert!(e.as_runtime().is_none());
+        assert!(e.to_string().contains("fuel budget of 7"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_underlying_error() {
+        use std::error::Error as _;
+        let e: Error = RuntimeError::DivisionByZero.into();
+        assert!(e.source().is_some());
+        let e: Error = units_compile::DynlinkError::NotAUnit.into();
+        assert!(matches!(e, Error::Dynlink(_)));
+        assert!(e.source().is_some());
     }
 }

@@ -17,13 +17,18 @@
 //! | [`units_compile`] | the §4.1.6 cells backend (production) + §3.4 dynamic linking |
 //! | this crate | the pipeline, the paper's running examples, differential testing |
 //!
-//! ## Quick start
+//! ## Engine quick start
+//!
+//! An [`Engine`] is a session: it checks programs (in parallel for
+//! batches), caches the checked/resolved artifacts by content hash, and
+//! runs them under resource budgets.
 //!
 //! ```
-//! use units::{Observation, Program};
+//! use units::{Engine, Observation};
 //!
+//! let engine = Engine::builder().build();
 //! // Fig. 12's even/odd units, linked cyclically and invoked.
-//! let outcome = Program::parse(
+//! let outcome = engine.invoke(
 //!     "(invoke (compound (import) (export)
 //!        (link ((unit (import odd) (export even)
 //!                 (define even (lambda (n) (if (= n 0) true (odd (- n 1))))))
@@ -32,9 +37,11 @@
 //!                 (define odd (lambda (n) (if (= n 0) false (even (- n 1)))))
 //!                 (init (odd 13)))
 //!               (with even) (provides odd)))))",
-//! )?
-//! .run()?;
+//! )?;
 //! assert_eq!(outcome.value, Observation::Bool(true));
+//! // Loading the same (or an alpha-renamed) source again skips
+//! // checking and resolution entirely:
+//! assert_eq!(engine.cache_stats().misses, 1);
 //! # Ok::<(), units::Error>(())
 //! ```
 //!
@@ -45,17 +52,21 @@
 #![warn(missing_docs)]
 
 pub mod diagram;
+mod engine;
 mod error;
 mod observe;
 mod program;
 pub mod stdlib;
 pub mod typed_stdlib;
 
+pub use engine::{CacheStats, Engine, EngineBuilder, Loaded};
 pub use error::Error;
 pub use observe::{observe_expr, observe_value, Observation};
 #[cfg(feature = "trace")]
 pub use observe::{diagnose_divergence, DivergenceReport};
-pub use program::{Backend, Outcome, Program};
+pub use program::{Backend, Outcome};
+#[allow(deprecated)]
+pub use program::Program;
 
 /// The tracing substrate, re-exported so downstream users can install
 /// sinks and read metrics without naming the `units-trace` crate. With
@@ -76,7 +87,7 @@ pub use units_kernel::{
     ValPort,
 };
 pub use units_reduce::{merge_compound, Reducer, Step};
-pub use units_runtime::{Machine, RuntimeError, UnitValue, Value};
+pub use units_runtime::{Limits, Machine, Resource, RuntimeError, UnitValue, Value};
 pub use units_syntax::{
     parse_expr, parse_file, parse_signature, parse_ty, pretty_expr, pretty_expr_indent,
     pretty_signature, pretty_ty,

@@ -170,6 +170,7 @@ pub fn observe_expr(expr: &Expr) -> Observation {
 /// Divergence diagnosis: replay a program on both backends with event
 /// capture on and pinpoint the first primitive call where they disagree.
 #[cfg(feature = "trace")]
+#[allow(deprecated)] // public API still takes the Program shim
 mod divergence {
     use std::fmt;
 
@@ -309,6 +310,7 @@ mod divergence {
 pub use divergence::{diagnose_divergence, DivergenceReport};
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::rc::Rc;

@@ -1,9 +1,16 @@
-//! The end-to-end pipeline: parse → check → evaluate.
+//! The original end-to-end pipeline: parse → check → evaluate.
 //!
-//! [`Program`] is the high-level entry point a downstream user reaches
+//! [`Program`] was the high-level entry point a downstream user reached
 //! for: it owns the parsed expression, knows which calculus it is checked
 //! against, and can run on either backend — the production cells
 //! evaluator (§4.1.6) or the reference substitution reducer (Fig. 11).
+//!
+//! It is superseded by [`Engine`](crate::Engine), which adds artifact
+//! caching, parallel checking, and resource budgets behind the same
+//! parse → check → run shape; `Program` remains as a thin deprecated
+//! shim so existing code keeps compiling.
+
+#![allow(deprecated)]
 
 use units_check::{check_program, CheckOptions, Level, Strictness};
 use units_compile::{evaluate_program, resolve_program};
@@ -51,6 +58,10 @@ pub struct Outcome {
 /// # Ok::<(), units::Error>(())
 /// ```
 #[derive(Debug, Clone)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use `units::Engine`: `Engine::builder().level(..).limits(..).build().load(src)?.run()`"
+)]
 pub struct Program {
     expr: Expr,
     level: Level,
@@ -326,8 +337,9 @@ mod tests {
         .with_fuel(5_000);
         for backend in [Backend::Compiled, Backend::Reducer] {
             let err = p.run_on(backend).unwrap_err();
-            assert!(
-                matches!(err.as_runtime(), Some(units_runtime::RuntimeError::OutOfFuel)),
+            assert_eq!(
+                err.as_resource_exhausted(),
+                Some((units_runtime::Resource::Fuel, 5_000)),
                 "{backend:?}: {err}"
             );
         }

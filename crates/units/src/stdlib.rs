@@ -251,6 +251,7 @@ pub fn compiler_pipeline() -> String {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the Program shim on purpose
 mod tests {
     use super::*;
     use crate::observe::Observation;

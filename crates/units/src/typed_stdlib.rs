@@ -122,6 +122,7 @@ pub fn ipb_program() -> String {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the Program shim on purpose
 mod tests {
     use super::*;
     use crate::{Level, Observation, Program, Ty};

@@ -94,7 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 println!("  exited with {v}\n");
             }
-            Err(RuntimeError::OutOfFuel) => {
+            Err(RuntimeError::ResourceExhausted { .. }) => {
                 for line in machine.output() {
                     println!("  client | {line}");
                 }

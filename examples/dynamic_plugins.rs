@@ -5,15 +5,15 @@
 //! Run with: `cargo run --example dynamic_plugins`
 
 use units::stdlib;
-use units::{Archive, CheckOptions, Level, Program};
+use units::{Archive, CheckOptions, Engine, Level};
 use units_syntax::parse_signature;
 
 fn main() -> Result<(), units::Error> {
     // --- Part 1: Fig. 7 at the language level --------------------------
     // The GUI's add-loader invokes a plug-in unit at run time, satisfying
     // its imports (insert, numInfo, error) from the host's own scope.
-    let outcome =
-        Program::parse(&stdlib::plugin_program(&stdlib::sample_loader_plugin()))?.run()?;
+    let engine = Engine::new();
+    let outcome = engine.invoke(&stdlib::plugin_program(&stdlib::sample_loader_plugin()))?;
     println!("Fig. 7 host with a dynamically linked loader:");
     for line in &outcome.output {
         println!("  | {line}");

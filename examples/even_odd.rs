@@ -11,7 +11,7 @@
 //!   exports are reference cells, and one shared copy of the code serves
 //!   every instance.
 
-use units::{parse_expr, pretty_expr, Backend, Observation, Program, Reducer, Step};
+use units::{parse_expr, pretty_expr, Backend, Engine, Limits, Observation, Reducer, Step};
 
 fn main() -> Result<(), units::Error> {
     let source = "(invoke (unit (import even) (export odd)
@@ -40,7 +40,7 @@ fn main() -> Result<(), units::Error> {
     println!("…reference value: {}", pretty_expr(&value));
 
     println!("\n== the §4.1.6 cells backend ==============================");
-    let outcome = Program::parse(source)?.run_on(Backend::Compiled)?;
+    let outcome = Engine::new().load(source)?.run_on(Backend::Compiled)?;
     println!("compiled value: {}", outcome.value);
     assert_eq!(outcome.value, Observation::Bool(true));
 
@@ -50,7 +50,9 @@ fn main() -> Result<(), units::Error> {
         let mut hi = 1_000_000u64;
         while lo < hi {
             let mid = (lo + hi) / 2;
-            let ok = Program::parse(source)?.with_fuel(mid).run_on(backend).is_ok();
+            let engine =
+                Engine::builder().limits(Limits::none().fuel(mid)).build();
+            let ok = engine.load(source)?.run_on(backend).is_ok();
             if ok {
                 hi = mid;
             } else {

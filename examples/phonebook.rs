@@ -9,7 +9,7 @@
 //! handler, and the GUI calls back into the phone book.
 
 use units::stdlib;
-use units::{Backend, Observation, Program};
+use units::{Backend, Engine, Observation};
 
 fn main() -> Result<(), units::Error> {
     println!("== Fig. 1: the atomic Database unit =====================");
@@ -25,21 +25,23 @@ fn main() -> Result<(), units::Error> {
                   (with new delete) (provides error)))))",
         pb = stdlib::phonebook_compound()
     );
-    match Program::parse(&bad)?.run() {
+    let engine = Engine::new();
+    match engine.invoke(&bad) {
         Err(e) => println!("linking against hidden `delete` correctly fails:\n  {e}\n"),
         Ok(_) => unreachable!("delete must be hidden"),
     }
 
     println!("== Fig. 3: the complete IPB program =====================");
-    let outcome = Program::parse(&stdlib::ipb_program())?.run()?;
+    let outcome = engine.invoke(&stdlib::ipb_program())?;
     for line in &outcome.output {
         println!("  | {line}");
     }
     println!("IPB result (Main's initialization value): {}", outcome.value);
     assert_eq!(outcome.value, Observation::Bool(true));
 
-    // The substitution reducer — the paper's formal semantics — agrees.
-    let reference = Program::parse(&stdlib::ipb_program())?.run_on(Backend::Reducer)?;
+    // The substitution reducer — the paper's formal semantics — agrees,
+    // re-using the cached artifact from the compiled run.
+    let reference = engine.load(&stdlib::ipb_program())?.run_on(Backend::Reducer)?;
     assert_eq!(reference, outcome);
     println!("\nFig. 11 reference semantics produces the identical outcome.");
     Ok(())

@@ -7,7 +7,7 @@
 //! expression wires them — here cyclically, which no functor-style module
 //! system can do — and `invoke` runs the linked program.
 
-use units::{Observation, Program};
+use units::{Backend, Engine, Observation};
 
 fn main() -> Result<(), units::Error> {
     // Fig. 12's even/odd pair: each unit imports the other's export.
@@ -32,7 +32,8 @@ fn main() -> Result<(), units::Error> {
                    (init (tuple (even 10) (odd 10))))
                  (with even odd) (provides)))))";
 
-    let outcome = Program::parse(source)?.run()?;
+    let engine = Engine::new();
+    let outcome = engine.invoke(source)?;
 
     println!("program output:");
     for line in &outcome.output {
@@ -44,9 +45,11 @@ fn main() -> Result<(), units::Error> {
         Observation::Tuple(vec![Observation::Bool(true), Observation::Bool(false)])
     );
 
-    // The same program under the reference semantics (Fig. 11's rules).
-    let steps = Program::parse(source)?.run_on(units::Backend::Reducer)?;
+    // The same program under the reference semantics (Fig. 11's rules);
+    // the engine's cache hands back the already-checked artifact.
+    let steps = engine.load(source)?.run_on(Backend::Reducer)?;
     assert_eq!(steps.value, outcome.value);
     println!("reference reducer agrees: {}", steps.value);
+    assert_eq!(engine.cache_stats().hits, 1);
     Ok(())
 }

@@ -15,8 +15,8 @@
 //!    newer build in the meantime).
 
 use units::{
-    load_interface, load_unit, parse_expr, publish_unit, CheckOptions, Level, Observation,
-    Program,
+    load_interface, load_unit, parse_expr, publish_unit, CheckOptions, Engine, Level,
+    Observation,
 };
 use units_kernel::{CompoundExpr, Expr, LinkClause, Ports, ValPort};
 
@@ -94,7 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
         ],
     }));
-    let outcome = Program::from_expr(program).at_level(Level::Constructed).run()?;
+    let outcome = Engine::builder()
+        .level(Level::Constructed)
+        .build()
+        .load_expr(program)?
+        .run()?;
     println!("integrated program: sum-of-squares(3, 4) = {}", outcome.value);
     assert_eq!(outcome.value, Observation::Int(25));
 

@@ -10,12 +10,13 @@
 //! other programs".
 
 use units::stdlib;
-use units::{Observation, Program};
+use units::{Engine, Observation};
 
 fn main() -> Result<(), units::Error> {
+    let engine = Engine::new();
     for expert_mode in [true, false] {
         let source = stdlib::make_ipb_program(expert_mode);
-        let outcome = Program::parse(&source)?.run()?;
+        let outcome = engine.invoke(&source)?;
         println!(
             "expertMode() = {expert_mode:<5} → GUI chosen at run time:"
         );
@@ -49,7 +50,7 @@ fn main() -> Result<(), units::Error> {
         phonebook = stdlib::phonebook_compound(),
         main = stdlib::main_unit(),
     );
-    let outcome = Program::parse(&custom)?.run()?;
+    let outcome = engine.invoke(&custom)?;
     println!("a third, quiet GUI works through the same MakeIPB: {}", outcome.value);
     assert_eq!(outcome.value, Observation::Bool(true));
     Ok(())

@@ -8,7 +8,7 @@
 //! the type of the last initialization expression — is `bool`, just as
 //! the paper says of `IPB`.
 
-use units::{diagram, parse_expr, typed_stdlib, Level, Observation, Program, Ty};
+use units::{diagram, parse_expr, typed_stdlib, Engine, Level, Observation, Ty};
 
 fn main() -> Result<(), units::Error> {
     println!("== the typed Database unit (Fig. 1) ======================");
@@ -16,9 +16,9 @@ fn main() -> Result<(), units::Error> {
     println!("{}\n", diagram::render(&database));
 
     println!("== the PhoneBook compound's derived signature (Fig. 2) ===");
-    let mut phonebook =
-        Program::parse(&typed_stdlib::phonebook())?.at_level(Level::Constructed);
-    let sig_ty = phonebook.check()?.expect("typed levels return a type");
+    let engine = Engine::builder().level(Level::Constructed).build();
+    let phonebook = engine.load(&typed_stdlib::phonebook())?;
+    let sig_ty = phonebook.ty().expect("typed levels return a type");
     let sig = sig_ty.as_sig().expect("a unit has a signature type");
     println!("exports:");
     for port in &sig.exports.types {
@@ -31,10 +31,10 @@ fn main() -> Result<(), units::Error> {
     println!("(and `delete` is hidden, per Fig. 2)\n");
 
     println!("== the complete typed IPB (Fig. 3) =======================");
-    let mut ipb = Program::parse(&typed_stdlib::ipb_program())?.at_level(Level::Constructed);
-    let program_ty = ipb.check()?.expect("typed");
+    let ipb = engine.load(&typed_stdlib::ipb_program())?;
+    let program_ty = ipb.ty().expect("typed");
     println!("program type: {program_ty}");
-    assert_eq!(program_ty, Ty::Bool);
+    assert_eq!(program_ty, &Ty::Bool);
 
     let outcome = ipb.run()?;
     for line in &outcome.output {

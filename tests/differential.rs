@@ -12,9 +12,13 @@
 //! produce identical outcomes with slot resolution on and off, since
 //! resolution is a pure lookup-strategy change.
 
+// These integration tests exercise the original Program facade on
+// purpose: the deprecated shim must keep behaving until it is removed.
+#![allow(deprecated)]
+
 use bench::rng::SplitMix64;
 
-use units::{Backend, Error, Outcome, Program, RuntimeError, Strictness};
+use units::{Backend, Error, Outcome, Program, Strictness};
 use units_kernel::{
     Binding, CompoundExpr, Expr, InvokeExpr, LinkClause, Param, Ports, PrimOp, UnitExpr, ValDefn,
 };
@@ -279,7 +283,7 @@ fn check_agreement(
     b: Result<Outcome, Error>,
 ) -> Result<(), String> {
     let fuel = |r: &Result<Outcome, Error>| {
-        matches!(r, Err(Error::Runtime(RuntimeError::OutOfFuel)))
+        matches!(r, Err(Error::ResourceExhausted { .. }))
     };
     if fuel(&a) || fuel(&b) {
         return Ok(()); // step budgets differ between the semantics

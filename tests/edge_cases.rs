@@ -1,5 +1,9 @@
 //! Corner cases and failure injection across the whole pipeline.
 
+// These integration tests exercise the original Program facade on
+// purpose: the deprecated shim must keep behaving until it is removed.
+#![allow(deprecated)]
+
 use units::{
     Backend, CheckError, Level, Observation, Program, RuntimeError, Strictness, Ty,
 };

@@ -1,0 +1,259 @@
+//! Engine-session invariants: the artifact cache must be semantically
+//! invisible, and every resource budget must surface as a typed error.
+//!
+//! The differential tests here are the cache's correctness argument: a
+//! warm (cache-hit) load followed by a run must produce an `Outcome`
+//! equal to the cold run's, *and* an identical trace-event stream, on
+//! both backends at all three levels. Cache accounting goes through
+//! metrics counters only, so a hit can never perturb the event stream.
+
+use units::{Archive, Backend, Engine, Error, Level, Limits, Observation, Strictness};
+use units_runtime::Resource;
+
+/// A program that parses at every level: annotations only where the
+/// typed checkers need them, none where UNITd would reject them.
+fn square_program(level: Level) -> &'static str {
+    match level {
+        Level::Untyped => {
+            "(invoke (unit (import) (export)
+                (define square (lambda (n) (* n n)))
+                (init (begin (display (int->string (square 12))) (square 12)))))"
+        }
+        _ => {
+            "(invoke (unit (import) (export)
+                (define square (-> int int) (lambda ((n int)) (* n n)))
+                (init (begin (display (int->string (square 12))) (square 12)))))"
+        }
+    }
+}
+
+/// The core differential property: for every level and backend, the
+/// second (cache-hit) load runs byte-identically to the first.
+#[test]
+fn warm_runs_match_cold_runs_exactly() {
+    for level in [Level::Untyped, Level::Constructed, Level::Equations] {
+        for backend in [Backend::Compiled, Backend::Reducer] {
+            let engine = Engine::builder().level(level).backend(backend).build();
+            let source = square_program(level);
+
+            let cold = engine.load(source).unwrap();
+            let (cold_outcome, cold_events) =
+                units::trace::capture(|| cold.run().unwrap());
+
+            let warm = engine.load(source).unwrap();
+            let (warm_outcome, warm_events) =
+                units::trace::capture(|| warm.run().unwrap());
+
+            let stats = engine.cache_stats();
+            assert_eq!(
+                (stats.hits, stats.misses, stats.entries),
+                (1, 1, 1),
+                "{level:?}/{backend:?}: second load must hit"
+            );
+            assert_eq!(cold_outcome.value, Observation::Int(144));
+            assert_eq!(cold_outcome.output, vec!["144".to_string()]);
+            assert_eq!(
+                cold_outcome, warm_outcome,
+                "{level:?}/{backend:?}: outcomes differ cold vs warm"
+            );
+            assert_eq!(
+                cold_events, warm_events,
+                "{level:?}/{backend:?}: trace streams differ cold vs warm"
+            );
+        }
+    }
+}
+
+/// A cache-hit load does not even parse: its event stream is empty.
+#[test]
+fn warm_loads_emit_no_events() {
+    let engine = Engine::new();
+    engine.load(square_program(Level::Untyped)).unwrap();
+    let (result, events) =
+        units::trace::capture(|| engine.load(square_program(Level::Untyped)).map(drop));
+    result.unwrap();
+    assert!(events.is_empty(), "cache hit traced events: {events:?}");
+}
+
+/// Typed levels keep the program's type on the cached artifact.
+#[test]
+fn typed_levels_report_the_program_type() {
+    let engine = Engine::builder().level(Level::Constructed).build();
+    let loaded = engine.load(square_program(Level::Constructed)).unwrap();
+    assert_eq!(loaded.ty().map(ToString::to_string).as_deref(), Some("int"));
+    // And at the untyped level there is no type to report.
+    let untyped = Engine::new();
+    assert!(untyped.load(square_program(Level::Untyped)).unwrap().ty().is_none());
+}
+
+/// Fuel exhaustion is a typed error — no panic — on both backends.
+#[test]
+fn fuel_exhaustion_is_typed_on_both_backends() {
+    let engine = Engine::builder()
+        .strictness(Strictness::MzScheme)
+        .limits(Limits::none().fuel(2_000))
+        .build();
+    let loaded =
+        engine.load("(letrec ((define loop (lambda () (loop)))) (loop))").unwrap();
+    for backend in [Backend::Compiled, Backend::Reducer] {
+        let err = loaded.run_on(backend).unwrap_err();
+        assert!(
+            matches!(err, Error::ResourceExhausted { .. }),
+            "{backend:?}: {err:?}"
+        );
+        assert_eq!(err.as_resource_exhausted(), Some((Resource::Fuel, 2_000)));
+    }
+}
+
+/// Depth exhaustion (deep non-tail recursion) is a typed error — not a
+/// stack overflow — on both backends.
+#[test]
+fn depth_exhaustion_is_typed_on_both_backends() {
+    let engine = Engine::builder()
+        .strictness(Strictness::MzScheme)
+        .limits(Limits::none().max_depth(64))
+        .build();
+    let loaded = engine
+        .load(
+            "(letrec ((define down (lambda (n) (if (= n 0) 0 (+ 1 (down (- n 1)))))))
+               (down 10000))",
+        )
+        .unwrap();
+    for backend in [Backend::Compiled, Backend::Reducer] {
+        let err = loaded.run_on(backend).unwrap_err();
+        assert_eq!(
+            err.as_resource_exhausted(),
+            Some((Resource::Depth, 64)),
+            "{backend:?}: {err:?}"
+        );
+    }
+}
+
+/// Store-cell exhaustion (each instantiation allocates one cell per
+/// definition, §4.1.6) is a typed error on both backends.
+#[test]
+fn store_cell_exhaustion_is_typed_on_both_backends() {
+    let engine = Engine::builder().limits(Limits::none().max_store_cells(2)).build();
+    let loaded = engine
+        .load(
+            "(invoke (unit (import) (export)
+                (define a (lambda () 1))
+                (define b (lambda () 2))
+                (define c (lambda () 3))
+                (init (a))))",
+        )
+        .unwrap();
+    for backend in [Backend::Compiled, Backend::Reducer] {
+        let err = loaded.run_on(backend).unwrap_err();
+        assert_eq!(
+            err.as_resource_exhausted(),
+            Some((Resource::StoreCells, 2)),
+            "{backend:?}: {err:?}"
+        );
+    }
+}
+
+/// An alpha-renamed copy of a loaded program is a cache hit: the content
+/// key hashes the alpha-normalized term, not the spelling.
+#[test]
+fn alpha_renamed_source_is_a_cache_hit() {
+    let engine = Engine::new();
+    engine
+        .load(
+            "(invoke (unit (import) (export)
+                (define double (lambda (n) (+ n n)))
+                (init (double 21))))",
+        )
+        .unwrap();
+    let renamed = engine
+        .load(
+            "(invoke (unit (import) (export)
+                (define twice (lambda (k) (+ k k)))
+                (init (twice 21))))",
+        )
+        .unwrap();
+    assert_eq!(renamed.run().unwrap().value, Observation::Int(42));
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+}
+
+fn batch_sources() -> Vec<String> {
+    (0..8)
+        .map(|i| {
+            if i == 5 {
+                // One deliberate check error in the middle of the batch.
+                "(+ nope 1)".to_string()
+            } else {
+                format!(
+                    "(invoke (unit (import) (export)
+                        (define f (lambda (n) (* n {i})))
+                        (init (f 10))))"
+                )
+            }
+        })
+        .collect()
+}
+
+/// A parallel batch load returns, per source and in input order, exactly
+/// what sequential loading returns.
+#[test]
+fn parallel_batch_agrees_with_sequential_loading() {
+    let sources = batch_sources();
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+
+    let parallel = Engine::builder().threads(4).build();
+    let sequential = Engine::builder().threads(1).build();
+    let par_results = parallel.load_batch(&refs);
+    let seq_results = sequential.load_batch(&refs);
+    assert_eq!(par_results.len(), refs.len());
+
+    for (i, (par, seq)) in par_results.iter().zip(&seq_results).enumerate() {
+        match (par, seq) {
+            (Ok(p), Ok(s)) => {
+                let (po, so) = (p.run().unwrap(), s.run().unwrap());
+                assert_eq!(po, so, "source {i}");
+                assert_eq!(po.value, Observation::Int(10 * i as i64), "source {i}");
+            }
+            // Errors carry no PartialEq; their stable renderings must agree.
+            (Err(p), Err(s)) => assert_eq!(p.to_string(), s.to_string(), "source {i}"),
+            (p, s) => panic!("source {i}: parallel {p:?} vs sequential {s:?}"),
+        }
+    }
+    // The batch populated the parallel engine's cache: reloading every
+    // good source is now pure hits.
+    let before = parallel.cache_stats();
+    for (i, source) in refs.iter().enumerate() {
+        if i != 5 {
+            parallel.load(source).unwrap();
+        }
+    }
+    let after = parallel.cache_stats();
+    assert_eq!(after.misses, before.misses, "reloads must not re-check");
+    assert_eq!(after.hits, before.hits + 7);
+}
+
+/// Archive entries load through the same batch path, keyed by name.
+#[test]
+fn archives_load_in_name_order() {
+    let mut archive = Archive::new();
+    archive.publish(
+        "answer",
+        "(invoke (unit (import) (export) (init (* 6 7))))",
+    );
+    archive.publish("broken", "(+ nope 1)");
+    archive.publish("greeting", r#"(invoke (unit (import) (export) (init "hi")))"#);
+
+    let engine = Engine::builder().threads(4).build();
+    let loaded = engine.load_archive(&archive);
+    let names: Vec<&str> = loaded.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["answer", "broken", "greeting"]);
+    assert_eq!(
+        loaded[0].1.as_ref().unwrap().run().unwrap().value,
+        Observation::Int(42)
+    );
+    assert!(loaded[1].1.as_ref().err().and_then(Error::as_check).is_some());
+    assert_eq!(
+        loaded[2].1.as_ref().unwrap().run().unwrap().value,
+        Observation::Str("hi".into())
+    );
+}

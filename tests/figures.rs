@@ -6,6 +6,10 @@
 //! exercised through their crates, and the §5 extensions (Figs. 20/21)
 //! run as full programs at the UNITe level.
 
+// These integration tests exercise the original Program facade on
+// purpose: the deprecated shim must keep behaving until it is removed.
+#![allow(deprecated)]
+
 use units::{
     alpha_eq, parse_expr, stdlib, Backend, CheckOptions, Depend, Level, Observation,
     Program, Reducer, Strictness, Ty,

@@ -3,6 +3,10 @@
 //! the property Fig. 11's α-renaming depends on — `NameGen::fresh` never
 //! collides with a previously interned source name.
 
+// These integration tests exercise the original Program facade on
+// purpose: the deprecated shim must keep behaving until it is removed.
+#![allow(deprecated)]
+
 use bench::rng::SplitMix64;
 
 use units::{Backend, Program, Strictness, Symbol};

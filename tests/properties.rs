@@ -5,6 +5,10 @@
 //! The generators are seeded SplitMix64 loops (no registry crates), so
 //! every failure reports a seed that reproduces it forever.
 
+// These integration tests exercise the original Program facade on
+// purpose: the deprecated shim must keep behaving until it is removed.
+#![allow(deprecated)]
+
 use bench::rng::SplitMix64;
 
 use units::{

@@ -7,6 +7,10 @@
 //! [τ])` links the constituent's `inner` port to the compound's `outer`
 //! name; `(as-type inner outer [κ])` does the same for type ports.
 
+// These integration tests exercise the original Program facade on
+// purpose: the deprecated shim must keep behaving until it is removed.
+#![allow(deprecated)]
+
 use units::{parse_expr, pretty_expr, Level, Observation, Program, Strictness};
 
 fn both(source: &str) -> units::Outcome {

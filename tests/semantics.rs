@@ -1,6 +1,10 @@
 //! Cross-crate semantic tests: behaviours the paper specifies informally,
 //! exercised on both evaluators.
 
+// These integration tests exercise the original Program facade on
+// purpose: the deprecated shim must keep behaving until it is removed.
+#![allow(deprecated)]
+
 use units::{Backend, Observation, Program, RuntimeError, Strictness};
 
 fn both(source: &str) -> units::Outcome {

@@ -5,6 +5,10 @@
 //! Everything here needs the `trace` cargo feature except the
 //! NullSink-identity test, which also pins the no-op build's behavior.
 
+// These integration tests exercise the original Program facade on
+// purpose: the deprecated shim must keep behaving until it is removed.
+#![allow(deprecated)]
+
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
