@@ -36,3 +36,37 @@ if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json; json.load(open('BENCH_trace.json'))"
 fi
 rm -f BENCH_trace.json
+
+# Fault plane: the fixed-seed chaos harness (tests/faults.rs sweeps 240
+# seeded schedules) must pass with injection compiled in, both with and
+# without the tracing layer, and stay clippy-clean.
+cargo test -q --features faults
+cargo test -q --features "trace faults"
+cargo clippy --workspace --all-targets --features faults -- -D warnings
+cargo clippy --workspace --all-targets --features "trace faults" -- -D warnings
+
+# Faults-off byte-identity: the default build's trip() sites are
+# inline no-ops, so a fixed REPL session must be reproducible
+# byte-for-byte — and a faults build with no plane armed must produce
+# exactly the same bytes as the default build.
+cat > .ci-faults-session.tmp <<'SESSION'
+(invoke (unit (import) (export) (init (+ (* 6 6) (* 50 2)))))
+(define u (unit (import) (export) (init (* 7 3))))
+(invoke u)
+(invoke (compound (import) (export)
+  (link ((unit (import odd) (export even)
+           (define even (lambda (n) (if (= n 0) true (odd (- n 1))))))
+         (with odd) (provides even))
+        ((unit (import even) (export odd)
+           (define odd (lambda (n) (if (= n 0) false (even (- n 1)))))
+           (init (odd 13)))
+         (with even) (provides odd)))))
+SESSION
+cargo build --release -p units-repl
+./target/release/units-repl -i < .ci-faults-session.tmp > .ci-faults-off-a.tmp 2>&1
+./target/release/units-repl -i < .ci-faults-session.tmp > .ci-faults-off-b.tmp 2>&1
+cmp .ci-faults-off-a.tmp .ci-faults-off-b.tmp
+cargo build --release -p units-repl --features faults
+./target/release/units-repl -i < .ci-faults-session.tmp > .ci-faults-on.tmp 2>&1
+cmp .ci-faults-off-a.tmp .ci-faults-on.tmp
+rm -f .ci-faults-session.tmp .ci-faults-off-a.tmp .ci-faults-off-b.tmp .ci-faults-on.tmp

@@ -168,6 +168,16 @@ pub enum CheckError {
         /// Type arguments given.
         found: usize,
     },
+    /// A fault deliberately fired by an armed
+    /// `units_trace::faults::FaultPlane` schedule while the checker
+    /// ran. Never occurs in production builds (the `faults` feature
+    /// compiles the plane out).
+    Injected {
+        /// The injection point that fired (e.g. `"check/program"`).
+        site: &'static str,
+        /// The 1-based trip count at that site when it fired.
+        hit: u64,
+    },
 }
 
 impl CheckError {
@@ -198,6 +208,9 @@ impl CheckError {
             | CheckError::CyclicLink { .. } => "Fig. 19",
             CheckError::Capture { .. } => "Fig. 18",
             CheckError::UnsupportedAtLevel { .. } => "§4.1.1",
+            // Not a paper rule: the deterministic fault plane
+            // (DESIGN.md §10) fired inside the checker.
+            CheckError::Injected { .. } => "§fault-plane",
         }
     }
 }
@@ -278,6 +291,9 @@ impl fmt::Display for CheckError {
                 f,
                 "primitive `{prim}` takes {expected} type argument(s), found {found}"
             ),
+            CheckError::Injected { site, hit } => {
+                write!(f, "injected fault at {site} (hit {hit})")
+            }
         }
     }
 }
@@ -350,6 +366,7 @@ mod display_coverage {
             CheckError::CyclicLink { name: "t".into() },
             CheckError::Capture { binder: "t".into() },
             CheckError::PrimInstantiation { prim: "fail", expected: 1, found: 0 },
+            CheckError::Injected { site: "check/program", hit: 1 },
         ];
         for err in cases {
             let shown = err.to_string();

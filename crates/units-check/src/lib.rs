@@ -77,6 +77,8 @@ pub fn check_program(
     opts: CheckOptions,
 ) -> Result<Option<units_kernel::Ty>, Vec<CheckError>> {
     let _timer = units_trace::time("check");
+    units_trace::faults::trip("check/program")
+        .map_err(|f| vec![CheckError::Injected { site: f.site, hit: f.hit }])?;
     context_check(expr, opts.strictness)?;
     let result = match opts.level {
         Level::Untyped => Ok(None),

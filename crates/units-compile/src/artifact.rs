@@ -42,6 +42,14 @@ pub enum ArtifactError {
         /// The subtype checker's explanation.
         reason: String,
     },
+    /// A fault deliberately fired by an armed
+    /// `units_trace::faults::FaultPlane` schedule during the operation.
+    Injected {
+        /// The injection point that fired.
+        site: &'static str,
+        /// The 1-based trip count at that site when it fired.
+        hit: u64,
+    },
 }
 
 impl fmt::Display for ArtifactError {
@@ -59,6 +67,9 @@ impl fmt::Display for ArtifactError {
             ArtifactError::NotAUnit => f.write_str("artifact is not a unit"),
             ArtifactError::InterfaceViolation { reason } => {
                 write!(f, "unit no longer satisfies its published interface: {reason}")
+            }
+            ArtifactError::Injected { site, hit } => {
+                write!(f, "injected fault at {site} (hit {hit})")
             }
         }
     }
@@ -126,6 +137,8 @@ pub fn publish_unit(
     source: &str,
     opts: CheckOptions,
 ) -> Result<Published, ArtifactError> {
+    units_trace::faults::trip("compile/artifact")
+        .map_err(|f| ArtifactError::Injected { site: f.site, hit: f.hit })?;
     let expr = parse_expr(source)?;
     let sig = signature_of(&expr, opts)?;
     let unit_path = dir.join(format!("{name}.unit"));
@@ -155,6 +168,8 @@ pub fn load_interface(path: &Path) -> Result<Signature, ArtifactError> {
 /// longer checks, or if its derived signature is not a subtype of the
 /// published interface.
 pub fn load_unit(published: &Published, opts: CheckOptions) -> Result<Expr, ArtifactError> {
+    units_trace::faults::trip("compile/artifact")
+        .map_err(|f| ArtifactError::Injected { site: f.site, hit: f.hit })?;
     let source = std::fs::read_to_string(&published.unit_path)?;
     let expr = parse_expr(&source)?;
     let actual = signature_of(&expr, opts)?;

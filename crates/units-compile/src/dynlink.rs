@@ -43,6 +43,14 @@ pub enum DynlinkError {
         /// The subtype checker's explanation.
         reason: String,
     },
+    /// A fault deliberately fired by an armed
+    /// `units_trace::faults::FaultPlane` schedule during the load.
+    Injected {
+        /// The injection point that fired.
+        site: &'static str,
+        /// The 1-based trip count at that site when it fired.
+        hit: u64,
+    },
 }
 
 impl fmt::Display for DynlinkError {
@@ -63,6 +71,9 @@ impl fmt::Display for DynlinkError {
             DynlinkError::NotAUnit => f.write_str("retrieved expression is not a unit"),
             DynlinkError::Signature { reason } => {
                 write!(f, "retrieved unit does not satisfy the expected signature: {reason}")
+            }
+            DynlinkError::Injected { site, hit } => {
+                write!(f, "injected fault at {site} (hit {hit})")
             }
         }
     }
@@ -157,6 +168,8 @@ impl Archive {
         expected: &Signature,
         opts: CheckOptions,
     ) -> Result<Expr, DynlinkError> {
+        units_trace::faults::trip("compile/dynlink")
+            .map_err(|f| DynlinkError::Injected { site: f.site, hit: f.hit })?;
         let source = self
             .entries
             .get(name)

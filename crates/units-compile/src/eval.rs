@@ -44,6 +44,7 @@ use crate::instantiate::invoke_unit;
 /// assert!(v.observably_eq(&Value::Int(42)));
 /// ```
 pub fn evaluate_program(expr: &Expr, machine: &mut Machine) -> Result<Value, RuntimeError> {
+    units_trace::faults::trip("compile/eval")?;
     eval(expr, &Env::new(), machine)
 }
 
@@ -167,7 +168,7 @@ fn eval_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Ru
         Expr::Compound(c) => {
             let mut links = Vec::with_capacity(c.links.len());
             for link in &c.links {
-                let unit = as_unit(eval(&link.expr, env, machine)?)?;
+                let unit = as_unit(eval(&link.expr, env, machine)?, "compound")?;
                 // Fig. 11 side conditions, checked at link time: the
                 // constituent needs no more than the `with` clause grants…
                 for name in unit.imports().vals.iter().map(|p| &p.name) {
@@ -195,7 +196,7 @@ fn eval_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Ru
             }))))
         }
         Expr::Invoke(inv) => {
-            let unit = as_unit(eval(&inv.target, env, machine)?)?;
+            let unit = as_unit(eval(&inv.target, env, machine)?, "invoke")?;
             let mut supplied = HashMap::with_capacity(inv.val_links.len());
             for (name, e) in &inv.val_links {
                 supplied.insert(name.clone(), eval(e, env, machine)?);
@@ -203,7 +204,7 @@ fn eval_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Ru
             invoke_unit(&unit, &supplied, machine)
         }
         Expr::Seal(e, sig) => {
-            let unit = as_unit(eval(e, env, machine)?)?;
+            let unit = as_unit(eval(e, env, machine)?, "seal")?;
             // Imports may only be narrowed, exports only restricted.
             for port in &unit.imports().vals {
                 if sig.imports.val_port(&port.name).is_none() {
@@ -245,10 +246,13 @@ fn read_binding(binding: Option<&Binding>, x: &units_kernel::Symbol) -> Result<V
     }
 }
 
-fn as_unit(v: Value) -> Result<Rc<UnitValue>, RuntimeError> {
+/// Narrows to a unit value, or reports which Fig. 11 rule was applied
+/// to a non-unit — the same variant the reference reducer raises, so
+/// the backends agree on the error class.
+fn as_unit(v: Value, rule: &'static str) -> Result<Rc<UnitValue>, RuntimeError> {
     match v {
         Value::Unit(u) => Ok(u),
-        other => Err(RuntimeError::WrongType { expected: "a unit", found: other.to_string() }),
+        other => Err(RuntimeError::NotAUnit { rule, found: other.to_string() }),
     }
 }
 
@@ -346,13 +350,15 @@ fn eval_tail_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Tail
                 found: other.to_string(),
             }),
         },
-        Expr::Seq(es) => {
-            let (last, init) = es.split_last().expect("Seq is non-empty");
-            for e in init {
-                eval(e, env, machine)?;
+        Expr::Seq(es) => match es.split_last() {
+            None => Ok(Tail::Done(Value::Void)),
+            Some((last, init)) => {
+                for e in init {
+                    eval(e, env, machine)?;
+                }
+                eval_tail(last, env, machine)
             }
-            eval_tail(last, env, machine)
-        }
+        },
         Expr::Let(bindings, body) => {
             let mut frame = Vec::with_capacity(bindings.len());
             for b in bindings {
@@ -422,7 +428,9 @@ fn apply_data(op: &DataOpValue, mut args: Vec<Value>) -> Result<Value, RuntimeEr
     if args.len() != 1 {
         return Err(RuntimeError::Arity { expected: 1, found: args.len() });
     }
-    let arg = args.pop().expect("len checked");
+    let Some(arg) = args.pop() else {
+        return Err(RuntimeError::Arity { expected: 1, found: 0 });
+    };
     match op.role {
         DataRole::Construct(tag) => Ok(Value::Variant(Rc::new(VariantValue {
             ty_name: op.ty_name.clone(),

@@ -60,6 +60,7 @@ pub fn invoke_unit(
     machine: &mut Machine,
 ) -> Result<Value, RuntimeError> {
     let _timer = units_trace::time("link");
+    units_trace::faults::trip("compile/instantiate")?;
     machine.alloc_cells(unit.imports().vals.len() as u64)?;
     let mut import_cells = HashMap::with_capacity(unit.imports().vals.len());
     for port in &unit.imports().vals {
@@ -194,17 +195,16 @@ pub(crate) fn wire(
                     // The constituent sees the cell under its inner name.
                     constituent_imports.insert(port.name.clone(), cell);
                 }
-                let wanted: HashMap<Symbol, CellRef> = lc
-                    .provides
-                    .vals
-                    .iter()
-                    .map(|p| {
-                        (
-                            p.name.clone(),
-                            cell_of[lc.renames.outer_export_val(&p.name)].clone(),
-                        )
-                    })
-                    .collect();
+                let mut wanted: HashMap<Symbol, CellRef> =
+                    HashMap::with_capacity(lc.provides.vals.len());
+                for p in &lc.provides.vals {
+                    let outer = lc.renames.outer_export_val(&p.name);
+                    let cell = cell_of
+                        .get(outer)
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::MissingProvide { name: outer.clone() })?;
+                    wanted.insert(p.name.clone(), cell);
+                }
                 wire(&lc.unit, &constituent_imports, &wanted, machine, out)?;
             }
             Ok(())

@@ -18,6 +18,32 @@ use units_kernel::{
 };
 use units_runtime::RuntimeError;
 
+/// Extracts the constituent unit values a `compound` is about to merge.
+///
+/// The Fig. 11 `compound` rule only fires once every linked constituent
+/// has reduced to an atomic unit value; a non-unit constituent is the
+/// typed [`RuntimeError::NotAUnit`] naming the rule mid-fire, never a
+/// panic.
+///
+/// # Errors
+///
+/// [`RuntimeError::NotAUnit`] for the first non-unit constituent.
+pub fn constituent_units(
+    compound: &units_kernel::CompoundExpr,
+) -> Result<Vec<std::rc::Rc<UnitExpr>>, RuntimeError> {
+    compound
+        .links
+        .iter()
+        .map(|l| match &l.expr {
+            Expr::Unit(u) => Ok(u.clone()),
+            other => Err(RuntimeError::NotAUnit {
+                rule: "compound",
+                found: crate::render(other),
+            }),
+        })
+        .collect()
+}
+
 /// Merges fully evaluated constituents into a single atomic unit.
 ///
 /// Each element of `links` is `(unit, with, provides)` where `unit` must
@@ -193,20 +219,12 @@ mod tests {
     use units_syntax::parse_expr;
 
     fn compound_parts(src: &str) -> (units_kernel::CompoundExpr, Vec<std::rc::Rc<UnitExpr>>) {
-        match parse_expr(src).unwrap() {
-            Expr::Compound(c) => {
-                let units = c
-                    .links
-                    .iter()
-                    .map(|l| match &l.expr {
-                        Expr::Unit(u) => u.clone(),
-                        other => panic!("constituent not a unit value: {other:?}"),
-                    })
-                    .collect();
-                ((*c).clone(), units)
-            }
-            other => panic!("expected compound, got {other:?}"),
-        }
+        let compound = match parse_expr(src).unwrap() {
+            Expr::Compound(c) => (*c).clone(),
+            ref other => panic!("test source must parse to a compound, got {}", crate::render(other)),
+        };
+        let units = constituent_units(&compound).unwrap();
+        (compound, units)
     }
 
     #[test]

@@ -17,8 +17,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use units_kernel::{
-    subst_vals, DataOp, DataRole, Expr, Lit, NameGen, PrimOp, Symbol, TypeDefn, UnitExpr,
-    VariantVal,
+    subst_vals, DataOp, DataRole, Expr, Lit, NameGen, PrimOp, Symbol, TypeDefn, VariantVal,
 };
 use units_runtime::{Limits, Machine, RuntimeError};
 
@@ -154,6 +153,7 @@ impl Reducer {
                 // left of the hole is already a value, so contracting
                 // here and resuming in place is the same reduction
                 // sequence a from-the-root search would produce.
+                units_trace::faults::trip("reduce/step")?;
                 self.machine.step()?;
                 current = self.contract(current)?;
                 self.steps += 1;
@@ -202,6 +202,7 @@ impl Reducer {
         if expr.is_value() {
             return Ok(Step::Value);
         }
+        units_trace::faults::trip("reduce/step")?;
         self.machine.step()?;
         let mut spine: Vec<(Expr, usize)> = Vec::new();
         let mut current = expr.clone();
@@ -265,6 +266,7 @@ impl Reducer {
             Expr::Set(target, value) => match *target {
                 Expr::CellRef(loc) => {
                     self.last_redex = "step/set";
+                    units_trace::faults::trip("reduce/store")?;
                     self.store.write_cell(loc, *value)?;
                     Ok(Expr::void())
                 }
@@ -292,20 +294,12 @@ impl Reducer {
             }
             Expr::CellRef(loc) => {
                 self.last_redex = "step/cell-read";
+                units_trace::faults::trip("reduce/store")?;
                 Ok(self.store.read_cell(loc)?.clone())
             }
             Expr::Compound(c) => {
-                let units: Vec<Rc<UnitExpr>> = c
-                    .links
-                    .iter()
-                    .map(|l| match &l.expr {
-                        Expr::Unit(u) => Ok(u.clone()),
-                        other => Err(RuntimeError::WrongType {
-                            expected: "a unit",
-                            found: crate::render(other),
-                        }),
-                    })
-                    .collect::<Result<_, _>>()?;
+                units_trace::faults::trip("reduce/merge")?;
+                let units = crate::merge::constituent_units(&c)?;
                 self.last_redex = "step/compound";
                 let merged = merge_compound(&c, &units, &mut self.gen)?;
                 Ok(Expr::Unit(Rc::new(merged)))
@@ -329,8 +323,8 @@ impl Reducer {
                         narrowed.exports = sig.exports.clone();
                         Ok(Expr::Unit(Rc::new(narrowed)))
                     }
-                    ref other => Err(RuntimeError::WrongType {
-                        expected: "a unit",
+                    ref other => Err(RuntimeError::NotAUnit {
+                        rule: "seal",
                         found: crate::render(other),
                     }),
                 }
@@ -388,6 +382,7 @@ impl Reducer {
             }
         }
         // Value definitions: one cell each.
+        units_trace::faults::trip("reduce/store")?;
         self.machine.alloc_cells(lr.vals.len() as u64)?;
         let mut cells = Vec::with_capacity(lr.vals.len());
         for defn in &lr.vals {
@@ -408,8 +403,8 @@ impl Reducer {
     /// The `invoke` reduction of Fig. 11.
     fn reduce_invoke(&mut self, inv: &units_kernel::InvokeExpr) -> Result<Expr, RuntimeError> {
         let Expr::Unit(unit) = &inv.target else {
-            return Err(RuntimeError::WrongType {
-                expected: "a unit",
+            return Err(RuntimeError::NotAUnit {
+                rule: "invoke",
                 found: crate::render(&inv.target),
             });
         };
@@ -514,6 +509,7 @@ impl Reducer {
     /// definition cells.
     fn delta(&mut self, op: PrimOp, args: &[Expr]) -> Result<Expr, RuntimeError> {
         self.last_redex = "step/delta";
+        units_trace::faults::trip("reduce/prim")?;
         #[allow(unused_mut)]
         let mut result = self.delta_result(op, args)?;
         #[cfg(feature = "trace")]

@@ -64,6 +64,9 @@ const HELP: &str = ";; commands:
 ;;   :stats                print accumulated counters and phase timings
 ;;   :profile <expr>       run <expr> on both backends; report per-phase
 ;;                         durations and the Fig. 11 step count
+;;   :faults <seed> [rate‰] [panic]
+;;                         arm a deterministic fault-injection plane
+;;   :faults off           disarm it and report what fired
 ;; anything else is evaluated as a program (multi-line until parens balance)";
 
 /// Runs the interactive loop. Returns failure only when standard input
@@ -178,6 +181,7 @@ impl Repl {
             Some("quit") | Some("q") | Some("exit") => return false,
             Some("trace") => self.set_trace(words.next()),
             Some("stats") => self.stats(),
+            Some("faults") => self.faults(&words.collect::<Vec<_>>()),
             Some("profile") => {
                 let rest = command.strip_prefix("profile").unwrap_or("").trim();
                 if rest.is_empty() {
@@ -219,6 +223,60 @@ impl Repl {
         );
     }
 
+    /// Arms, disarms, or reports the fault-injection plane on the repl
+    /// thread. Injected failures surface like any other error — the
+    /// loop survives them (panics included: the engine's unwind
+    /// boundary turns those into typed internal errors).
+    fn faults(&self, args: &[&str]) {
+        use units::trace::faults;
+        if !faults::COMPILED {
+            println!(";; fault injection not compiled in; rebuild with --features faults");
+            return;
+        }
+        match args {
+            [] => {
+                if faults::active() {
+                    println!(";; fault plane armed — :faults off to disarm");
+                } else {
+                    println!(";; no fault plane armed — :faults <seed> [rate‰] [panic]");
+                }
+            }
+            ["off"] => match faults::disarm() {
+                Some(plane) => {
+                    println!(
+                        ";; fault plane disarmed: {} trips observed, {} fault(s) fired",
+                        plane.trips(),
+                        plane.fired().len()
+                    );
+                    for fired in plane.fired() {
+                        println!(";;   fired at {} (hit {})", fired.site, fired.hit);
+                    }
+                }
+                None => println!(";; no fault plane armed"),
+            },
+            [seed, options @ ..] => {
+                let Ok(seed) = seed.parse::<u64>() else {
+                    println!(";; usage: :faults off | :faults <seed> [rate‰] [panic]");
+                    return;
+                };
+                let mut plane = faults::FaultPlane::seeded(seed);
+                for word in options {
+                    if let Ok(rate) = word.parse::<u32>() {
+                        plane = plane.rate_per_mille(rate);
+                    } else if *word == "panic" {
+                        plane = plane.kind(faults::FaultKind::Panic);
+                    } else {
+                        println!(";; usage: :faults off | :faults <seed> [rate‰] [panic]");
+                        return;
+                    }
+                }
+                faults::install_quiet_hook();
+                faults::arm(plane);
+                println!(";; fault plane armed: seed {seed}");
+            }
+        }
+    }
+
     /// Installs the session for the current trace mode (events to the
     /// chosen sink, metrics into the accumulated registry).
     fn install(&self) {
@@ -248,6 +306,29 @@ impl Repl {
                 println!("{}", outcome.value);
             }
             Err(e) => eprintln!("{e}"),
+        }
+        self.report_recovery();
+    }
+
+    /// Prints how the engine coped when a run needed retries or a
+    /// backend fallback. Silent under the default report-as-is policy,
+    /// so plain sessions print exactly what they always did.
+    fn report_recovery(&self) {
+        let Some(recovery) = self.engine.last_recovery() else { return };
+        if !recovery.fell_back && recovery.retries == 0 {
+            return;
+        }
+        println!(";; recovered from: {}", recovery.failure);
+        if recovery.retries > 0 {
+            println!(";;   fuel-escalation retries: {}", recovery.retries);
+        }
+        if recovery.fell_back {
+            println!(";;   the reference reducer produced this result");
+        }
+        if let Some(divergence) = &recovery.divergence {
+            for line in divergence.lines() {
+                println!(";;   {line}");
+            }
         }
     }
 

@@ -111,6 +111,65 @@ fn reads_programs_from_files_and_stdin() {
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "9");
 }
 
+/// Drives an interactive session over a pipe, returning (stdout, stderr).
+fn run_session(script: &str) -> (String, String) {
+    let mut child = repl()
+        .arg("-i")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(script.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "interactive session must exit cleanly");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[cfg(feature = "faults")]
+#[test]
+fn repl_survives_injected_faults_and_panics() {
+    // An error-kind fault fires on the first evaluation (rate 1000‰),
+    // the session keeps going, and a clean evaluation still works.
+    let (stdout, stderr) = run_session(
+        ":faults 1 1000\n\
+         (invoke (unit (import) (export) (init (* 6 7))))\n\
+         :faults off\n\
+         (invoke (unit (import) (export) (init (* 6 7))))\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("fault plane armed: seed 1"), "{stdout}");
+    assert!(stderr.contains("injected fault at"), "{stderr}");
+    assert!(stdout.contains("fault plane disarmed: "), "{stdout}");
+    assert!(stdout.contains("42"), "the clean evaluation still answers: {stdout}");
+
+    // A panic-kind fault is caught at the engine boundary, surfaces as
+    // a typed internal error, and the loop survives it too.
+    let (stdout, stderr) = run_session(
+        ":faults 2 1000 panic\n\
+         (invoke (unit (import) (export) (init (* 6 7))))\n\
+         :faults off\n\
+         (invoke (unit (import) (export) (init (* 6 7))))\n\
+         :quit\n",
+    );
+    assert!(stderr.contains("internal error in"), "{stderr}");
+    assert!(stderr.contains("injected panic at"), "{stderr}");
+    assert!(stdout.contains("42"), "{stdout}");
+}
+
+#[cfg(not(feature = "faults"))]
+#[test]
+fn faults_command_explains_the_missing_feature() {
+    let (stdout, _) = run_session(":faults 1\n:quit\n");
+    assert!(
+        stdout.contains("fault injection not compiled in"),
+        "{stdout}"
+    );
+}
+
 #[test]
 fn bad_flags_print_usage() {
     let output = repl().arg("--no-such-flag").output().unwrap();

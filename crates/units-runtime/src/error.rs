@@ -137,6 +137,24 @@ pub enum RuntimeError {
         /// The configured limit that was hit.
         limit: u64,
     },
+    /// A linking rule found a constituent that is not a unit value —
+    /// `rule` names the Fig. 11 rule that was mid-fire (`compound`,
+    /// `invoke`) when the malformed constituent surfaced.
+    NotAUnit {
+        /// The Fig. 11 rule that was firing.
+        rule: &'static str,
+        /// Rendering of the non-unit value.
+        found: String,
+    },
+    /// A fault deliberately fired by an armed
+    /// [`units_trace::faults::FaultPlane`] schedule. Never occurs in
+    /// production builds (the `faults` feature compiles the plane out).
+    Injected {
+        /// The injection point that fired (e.g. `"reduce/prim"`).
+        site: &'static str,
+        /// The 1-based trip count at that site when it fired.
+        hit: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -182,11 +200,23 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ResourceExhausted { resource, limit } => {
                 write!(f, "evaluation exceeded its {resource} budget of {limit}")
             }
+            RuntimeError::NotAUnit { rule, found } => {
+                write!(f, "Fig. 11 `{rule}` rule applied to a non-unit constituent: {found}")
+            }
+            RuntimeError::Injected { site, hit } => {
+                write!(f, "injected fault at {site} (hit {hit})")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+impl From<units_trace::faults::Injected> for RuntimeError {
+    fn from(fault: units_trace::faults::Injected) -> RuntimeError {
+        RuntimeError::Injected { site: fault.site, hit: fault.hit }
+    }
+}
 
 #[cfg(test)]
 mod tests {

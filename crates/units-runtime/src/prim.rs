@@ -62,6 +62,7 @@ pub fn apply_prim(
     args: &[Value],
     machine: &mut Machine,
 ) -> Result<Value, RuntimeError> {
+    units_trace::faults::trip("runtime/prim")?;
     let result = prim_result(op, args, machine)?;
     units_trace::emit(
         units_trace::Phase::Eval,

@@ -115,6 +115,8 @@ pub fn parse_signature(src: &str) -> Result<Signature, ParseError> {
 /// ```
 pub fn parse_file(src: &str) -> Result<Expr, ParseError> {
     let _timer = units_trace::time("parse");
+    units_trace::faults::trip("parse/read")
+        .map_err(|f| ParseError::new(Span::new(0, src.len()), f.to_string()))?;
     let forms = read_all(src)?;
     trace_forms("parse/file", src, &forms);
     let mut types = Vec::new();
@@ -202,7 +204,9 @@ fn kind(sx: &SExpr) -> Result<Kind, ParseError> {
                 return Err(err(*span, "`=>` kind needs at least two components"));
             }
             let mut parts: Vec<Kind> = rest.iter().map(kind).collect::<Result<_, _>>()?;
-            let mut out = parts.pop().expect("len checked");
+            let mut out = parts
+                .pop()
+                .ok_or_else(|| err(*span, "`=>` kind needs at least two components"))?;
             while let Some(k) = parts.pop() {
                 out = Kind::arrow(k, out);
             }
@@ -236,7 +240,9 @@ fn ty(sx: &SExpr) -> Result<Ty, ParseError> {
                     }
                     let mut parts: Vec<Ty> =
                         items[1..].iter().map(ty).collect::<Result<_, _>>()?;
-                    let ret = parts.pop().expect("len checked");
+                    let ret = parts
+                        .pop()
+                        .ok_or_else(|| err(*span, "`->` type needs a result type"))?;
                     Ok(Ty::arrow(parts, ret))
                 }
                 Some("tuple") => {

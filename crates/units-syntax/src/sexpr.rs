@@ -239,7 +239,12 @@ impl Reader<'_> {
                 Some(_) => {
                     // Consume one full UTF-8 character.
                     let rest = &self.src[self.pos..];
-                    let ch = rest.chars().next().expect("peek guaranteed a byte");
+                    let Some(ch) = rest.chars().next() else {
+                        return Err(ParseError::new(
+                            Span::new(start, self.pos),
+                            "unterminated string literal",
+                        ));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod faults;
 pub mod json;
 mod metrics;
 mod sink;

@@ -19,6 +19,20 @@
 //! store-cell budgets all surface as [`Error::ResourceExhausted`] instead
 //! of a panic or a stack overflow.
 //!
+//! # The fault plane
+//!
+//! Every entry point — [`Engine::load`], [`Loaded::run_on`], and the
+//! batch workers — sits behind an unwind boundary: a panic anywhere in
+//! the pipeline (including one deliberately fired by an armed
+//! [`units_trace::faults::FaultPlane`]) is caught and surfaced as
+//! [`Error::Internal`] naming the stage, and the artifact a panicking
+//! run was using is evicted from the cache. The session itself stays
+//! usable. On top of that, [`FallbackPolicy`] adds graceful
+//! degradation: bounded retries with escalated fuel when a budget runs
+//! out, and — for compiled-backend faults — a clean re-run on the
+//! Fig. 11 reference reducer, optionally diagnosed differentially.
+//! [`Engine::last_recovery`] reports what the most recent run needed.
+//!
 //! # Example
 //!
 //! ```
@@ -44,6 +58,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::Mutex;
 
@@ -51,8 +66,9 @@ use units_check::{check_program, CheckError, CheckOptions, Level, Strictness};
 use units_compile::{evaluate_program, resolve_program, Archive};
 use units_kernel::{alpha_eq, alpha_hash, Expr, Ty};
 use units_reduce::Reducer;
-use units_runtime::{Limits, Machine};
+use units_runtime::{Limits, Machine, Resource};
 use units_syntax::{parse_file, ParseError};
+use units_trace::faults::FaultPlane;
 
 use crate::error::Error;
 use crate::observe::{observe_expr, observe_value};
@@ -90,6 +106,87 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// What the engine does about a failed run before giving up.
+///
+/// The default ([`FallbackPolicy::none`]) surfaces every failure as-is —
+/// existing behavior, nothing re-runs. [`FallbackPolicy::reference`]
+/// turns on graceful degradation: when the compiled backend faults
+/// (caught panic, injected fault, exhausted budget), the engine re-runs
+/// the program on the Fig. 11 reference reducer — with any armed fault
+/// plane suspended, so the recovery itself is clean — and reports that
+/// outcome instead. [`FallbackPolicy::fuel_retries`] independently adds
+/// bounded re-runs with an escalated fuel budget when fuel runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FallbackPolicy {
+    reference_fallback: bool,
+    fuel_retries: u32,
+    fuel_factor: u64,
+    diagnose: bool,
+}
+
+impl Default for FallbackPolicy {
+    fn default() -> FallbackPolicy {
+        FallbackPolicy::none()
+    }
+}
+
+impl FallbackPolicy {
+    /// Report failures as-is: no fallback, no retries (the default).
+    pub fn none() -> FallbackPolicy {
+        FallbackPolicy {
+            reference_fallback: false,
+            fuel_retries: 0,
+            fuel_factor: 2,
+            diagnose: false,
+        }
+    }
+
+    /// Fall back to the reference reducer on compiled-backend faults,
+    /// with differential diagnosis of the divergence (in `trace` builds).
+    pub fn reference() -> FallbackPolicy {
+        FallbackPolicy { reference_fallback: true, fuel_retries: 0, fuel_factor: 2, diagnose: true }
+    }
+
+    /// Re-run up to `retries` times with the fuel budget multiplied by
+    /// the escalation factor each time, when fuel is what ran out.
+    pub fn fuel_retries(mut self, retries: u32) -> FallbackPolicy {
+        self.fuel_retries = retries;
+        self
+    }
+
+    /// Sets the fuel escalation factor (default 2, clamped to ≥ 2).
+    pub fn fuel_factor(mut self, factor: u64) -> FallbackPolicy {
+        self.fuel_factor = factor.max(2);
+        self
+    }
+
+    /// Enables or disables the differential diagnosis re-run after a
+    /// successful fallback. Only `trace` builds can honor it.
+    pub fn diagnose(mut self, on: bool) -> FallbackPolicy {
+        self.diagnose = on;
+        self
+    }
+}
+
+/// The engine's record of the most recent [`Loaded::run`] whose primary
+/// attempt failed: what the failure was and what the
+/// [`FallbackPolicy`] did about it. A run that succeeds outright
+/// clears it ([`Engine::last_recovery`] returns `None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// The primary failure, rendered. When retries changed the error
+    /// (or exhausted without curing it), this is the final one.
+    pub failure: String,
+    /// Fuel-escalation re-runs performed.
+    pub retries: u32,
+    /// Whether the reference reducer produced the final outcome.
+    pub fell_back: bool,
+    /// The rendered differential-diagnosis report of the fallback,
+    /// when the policy asked for one and the build carries the `trace`
+    /// feature.
+    pub divergence: Option<String>,
+}
+
 /// Configures and constructs an [`Engine`].
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
@@ -99,6 +196,8 @@ pub struct EngineBuilder {
     limits: Limits,
     resolve: Option<bool>,
     threads: Option<usize>,
+    policy: FallbackPolicy,
+    worker_faults: Option<FaultPlane>,
 }
 
 impl Default for EngineBuilder {
@@ -112,6 +211,8 @@ impl Default for EngineBuilder {
             limits: Limits::default(),
             resolve: None,
             threads: None,
+            policy: FallbackPolicy::none(),
+            worker_faults: None,
         }
     }
 }
@@ -156,6 +257,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets what runs do about failure — retries and reference-reducer
+    /// fallback (default: [`FallbackPolicy::none`], report as-is).
+    pub fn on_failure(mut self, policy: FallbackPolicy) -> EngineBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms a copy of `plane` inside every batch-checking worker job,
+    /// reseeded with `plane.seed() ^ job-index` so each job's fault
+    /// schedule is deterministic regardless of which worker thread runs
+    /// it. (The thread-local plane armed by
+    /// [`units_trace::faults::arm`] only covers the calling thread;
+    /// this is how a chaos harness reaches the pool.) A no-op schedule
+    /// in builds without the `faults` feature.
+    pub fn worker_faults(mut self, plane: FaultPlane) -> EngineBuilder {
+        self.worker_faults = Some(plane);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Engine {
         let threads = match std::env::var("UNITS_ENGINE_THREADS")
@@ -171,9 +291,12 @@ impl EngineBuilder {
             limits: self.limits,
             resolve: self.resolve.unwrap_or(true),
             threads,
+            policy: self.policy,
+            worker_faults: self.worker_faults,
             cache: RefCell::new(Cache::default()),
             hits: Cell::new(0),
             misses: Cell::new(0),
+            recovery: RefCell::new(None),
         }
     }
 }
@@ -192,9 +315,12 @@ pub struct Engine {
     limits: Limits,
     resolve: bool,
     threads: usize,
+    policy: FallbackPolicy,
+    worker_faults: Option<FaultPlane>,
     cache: RefCell<Cache>,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    recovery: RefCell<Option<Recovery>>,
 }
 
 impl Default for Engine {
@@ -209,6 +335,9 @@ impl Default for Engine {
 enum BatchFailure {
     Parse(ParseError),
     Check(Vec<CheckError>),
+    /// The worker's check panicked; the payload crossed the thread
+    /// boundary as a rendered string.
+    Panic(String),
 }
 
 impl From<BatchFailure> for Error {
@@ -216,6 +345,7 @@ impl From<BatchFailure> for Error {
         match f {
             BatchFailure::Parse(e) => Error::Parse(e),
             BatchFailure::Check(errs) => Error::Check(errs),
+            BatchFailure::Panic(message) => Error::Internal { stage: "batch-check", message },
         }
     }
 }
@@ -223,6 +353,31 @@ impl From<BatchFailure> for Error {
 fn check_source(source: &str, opts: CheckOptions) -> Result<Option<Ty>, BatchFailure> {
     let expr = parse_file(source).map_err(BatchFailure::Parse)?;
     check_program(&expr, opts).map_err(BatchFailure::Check)
+}
+
+/// Renders a caught panic payload (`&str` and `String` are what `panic!`
+/// produces; anything else is opaque).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast_ref::<&str>() {
+        Some(s) => (*s).to_string(),
+        None => match payload.downcast_ref::<String>() {
+            Some(s) => s.clone(),
+            None => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Runs `f` behind an unwind boundary: a panic anywhere in the pipeline
+/// becomes [`Error::Internal`] naming the stage, and the session stays
+/// usable.
+fn guard<R>(stage: &'static str, f: impl FnOnce() -> Result<R, Error>) -> Result<R, Error> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            units_trace::count("engine/caught_panics", 1);
+            Err(Error::Internal { stage, message: panic_message(payload) })
+        }
+    }
 }
 
 impl Engine {
@@ -254,6 +409,18 @@ impl Engine {
     /// The checking worker-pool size.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The failure-handling policy every run is governed by.
+    pub fn fallback_policy(&self) -> FallbackPolicy {
+        self.policy
+    }
+
+    /// The [`Recovery`] record of the most recent run whose primary
+    /// attempt failed — `None` when the most recent run succeeded
+    /// outright (or nothing has run yet).
+    pub fn last_recovery(&self) -> Option<Recovery> {
+        self.recovery.borrow().clone()
     }
 
     /// Cache hit/miss counters and current entry count.
@@ -289,6 +456,19 @@ impl Engine {
     fn record_miss(&self) {
         self.misses.set(self.misses.get() + 1);
         units_trace::count("engine/cache_miss", 1);
+    }
+
+    /// Drops `artifact` from both cache maps. A run that panicked says
+    /// nothing about how far it got before dying, so the artifact it
+    /// was running is invalidated rather than trusted on the next load.
+    fn evict(&self, artifact: &Rc<Artifact>) {
+        let mut cache = self.cache.borrow_mut();
+        cache.by_source.retain(|_, a| !Rc::ptr_eq(a, artifact));
+        for bucket in cache.by_term.values_mut() {
+            bucket.retain(|a| !Rc::ptr_eq(a, artifact));
+        }
+        cache.by_term.retain(|_, bucket| !bucket.is_empty());
+        units_trace::count("engine/cache_evict", 1);
     }
 
     /// The cached artifact alpha-equal to `expr`, if any, registering the
@@ -335,21 +515,24 @@ impl Engine {
     /// # Errors
     ///
     /// [`Error::Parse`] or [`Error::Check`]; never a runtime error
-    /// (nothing is evaluated yet).
+    /// (nothing is evaluated yet). A panic inside parsing, checking, or
+    /// resolution is caught here and surfaces as [`Error::Internal`].
     pub fn load(&self, source: &str) -> Result<Loaded<'_>, Error> {
-        let skey = self.source_key(source);
-        if let Some(artifact) = self.cache.borrow().by_source.get(&skey).cloned() {
-            self.record_hit();
-            return Ok(Loaded { engine: self, artifact });
-        }
-        let expr = parse_file(source)?;
-        let tkey = self.term_key(&expr);
-        if let Some(artifact) = self.term_lookup(skey, tkey, &expr) {
-            self.record_hit();
-            return Ok(Loaded { engine: self, artifact });
-        }
-        let artifact = self.admit(skey, tkey, expr, None)?;
-        Ok(Loaded { engine: self, artifact })
+        guard("load", || {
+            let skey = self.source_key(source);
+            if let Some(artifact) = self.cache.borrow().by_source.get(&skey).cloned() {
+                self.record_hit();
+                return Ok(Loaded { engine: self, artifact });
+            }
+            let expr = parse_file(source)?;
+            let tkey = self.term_key(&expr);
+            if let Some(artifact) = self.term_lookup(skey, tkey, &expr) {
+                self.record_hit();
+                return Ok(Loaded { engine: self, artifact });
+            }
+            let artifact = self.admit(skey, tkey, expr, None)?;
+            Ok(Loaded { engine: self, artifact })
+        })
     }
 
     /// Wraps an already-built expression (no parsing; still checked,
@@ -359,14 +542,16 @@ impl Engine {
     ///
     /// [`Error::Check`] when the expression does not check.
     pub fn load_expr(&self, expr: Expr) -> Result<Loaded<'_>, Error> {
-        // No source text, so key the source map by the term hash too.
-        let tkey = self.term_key(&expr);
-        if let Some(artifact) = self.term_lookup(tkey, tkey, &expr) {
-            self.record_hit();
-            return Ok(Loaded { engine: self, artifact });
-        }
-        let artifact = self.admit(tkey, tkey, expr, None)?;
-        Ok(Loaded { engine: self, artifact })
+        guard("load", || {
+            // No source text, so key the source map by the term hash too.
+            let tkey = self.term_key(&expr);
+            if let Some(artifact) = self.term_lookup(tkey, tkey, &expr) {
+                self.record_hit();
+                return Ok(Loaded { engine: self, artifact });
+            }
+            let artifact = self.admit(tkey, tkey, expr, None)?;
+            Ok(Loaded { engine: self, artifact })
+        })
     }
 
     /// [`load`](Engine::load) followed by [`Loaded::run`]: the one-call
@@ -407,11 +592,29 @@ impl Engine {
         let verdicts = Mutex::new(
             (0..sources.len()).map(|_| None).collect::<Vec<_>>(),
         );
+        let worker_faults = &self.worker_faults;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let Some((idx, src)) = queue.lock().unwrap().pop() else { break };
-                    let verdict = check_source(&src, opts);
+                    if let Some(plane) = worker_faults {
+                        // Reseed per job, not per worker: the schedule
+                        // each source sees is then a function of the
+                        // job alone, not of thread scheduling.
+                        units_trace::faults::arm(
+                            plane.clone().reseeded(plane.seed() ^ (idx as u64 + 1)),
+                        );
+                    }
+                    // The unwind boundary lives *inside* the worker
+                    // loop: a panicking check fails one job, not the
+                    // pool (and never poisons the queue/verdict locks,
+                    // which are released while checking runs).
+                    let verdict = catch_unwind(AssertUnwindSafe(|| check_source(&src, opts)))
+                        .unwrap_or_else(|payload| {
+                            units_trace::count("engine/caught_panics", 1);
+                            Err(BatchFailure::Panic(panic_message(payload)))
+                        });
+                    units_trace::faults::disarm();
                     verdicts.lock().unwrap()[idx] = Some(verdict);
                 });
             }
@@ -424,7 +627,7 @@ impl Engine {
                 // Cached before the batch started: a plain (hitting) load.
                 None => self.load(source),
                 Some(Err(failure)) => Err(failure.into()),
-                Some(Ok(ty)) => {
+                Some(Ok(ty)) => guard("load", || {
                     // The worker checked; re-parse here to materialize the
                     // (non-Send) term, then resolve and cache it.
                     let skey = self.source_key(source);
@@ -438,7 +641,7 @@ impl Engine {
                         None => self.admit(skey, tkey, expr, Some(ty))?,
                     };
                     Ok(Loaded { engine: self, artifact })
-                }
+                }),
             })
             .collect()
     }
@@ -449,9 +652,14 @@ impl Engine {
         &'e self,
         archive: &Archive,
     ) -> Vec<(String, Result<Loaded<'e>, Error>)> {
-        let names = archive.names();
-        let sources: Vec<&str> =
-            names.iter().map(|n| archive.get(n).expect("listed name is published")).collect();
+        // `names()` comes from the archive's own key set, so every
+        // lookup succeeds; `filter_map` keeps the name/source pairing
+        // aligned without an `expect` on that invariant.
+        let (names, sources): (Vec<&str>, Vec<&str>) = archive
+            .names()
+            .into_iter()
+            .filter_map(|n| archive.get(n).map(|s| (n, s)))
+            .unzip();
         let loaded = self.load_batch(&sources);
         names.into_iter().map(String::from).zip(loaded).collect()
     }
@@ -494,26 +702,140 @@ impl Loaded<'_> {
     /// every instantiation shares the one compiled copy (§4.1.6); the
     /// reducer works on the substitution semantics of Fig. 11.
     ///
+    /// A panic anywhere in evaluation is caught here and surfaces as
+    /// [`Error::Internal`] (the artifact is also dropped from the
+    /// cache). When the engine's [`FallbackPolicy`] allows it, a failed
+    /// run is retried with escalated fuel and/or re-run on the
+    /// reference reducer before the error is reported;
+    /// [`Engine::last_recovery`] tells what happened.
+    ///
     /// # Errors
     ///
     /// As for [`Loaded::run`].
     pub fn run_on(&self, backend: Backend) -> Result<Outcome, Error> {
-        match backend {
+        *self.engine.recovery.borrow_mut() = None;
+        match self.run_raw(backend, self.engine.limits) {
+            Ok(outcome) => Ok(outcome),
+            Err(err) => self.recover(backend, err),
+        }
+    }
+
+    /// One un-recovered run: the two backends behind the unwind boundary.
+    fn run_raw(&self, backend: Backend, limits: Limits) -> Result<Outcome, Error> {
+        guard("run", || match backend {
             Backend::Compiled => {
                 let _timer = units_trace::time("eval");
-                let mut machine = Machine::with_limits(self.engine.limits);
+                let mut machine = Machine::with_limits(limits);
                 let expr = self.artifact.resolved.as_ref().unwrap_or(&self.artifact.expr);
                 let value = evaluate_program(expr, &mut machine)?;
                 units_trace::count("engine/fuel_used", machine.steps_taken());
                 Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
             }
             Backend::Reducer => {
-                let mut reducer = Reducer::with_limits(self.engine.limits);
+                let mut reducer = Reducer::with_limits(limits);
                 let value = reducer.reduce_to_value(&self.artifact.expr)?;
                 units_trace::count("engine/fuel_used", reducer.machine.steps_taken());
                 Ok(Outcome { value: observe_expr(&value), output: reducer.machine.take_output() })
             }
+        })
+    }
+
+    /// The failure path of [`run_on`](Loaded::run_on): evict the
+    /// artifact after a panic, then apply the engine's
+    /// [`FallbackPolicy`] — bounded fuel-escalation re-runs when fuel
+    /// ran out, then a clean reference-reducer re-run for
+    /// compiled-backend faults — recording the journey for
+    /// [`Engine::last_recovery`].
+    fn recover(&self, backend: Backend, mut err: Error) -> Result<Outcome, Error> {
+        if err.as_internal().is_some() {
+            self.engine.evict(&self.artifact);
         }
+        let policy = self.engine.policy;
+        let mut recovery =
+            Recovery { failure: err.to_string(), retries: 0, fell_back: false, divergence: None };
+        // Escalating fuel cures a program that merely outgrew its
+        // budget; a genuinely diverging one fails again, still typed.
+        if policy.fuel_retries > 0 {
+            if let Some((Resource::Fuel, limit)) = err.as_resource_exhausted() {
+                let mut fuel = limit;
+                while recovery.retries < policy.fuel_retries {
+                    recovery.retries += 1;
+                    fuel = fuel.saturating_mul(policy.fuel_factor);
+                    units_trace::count("engine/fuel_retries", 1);
+                    let mut limits = self.engine.limits;
+                    limits.fuel = Some(fuel);
+                    match self.run_raw(backend, limits) {
+                        Ok(outcome) => {
+                            *self.engine.recovery.borrow_mut() = Some(recovery);
+                            return Ok(outcome);
+                        }
+                        Err(e) => {
+                            let still_fuel =
+                                matches!(e.as_resource_exhausted(), Some((Resource::Fuel, _)));
+                            err = e;
+                            recovery.failure = err.to_string();
+                            if !still_fuel {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Graceful degradation, only for failures that indict the
+        // backend (caught panic, injected fault, exhausted budget) —
+        // a program's own deterministic error is its answer, and
+        // re-running could not change it.
+        let backend_fault = err.as_internal().is_some()
+            || err.is_injected()
+            || err.as_resource_exhausted().is_some();
+        if policy.reference_fallback && backend == Backend::Compiled && backend_fault {
+            units_trace::count("engine/fallbacks", 1);
+            // The fault plane stays suspended for the re-run: recovery
+            // must not itself be a fault target.
+            let fallback = units_trace::faults::pause(|| {
+                self.run_raw(Backend::Reducer, self.engine.limits)
+            });
+            if let Ok(outcome) = fallback {
+                recovery.fell_back = true;
+                recovery.divergence = self.diagnose(&policy);
+                *self.engine.recovery.borrow_mut() = Some(recovery);
+                return Ok(outcome);
+            }
+        }
+        *self.engine.recovery.borrow_mut() = Some(recovery);
+        Err(err)
+    }
+
+    /// Re-runs the program differentially and renders where the
+    /// backends part ways — the "report both verdicts" half of a
+    /// fallback. `None` when the policy does not ask for it or the
+    /// build lacks the `trace` feature (event capture is how the
+    /// backends are compared).
+    #[cfg_attr(not(feature = "trace"), allow(clippy::unused_self))]
+    fn diagnose(&self, policy: &FallbackPolicy) -> Option<String> {
+        #[cfg(feature = "trace")]
+        if policy.diagnose {
+            #[allow(deprecated)]
+            let program = crate::Program::from_expr(self.artifact.expr.clone())
+                .at_level(self.engine.opts.level)
+                .with_strictness(self.engine.opts.strictness);
+            let program = match self.engine.limits.fuel {
+                Some(fuel) => program.with_fuel(fuel),
+                None => program,
+            };
+            let report = units_trace::faults::pause(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    crate::observe::diagnose_divergence(&program).to_string()
+                }))
+            });
+            return Some(report.unwrap_or_else(|payload| {
+                format!("diagnosis itself panicked: {}", panic_message(payload))
+            }));
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = policy;
+        None
     }
 }
 
@@ -580,6 +902,104 @@ mod tests {
                 Some((units_runtime::Resource::Fuel, 5_000)),
                 "{backend:?}: {err}"
             );
+        }
+    }
+
+    // Terminates, but only well past 5_000 steps on either backend.
+    const SLOW_COUNTDOWN: &str =
+        "(letrec ((define loop (lambda (n) (if (= n 0) 99 (loop (- n 1)))))) (loop 2000))";
+
+    #[test]
+    fn fuel_retries_escalate_until_the_run_fits() {
+        let engine = Engine::builder()
+            .strictness(Strictness::MzScheme)
+            .limits(Limits::none().fuel(5_000))
+            .on_failure(FallbackPolicy::none().fuel_retries(4))
+            .build();
+        let outcome = engine.invoke(SLOW_COUNTDOWN).unwrap();
+        assert_eq!(outcome.value, Observation::Int(99));
+        let recovery = engine.last_recovery().expect("the first attempt ran out of fuel");
+        assert!(recovery.retries >= 1, "{recovery:?}");
+        assert!(!recovery.fell_back);
+        // A clean run afterwards clears the record.
+        engine.invoke("(invoke (unit (import) (export) (init 1)))").unwrap();
+        assert!(engine.last_recovery().is_none());
+    }
+
+    #[test]
+    fn exhausted_retries_still_surface_a_typed_error() {
+        let engine = Engine::builder()
+            .strictness(Strictness::MzScheme)
+            .limits(Limits::none().fuel(50))
+            .on_failure(FallbackPolicy::none().fuel_retries(2))
+            .build();
+        let err = engine
+            .load("(letrec ((define loop (lambda () (loop)))) (loop))")
+            .unwrap()
+            .run()
+            .unwrap_err();
+        // Two retries at factor 2: the final budget was 50 * 4.
+        assert_eq!(err.as_resource_exhausted(), Some((Resource::Fuel, 200)));
+        let recovery = engine.last_recovery().unwrap();
+        assert_eq!(recovery.retries, 2);
+        assert!(!recovery.fell_back);
+    }
+
+    #[test]
+    fn program_errors_are_not_masked_by_the_fallback_policy() {
+        let engine = Engine::builder()
+            .on_failure(FallbackPolicy::reference().fuel_retries(2))
+            .build();
+        let err = engine
+            .invoke("(invoke (unit (import) (export) (init (/ 1 0))))")
+            .unwrap_err();
+        assert!(matches!(
+            err.as_runtime(),
+            Some(units_runtime::RuntimeError::DivisionByZero)
+        ));
+        let recovery = engine.last_recovery().unwrap();
+        assert!(!recovery.fell_back, "deterministic program errors must not re-run");
+        assert_eq!(recovery.retries, 0);
+    }
+
+    #[cfg(feature = "faults")]
+    mod faulted {
+        use super::*;
+        use units_trace::faults::{self, FaultKind};
+
+        #[test]
+        fn injected_compiled_fault_falls_back_to_the_reducer() {
+            let engine =
+                Engine::builder().on_failure(FallbackPolicy::reference().diagnose(false)).build();
+            let loaded = engine.load(SQUARE).unwrap();
+            faults::arm(faults::FaultPlane::seeded(11).trigger("compile/eval", 1));
+            let outcome = loaded.run_on(Backend::Compiled);
+            faults::disarm();
+            assert_eq!(outcome.unwrap().value, Observation::Int(144));
+            let recovery = engine.last_recovery().unwrap();
+            assert!(recovery.fell_back, "{recovery:?}");
+            assert!(recovery.failure.contains("injected fault at compile/eval"));
+        }
+
+        #[test]
+        fn injected_panic_is_caught_and_evicts_the_artifact() {
+            let engine = Engine::new();
+            let loaded = engine.load(SQUARE).unwrap();
+            assert_eq!(engine.cache_stats().entries, 1);
+            faults::install_quiet_hook();
+            faults::arm(
+                faults::FaultPlane::seeded(5)
+                    .kind(FaultKind::Panic)
+                    .trigger("runtime/prim", 1),
+            );
+            let err = loaded.run().unwrap_err();
+            faults::disarm();
+            let (stage, message) = err.as_internal().expect("panic surfaces as Internal");
+            assert_eq!(stage, "run");
+            assert!(message.contains("injected panic at runtime/prim"), "{message}");
+            assert_eq!(engine.cache_stats().entries, 0, "failed run's artifact evicted");
+            // The session is still usable: a reload re-admits and runs.
+            assert_eq!(engine.invoke(SQUARE).unwrap().value, Observation::Int(144));
         }
     }
 

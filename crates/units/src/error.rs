@@ -40,6 +40,15 @@ pub enum Error {
         /// The configured limit.
         limit: u64,
     },
+    /// A panic escaped a pipeline stage and was caught at the engine's
+    /// isolation boundary — the session stays usable, the run does not.
+    Internal {
+        /// The pipeline stage that panicked (`"load"`, `"run"`,
+        /// `"batch-check"`, …).
+        stage: &'static str,
+        /// The panic payload, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -59,6 +68,9 @@ impl fmt::Display for Error {
             Error::ResourceExhausted { resource, limit } => {
                 write!(f, "evaluation exceeded its {resource} budget of {limit}")
             }
+            Error::Internal { stage, message } => {
+                write!(f, "internal error in {stage}: {message}")
+            }
         }
     }
 }
@@ -71,7 +83,7 @@ impl std::error::Error for Error {
             Error::Runtime(e) => Some(e),
             Error::Artifact(e) => Some(e),
             Error::Dynlink(e) => Some(e),
-            Error::ResourceExhausted { .. } => None,
+            Error::ResourceExhausted { .. } | Error::Internal { .. } => None,
         }
     }
 }
@@ -141,6 +153,32 @@ impl Error {
             _ => None,
         }
     }
+
+    /// The stage and panic payload, if a caught panic produced this error.
+    pub fn as_internal(&self) -> Option<(&'static str, &str)> {
+        match self {
+            Error::Internal { stage, message } => Some((stage, message)),
+            _ => None,
+        }
+    }
+
+    /// Whether this error was deliberately fired by an armed
+    /// [`FaultPlane`](units_trace::faults::FaultPlane) schedule — either
+    /// as a typed injected error or as an injected panic caught at an
+    /// engine boundary.
+    pub fn is_injected(&self) -> bool {
+        match self {
+            Error::Runtime(RuntimeError::Injected { .. }) => true,
+            Error::Artifact(ArtifactError::Injected { .. }) => true,
+            Error::Dynlink(DynlinkError::Injected { .. }) => true,
+            Error::Check(errs) => {
+                errs.iter().any(|e| matches!(e, CheckError::Injected { .. }))
+            }
+            Error::Parse(e) => e.to_string().contains("injected fault at "),
+            Error::Internal { message, .. } => message.starts_with("injected panic at "),
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +209,21 @@ mod tests {
         assert_eq!(e.as_resource_exhausted(), Some((Resource::Fuel, 7)));
         assert!(e.as_runtime().is_none());
         assert!(e.to_string().contains("fuel budget of 7"));
+    }
+
+    #[test]
+    fn internal_errors_carry_stage_and_payload() {
+        let e = Error::Internal { stage: "run", message: "index out of bounds".into() };
+        assert_eq!(e.as_internal(), Some(("run", "index out of bounds")));
+        assert!(e.to_string().contains("internal error in run"));
+        assert!(!e.is_injected());
+        let e = Error::Internal {
+            stage: "run",
+            message: "injected panic at reduce/step (hit 3)".into(),
+        };
+        assert!(e.is_injected());
+        let e: Error = RuntimeError::Injected { site: "reduce/step", hit: 1 }.into();
+        assert!(e.is_injected());
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod program;
 pub mod stdlib;
 pub mod typed_stdlib;
 
-pub use engine::{CacheStats, Engine, EngineBuilder, Loaded};
+pub use engine::{CacheStats, Engine, EngineBuilder, FallbackPolicy, Loaded, Recovery};
 pub use error::Error;
 pub use observe::{observe_expr, observe_value, Observation};
 #[cfg(feature = "trace")]
