@@ -32,14 +32,25 @@ UNITS_ENGINE_THREADS=1 cargo test -q --features trace --test engine
 cargo run --release -p bench --bin tables --features trace -- --quick --json >/dev/null
 test -s BENCH_trace.json
 grep -q repeat_invoke BENCH_trace.json
+# The bytecode backend's B.2c series must be in the summary.
+grep -q invoke_bytecode BENCH_trace.json
 if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json; json.load(open('BENCH_trace.json'))"
 fi
 rm -f BENCH_trace.json
 
+# Three-backend agreement: the differential suite runs 600 random link
+# topologies on the reducer, the tree-walker, and the bytecode VM, and
+# must hold their observations identical in both feature configurations
+# (it also runs inside the full `cargo test` sweeps above; this names
+# the gate).
+cargo test -q --test differential
+cargo test -q --features trace --test differential
+
 # Fault plane: the fixed-seed chaos harness (tests/faults.rs sweeps 240
-# seeded schedules) must pass with injection compiled in, both with and
-# without the tracing layer, and stay clippy-clean.
+# seeded schedules, including the bytecode VM's vm/dispatch site and
+# its fallback path) must pass with injection compiled in, both with
+# and without the tracing layer, and stay clippy-clean.
 cargo test -q --features faults
 cargo test -q --features "trace faults"
 cargo clippy --workspace --all-targets --features faults -- -D warnings

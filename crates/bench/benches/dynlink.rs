@@ -5,16 +5,14 @@
 //! Series printed: time per load (check only) and per load-and-run, vs.
 //! archive size (lookup is O(1); the cost is the signature check).
 
-// Benches measure the raw per-run Program pipeline on purpose.
-#![allow(deprecated)]
-
 use std::hint::black_box;
 
 use bench::harness::{median_us, report};
 use bench::{plugin_signature, plugin_source};
-use units::{Archive, Backend, CheckOptions, Level, Program, Strictness};
+use units::{Archive, Backend, CheckOptions, Engine, Level, Strictness};
 
 fn main() {
+    let engine = Engine::builder().strictness(Strictness::MzScheme).build();
     for count in [1usize, 8, 64] {
         let mut archive = Archive::new();
         for i in 0..count {
@@ -30,19 +28,20 @@ fn main() {
         let us = median_us(30, || {
             let unit =
                 archive.load("p0", &expected, CheckOptions::typed(Level::Constructed)).unwrap();
-            let program = Program::from_expr(units::Expr::app(
-                units::Expr::invoke(units_kernel::InvokeExpr {
-                    target: unit,
-                    ty_links: vec![],
-                    val_links: vec![(
-                        "log".into(),
-                        units::parse_expr("(lambda (s) void)").unwrap(),
-                    )],
-                }),
-                vec![units::Expr::int(1)],
-            ))
-            .with_strictness(Strictness::MzScheme);
-            black_box(program.run_unchecked(Backend::Compiled).unwrap());
+            let program = engine
+                .load_expr(units::Expr::app(
+                    units::Expr::invoke(units_kernel::InvokeExpr {
+                        target: unit,
+                        ty_links: vec![],
+                        val_links: vec![(
+                            "log".into(),
+                            units::parse_expr("(lambda (s) void)").unwrap(),
+                        )],
+                    }),
+                    vec![units::Expr::int(1)],
+                ))
+                .unwrap();
+            black_box(program.run_on(Backend::Compiled).unwrap());
         });
         report("dynlink/load_and_run", count, us);
     }

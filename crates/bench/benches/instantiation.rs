@@ -6,26 +6,25 @@
 //! lexical-address resolution on and off); a flat per-instance figure
 //! demonstrates O(1) instantiation over shared code.
 
-// Benches measure the raw per-run Program pipeline on purpose.
-#![allow(deprecated)]
-
 use std::hint::black_box;
 
 use bench::harness::{median_us, report};
 use bench::{one_unit, repeated_invoke};
-use units::{Backend, Program, Strictness};
+use units::{Backend, Engine, Strictness};
 
 fn main() {
+    let engine = Engine::builder().strictness(Strictness::MzScheme).build();
+    let by_name_engine =
+        Engine::builder().strictness(Strictness::MzScheme).resolution(false).build();
     for count in [1usize, 10, 100, 1000] {
-        let resolved = Program::from_expr(repeated_invoke(one_unit(), count))
-            .with_strictness(Strictness::MzScheme);
-        let by_name = resolved.clone().with_resolution(false);
+        let resolved = engine.load_expr(repeated_invoke(one_unit(), count)).unwrap();
+        let by_name = by_name_engine.load_expr(repeated_invoke(one_unit(), count)).unwrap();
         let us = median_us(20, || {
-            black_box(resolved.run_unchecked(Backend::Compiled).unwrap());
+            black_box(resolved.run_on(Backend::Compiled).unwrap());
         });
         report("instantiation/compiled", count, us);
         let us = median_us(20, || {
-            black_box(by_name.run_unchecked(Backend::Compiled).unwrap());
+            black_box(by_name.run_on(Backend::Compiled).unwrap());
         });
         report("instantiation/by_name", count, us);
     }

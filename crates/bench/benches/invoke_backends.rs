@@ -9,45 +9,43 @@
 //! the cells backend reads one cell per call — and slot-resolved lookup
 //! beats the by-name scan on every call into the unit's frames.
 
-// Benches measure the raw per-run Program pipeline on purpose.
-#![allow(deprecated)]
-
 use std::hint::black_box;
 
 use bench::harness::{median_us, report};
 use bench::{even_odd_program, even_odd_wide_program};
-use units::{Backend, Program, Strictness};
+use units::{Backend, Engine, Strictness};
 
 fn main() {
+    let engine = Engine::builder().strictness(Strictness::MzScheme).build();
+    let by_name_engine =
+        Engine::builder().strictness(Strictness::MzScheme).resolution(false).build();
     for depth in [25i64, 100, 400] {
-        let program =
-            Program::from_expr(even_odd_program(depth)).with_strictness(Strictness::MzScheme);
-        let by_name = program.clone().with_resolution(false);
+        let program = engine.load_expr(even_odd_program(depth)).unwrap();
+        let by_name = by_name_engine.load_expr(even_odd_program(depth)).unwrap();
         let us = median_us(20, || {
-            black_box(program.run_unchecked(Backend::Compiled).unwrap());
+            black_box(program.run_on(Backend::Compiled).unwrap());
         });
         report("invoke_backends/compiled", depth, us);
         let us = median_us(20, || {
-            black_box(by_name.run_unchecked(Backend::Compiled).unwrap());
+            black_box(by_name.run_on(Backend::Compiled).unwrap());
         });
         report("invoke_backends/compiled_by_name", depth, us);
         let us = median_us(20, || {
-            black_box(program.run_unchecked(Backend::Reducer).unwrap());
+            black_box(program.run_on(Backend::Reducer).unwrap());
         });
         report("invoke_backends/reducer", depth, us);
     }
     // The trampoline inside wide units (extra inert definitions): the
     // production shape where the by-name frame scan costs real time.
     for extra in [16usize, 64] {
-        let program = Program::from_expr(even_odd_wide_program(400, extra))
-            .with_strictness(Strictness::MzScheme);
-        let by_name = program.clone().with_resolution(false);
+        let program = engine.load_expr(even_odd_wide_program(400, extra)).unwrap();
+        let by_name = by_name_engine.load_expr(even_odd_wide_program(400, extra)).unwrap();
         let us = median_us(20, || {
-            black_box(program.run_unchecked(Backend::Compiled).unwrap());
+            black_box(program.run_on(Backend::Compiled).unwrap());
         });
         report("invoke_backends/wide_compiled", extra, us);
         let us = median_us(20, || {
-            black_box(by_name.run_unchecked(Backend::Compiled).unwrap());
+            black_box(by_name.run_on(Backend::Compiled).unwrap());
         });
         report("invoke_backends/wide_compiled_by_name", extra, us);
     }

@@ -7,29 +7,27 @@
 //! substitution), growing super-linearly — which is exactly why §4.1.6
 //! compiles units instead of rewriting them.
 
-// Benches measure the raw per-run Program pipeline on purpose.
-#![allow(deprecated)]
-
 use std::hint::black_box;
 
 use bench::harness::{median_us, report};
 use bench::{chain_program, cycle_program, star_program};
-use units::{Backend, Program, Strictness};
+use units::{Backend, Engine, Strictness};
 
 fn main() {
+    let engine = Engine::builder().strictness(Strictness::MzScheme).build();
     for (shape, make) in [
         ("chain", chain_program as fn(usize) -> units::Expr),
         ("star", star_program as fn(usize) -> units::Expr),
         ("cycle", cycle_program as fn(usize) -> units::Expr),
     ] {
         for n in [2usize, 4, 8, 16] {
-            let program = Program::from_expr(make(n)).with_strictness(Strictness::MzScheme);
+            let program = engine.load_expr(make(n)).unwrap();
             let us = median_us(20, || {
-                black_box(program.run_unchecked(Backend::Compiled).unwrap());
+                black_box(program.run_on(Backend::Compiled).unwrap());
             });
             report(&format!("link_reduction/{shape}/compiled"), n, us);
             let us = median_us(20, || {
-                black_box(program.run_unchecked(Backend::Reducer).unwrap());
+                black_box(program.run_on(Backend::Reducer).unwrap());
             });
             report(&format!("link_reduction/{shape}/reducer"), n, us);
         }

@@ -14,10 +14,6 @@
 //!   perf trajectory is machine-readable run over run;
 //! * `--quick` — smaller sizes and fewer repetitions (CI smoke mode).
 
-// The Program-based series predate the Engine facade; they keep measuring
-// the raw per-run pipeline on purpose (no cache in the way).
-#![allow(deprecated)]
-
 use std::time::Instant;
 
 use bench::{
@@ -27,7 +23,7 @@ use bench::{
 };
 use units::{
     check_program, expand_ty, subtype, type_of, Archive, Backend, CheckOptions, Engine,
-    Equations, Level, Program, Strictness, Ty,
+    Equations, Level, Strictness, Ty,
 };
 
 /// Median wall time of `runs` executions, in microseconds.
@@ -41,6 +37,23 @@ fn time_us(runs: u32, mut f: impl FnMut()) -> f64 {
         .collect();
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
+}
+
+/// A warm evaluation session: checks and resolution are paid once at
+/// `load_expr`; each timed `run_on` then measures evaluation alone.
+fn session() -> Engine {
+    Engine::builder().strictness(Strictness::MzScheme).build()
+}
+
+/// Times `backend` on an already-loaded artifact, after one untimed
+/// warm-up run (the warm-up pays the lazy chunk lowering for the
+/// bytecode backend — §4.1.6's one-copy-of-the-code invariant means
+/// that cost is per-program, not per-run).
+fn time_backend(runs: u32, loaded: &units::Loaded<'_>, backend: Backend) -> f64 {
+    loaded.run_on(backend).unwrap();
+    time_us(runs, || {
+        loaded.run_on(backend).unwrap();
+    })
 }
 
 fn header(title: &str) {
@@ -111,16 +124,19 @@ impl Recorder {
 
 /// With the `trace` feature: run the even/odd example once on each
 /// backend under a metrics session and return the counters/durations
-/// snapshot. Without it: an empty object (the hooks are no-ops).
+/// snapshot (the bytecode run contributes its per-opcode `vm/op/…`
+/// counters). Without it: an empty object (the hooks are no-ops).
 fn pipeline_metrics_json() -> String {
     let metrics = std::sync::Arc::new(units_trace::Metrics::new());
     units_trace::install(
         std::rc::Rc::new(std::cell::RefCell::new(units_trace::NullSink)),
         std::sync::Arc::clone(&metrics),
     );
-    let p = Program::from_expr(even_odd_program(100)).with_strictness(Strictness::MzScheme);
-    p.run_unchecked(Backend::Compiled).unwrap();
-    p.run_unchecked(Backend::Reducer).unwrap();
+    let engine = session();
+    let p = engine.load_expr(even_odd_program(100)).unwrap();
+    p.run_on(Backend::Compiled).unwrap();
+    p.run_on(Backend::Reducer).unwrap();
+    p.run_on(Backend::Bytecode).unwrap();
     units_trace::uninstall();
     metrics.to_json()
 }
@@ -149,13 +165,10 @@ fn main() {
         ("cycle", cycle_program as fn(usize) -> units::Expr),
     ] {
         for n in if quick { &[2usize, 4][..] } else { &[2usize, 4, 8, 16][..] } {
-            let p = Program::from_expr(make(*n)).with_strictness(Strictness::MzScheme);
-            let c = time_us(runs, || {
-                p.run_unchecked(Backend::Compiled).unwrap();
-            });
-            let r = time_us(runs, || {
-                p.run_unchecked(Backend::Reducer).unwrap();
-            });
+            let engine = session();
+            let p = engine.load_expr(make(*n)).unwrap();
+            let c = time_backend(runs, &p, Backend::Compiled);
+            let r = time_backend(runs, &p, Backend::Reducer);
             println!("{shape:>6} {n:>8} {c:>14.1} {r:>14.1} {:>8.1}", r / c);
             rec.push(
                 "link_reduction",
@@ -166,22 +179,76 @@ fn main() {
         }
     }
 
-    header("invoke_backends (§4.1.6): compiled vs. substitution");
-    println!("{:>8} {:>14} {:>14} {:>8}", "depth", "compiled µs", "reducer µs", "ratio");
+    header("invoke_backends (§4.1.6): compiled vs. substitution vs. bytecode");
+    println!(
+        "{:>8} {:>13} {:>12} {:>13} {:>7} {:>7}",
+        "depth", "compiled µs", "reducer µs", "bytecode µs", "r/c", "c/vm"
+    );
     for depth in if quick { &[25i64, 100][..] } else { &[25i64, 100, 400, 1600][..] } {
-        let p = Program::from_expr(even_odd_program(*depth)).with_strictness(Strictness::MzScheme);
-        let c = time_us(runs, || {
-            p.run_unchecked(Backend::Compiled).unwrap();
-        });
-        let r = time_us(runs, || {
-            p.run_unchecked(Backend::Reducer).unwrap();
-        });
-        println!("{depth:>8} {c:>14.1} {r:>14.1} {:>8.1}", r / c);
+        let engine = session();
+        let p = engine.load_expr(even_odd_program(*depth)).unwrap();
+        let c = time_backend(runs, &p, Backend::Compiled);
+        let r = time_backend(runs, &p, Backend::Reducer);
+        let b = time_backend(runs, &p, Backend::Bytecode);
+        println!("{depth:>8} {c:>13.1} {r:>12.1} {b:>13.1} {:>7.1} {:>6.2}x", r / c, c / b);
         rec.push(
             "invoke_backends",
             "even_odd",
             depth,
-            vec![("compiled_us", c), ("reducer_us", r), ("ratio", r / c)],
+            vec![
+                ("compiled_us", c),
+                ("reducer_us", r),
+                ("bytecode_us", b),
+                ("ratio", r / c),
+                ("vm_speedup", c / b),
+            ],
+        );
+    }
+
+    header("invoke_bytecode (B.2): flat-chunk dispatch vs. compiled tree-walk");
+    println!(
+        "{:>14} {:>8} {:>13} {:>13} {:>8}",
+        "series", "size", "compiled µs", "bytecode µs", "speedup"
+    );
+    // Minimum over many runs, like the resolution A/B: the workloads are
+    // warm single-artifact evaluations, so scheduling noise dominates a
+    // median at these run times.
+    let vm_runs = if quick { 10 } else { 40 };
+    let vm_point = |rec: &mut Recorder,
+                        series: &'static str,
+                        size: String,
+                        expr: units::Expr| {
+        let engine = session();
+        let p = engine.load_expr(expr).unwrap();
+        p.run_on(Backend::Compiled).unwrap();
+        p.run_on(Backend::Bytecode).unwrap();
+        let c = bench::harness::min_us(vm_runs, || {
+            p.run_on(Backend::Compiled).unwrap();
+        });
+        let b = bench::harness::min_us(vm_runs, || {
+            p.run_on(Backend::Bytecode).unwrap();
+        });
+        println!("{series:>14} {size:>8} {c:>13.1} {b:>13.1} {:>7.2}x", c / b);
+        rec.push(
+            "invoke_backends",
+            format!("invoke_bytecode/{series}"),
+            size,
+            vec![("compiled_us", c), ("bytecode_us", b), ("speedup", c / b)],
+        );
+    };
+    for depth in if quick { &[100i64][..] } else { &[100i64, 400, 1600][..] } {
+        vm_point(&mut rec, "even_odd", depth.to_string(), even_odd_program(*depth));
+    }
+    for (d, w) in if quick { &[(64usize, 8usize)][..] } else { &[(128usize, 8usize), (256, 16)][..] }
+    {
+        vm_point(&mut rec, "deep_let", format!("{d}x{w}"), deep_let_program(*d, *w));
+    }
+    for count in if quick { &[100usize][..] } else { &[100usize, 1000][..] } {
+        vm_point(
+            &mut rec,
+            "repeat_invoke",
+            count.to_string(),
+            repeated_invoke(one_unit(), *count),
         );
     }
 
@@ -193,14 +260,20 @@ fn main() {
     // Minimum over many runs: the A/B delta on even/odd is a few percent
     // of a ~100 µs run, well under median-of-9 scheduling noise.
     let ab_runs = if quick { 10 } else { 60 };
+    let by_name_session =
+        || Engine::builder().strictness(Strictness::MzScheme).resolution(false).build();
     for depth in if quick { &[25i64, 100][..] } else { &[25i64, 100, 400, 1600][..] } {
-        let p = Program::from_expr(even_odd_program(*depth)).with_strictness(Strictness::MzScheme);
-        let off = p.clone().with_resolution(false);
+        let on_engine = session();
+        let p = on_engine.load_expr(even_odd_program(*depth)).unwrap();
+        let off_engine = by_name_session();
+        let off = off_engine.load_expr(even_odd_program(*depth)).unwrap();
+        p.run_on(Backend::Compiled).unwrap();
+        off.run_on(Backend::Compiled).unwrap();
         let on_us = bench::harness::min_us(ab_runs, || {
-            p.run_unchecked(Backend::Compiled).unwrap();
+            p.run_on(Backend::Compiled).unwrap();
         });
         let off_us = bench::harness::min_us(ab_runs, || {
-            off.run_unchecked(Backend::Compiled).unwrap();
+            off.run_on(Backend::Compiled).unwrap();
         });
         println!("{:>10} {depth:>8} {on_us:>14.1} {off_us:>14.1} {:>7.2}x", "even_odd", off_us / on_us);
         rec.push(
@@ -213,14 +286,17 @@ fn main() {
     // The same trampoline inside units that carry extra definitions — the
     // production shape whose frame scans the resolver eliminates.
     for extra in if quick { &[4usize][..] } else { &[4usize, 16, 64][..] } {
-        let p = Program::from_expr(even_odd_wide_program(400, *extra))
-            .with_strictness(Strictness::MzScheme);
-        let off = p.clone().with_resolution(false);
+        let on_engine = session();
+        let p = on_engine.load_expr(even_odd_wide_program(400, *extra)).unwrap();
+        let off_engine = by_name_session();
+        let off = off_engine.load_expr(even_odd_wide_program(400, *extra)).unwrap();
+        p.run_on(Backend::Compiled).unwrap();
+        off.run_on(Backend::Compiled).unwrap();
         let on_us = bench::harness::min_us(ab_runs, || {
-            p.run_unchecked(Backend::Compiled).unwrap();
+            p.run_on(Backend::Compiled).unwrap();
         });
         let off_us = bench::harness::min_us(ab_runs, || {
-            off.run_unchecked(Backend::Compiled).unwrap();
+            off.run_on(Backend::Compiled).unwrap();
         });
         println!(
             "{:>10} {:>8} {on_us:>14.1} {off_us:>14.1} {:>7.2}x",
@@ -240,13 +316,17 @@ fn main() {
     } else {
         &[(64usize, 8usize), (128, 8), (256, 8), (256, 16)][..]
     } {
-        let p = Program::from_expr(deep_let_program(*d, *w)).with_strictness(Strictness::MzScheme);
-        let off = p.clone().with_resolution(false);
+        let on_engine = session();
+        let p = on_engine.load_expr(deep_let_program(*d, *w)).unwrap();
+        let off_engine = by_name_session();
+        let off = off_engine.load_expr(deep_let_program(*d, *w)).unwrap();
+        p.run_on(Backend::Compiled).unwrap();
+        off.run_on(Backend::Compiled).unwrap();
         let on_us = bench::harness::min_us(ab_runs, || {
-            p.run_unchecked(Backend::Compiled).unwrap();
+            p.run_on(Backend::Compiled).unwrap();
         });
         let off_us = bench::harness::min_us(ab_runs, || {
-            off.run_unchecked(Backend::Compiled).unwrap();
+            off.run_on(Backend::Compiled).unwrap();
         });
         println!(
             "{:>10} {:>8} {on_us:>14.1} {off_us:>14.1} {:>7.2}x",
@@ -265,11 +345,9 @@ fn main() {
     header("instantiation (§4.1.6): per-instance cost stays flat");
     println!("{:>10} {:>14} {:>16}", "instances", "total µs", "per-instance µs");
     for count in if quick { &[1usize, 10][..] } else { &[1usize, 10, 100, 1000][..] } {
-        let p = Program::from_expr(repeated_invoke(one_unit(), *count))
-            .with_strictness(Strictness::MzScheme);
-        let t = time_us(runs, || {
-            p.run_unchecked(Backend::Compiled).unwrap();
-        });
+        let engine = session();
+        let p = engine.load_expr(repeated_invoke(one_unit(), *count)).unwrap();
+        let t = time_backend(runs, &p, Backend::Compiled);
         println!("{count:>10} {t:>14.1} {:>16.3}", t / *count as f64);
         rec.push(
             "instantiation",
@@ -353,10 +431,9 @@ fn main() {
             ("merge/disjoint", chain_program as fn(usize) -> units::Expr),
             ("merge/colliding", bench::colliding_chain_program as fn(usize) -> units::Expr),
         ] {
-            let p = Program::from_expr(make(*n)).with_strictness(Strictness::MzScheme);
-            let t = time_us(runs, || {
-                p.run_unchecked(Backend::Reducer).unwrap();
-            });
+            let engine = session();
+            let p = engine.load_expr(make(*n)).unwrap();
+            let t = time_backend(runs, &p, Backend::Reducer);
             println!("{:>22} {n:>8} {t:>12.1}", label);
             rec.push("ablation", label, n, vec![("us", t)]);
         }
@@ -414,11 +491,12 @@ fn main() {
         let t_load = time_us(runs, || {
             archive.load("p0", &expected, CheckOptions::typed(Level::Constructed)).unwrap();
         });
+        let run_engine = session();
         let t_run = time_us(runs, || {
             let unit = archive
                 .load("p0", &expected, CheckOptions::typed(Level::Constructed))
                 .unwrap();
-            let program = Program::from_expr(units::Expr::app(
+            let expr = units::Expr::app(
                 units::Expr::invoke(units_kernel::InvokeExpr {
                     target: unit,
                     ty_links: vec![],
@@ -428,9 +506,8 @@ fn main() {
                     )],
                 }),
                 vec![units::Expr::int(1)],
-            ))
-            .with_strictness(Strictness::MzScheme);
-            program.run_unchecked(Backend::Compiled).unwrap();
+            );
+            run_engine.load_expr(expr).and_then(|p| p.run()).unwrap();
         });
         println!("{count:>10} {t_load:>16.1} {t_run:>16.1}");
         rec.push(

@@ -484,14 +484,16 @@ pub fn plugin_signature() -> Signature {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the raw per-run pipeline is what these measure
 mod tests {
     use super::*;
-    use units::{Backend, Observation, Program, Strictness};
+    use units::{Backend, Engine, Observation, Strictness};
 
     fn run(expr: Expr) -> Observation {
-        Program::from_expr(expr)
-            .with_strictness(Strictness::MzScheme)
+        Engine::builder()
+            .strictness(Strictness::MzScheme)
+            .build()
+            .load_expr(expr)
+            .expect("workload checks")
             .run_differential()
             .expect("workload runs")
             .value
@@ -526,7 +528,8 @@ mod tests {
         assert_eq!(run(deep_let_program(1, 1)), Observation::Int(0));
         assert_eq!(run(deep_let_program(3, 4)), Observation::Int(9));
         // And the by-name fallback computes the same thing.
-        let p = Program::from_expr(deep_let_program(5, 3)).with_resolution(false);
+        let engine = Engine::builder().resolution(false).build();
+        let p = engine.load_expr(deep_let_program(5, 3)).unwrap();
         assert_eq!(p.run_on(Backend::Compiled).unwrap().value, Observation::Int(10));
     }
 
@@ -545,8 +548,9 @@ mod tests {
     #[test]
     fn repeated_invocations_sum() {
         let expr = repeated_invoke(one_unit(), 7);
+        let engine = Engine::new();
         assert_eq!(
-            Program::from_expr(expr).run_on(Backend::Compiled).unwrap().value,
+            engine.load_expr(expr).unwrap().run_on(Backend::Compiled).unwrap().value,
             Observation::Int(7)
         );
     }
@@ -623,16 +627,17 @@ pub fn colliding_chain_program(n: usize) -> Expr {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod ablation_tests {
     use super::*;
-    use units::{Observation, Program, Strictness};
+    use units::{Engine, Observation, Strictness};
 
     #[test]
     fn colliding_chain_computes_like_the_plain_chain() {
+        let engine = Engine::builder().strictness(Strictness::MzScheme).build();
         for n in [1usize, 3, 7] {
-            let v = Program::from_expr(colliding_chain_program(n))
-                .with_strictness(Strictness::MzScheme)
+            let v = engine
+                .load_expr(colliding_chain_program(n))
+                .expect("checks")
                 .run_differential()
                 .expect("runs")
                 .value;

@@ -18,10 +18,10 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use units_kernel::{DataRole, Expr, TypeDefn};
+use units_kernel::Expr;
 use units_runtime::{
-    apply_prim, new_cell, AtomicUnit, Binding, Closure, DataOpValue, Env,
-    LinkedUnit, Machine, RuntimeError, UnitValue, Value, VariantValue,
+    apply_data, apply_prim, as_unit, bind_letrec_frame, check_link, read_binding, seal_unit,
+    AtomicUnit, Binding, Closure, Env, LinkedUnit, Machine, RuntimeError, UnitValue, Value,
 };
 
 use crate::instantiate::invoke_unit;
@@ -81,7 +81,7 @@ fn eval_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Ru
         }),
         Expr::Prim(op, _tys) => Ok(Value::Prim(*op)),
         Expr::Lambda(lam) => {
-            Ok(Value::Closure(Rc::new(Closure { lambda: lam.clone(), env: env.clone() })))
+            Ok(Value::Closure(Rc::new(Closure::new(lam.clone(), env.clone()))))
         }
         Expr::App(f, args) => {
             let func = eval(f, env, machine)?;
@@ -161,27 +161,17 @@ fn eval_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Ru
                 Err(RuntimeError::WrongType { expected: "a tuple", found: other.to_string() })
             }
         },
-        Expr::Unit(u) => Ok(Value::Unit(Rc::new(UnitValue::Atomic(AtomicUnit {
-            source: u.clone(),
-            env: env.clone(),
-        })))),
+        Expr::Unit(u) => {
+            Ok(Value::Unit(Rc::new(UnitValue::Atomic(AtomicUnit::new(u.clone(), env.clone())))))
+        }
         Expr::Compound(c) => {
             let mut links = Vec::with_capacity(c.links.len());
             for link in &c.links {
                 let unit = as_unit(eval(&link.expr, env, machine)?, "compound")?;
-                // Fig. 11 side conditions, checked at link time: the
-                // constituent needs no more than the `with` clause grants…
-                for name in unit.imports().vals.iter().map(|p| &p.name) {
-                    if link.with.val_port(name).is_none() {
-                        return Err(RuntimeError::ExcessImport { name: name.clone() });
-                    }
-                }
-                // …and provides at least what the clause promises.
-                for name in link.provides.vals.iter().map(|p| &p.name) {
-                    if unit.exports().val_port(name).is_none() {
-                        return Err(RuntimeError::MissingProvide { name: name.clone() });
-                    }
-                }
+                // Fig. 11 side conditions, checked at link time (shared
+                // with the reducer and the bytecode VM through
+                // `units_runtime::wiring`).
+                check_link(&unit, &link.with, &link.provides)?;
                 links.push(units_runtime::LinkedConstituent {
                     unit,
                     with: link.with.clone(),
@@ -205,25 +195,7 @@ fn eval_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Ru
         }
         Expr::Seal(e, sig) => {
             let unit = as_unit(eval(e, env, machine)?, "seal")?;
-            // Imports may only be narrowed, exports only restricted.
-            for port in &unit.imports().vals {
-                if sig.imports.val_port(&port.name).is_none() {
-                    return Err(RuntimeError::SealFailure {
-                        reason: format!("unit imports `{}`, signature does not", port.name),
-                    });
-                }
-            }
-            for port in &sig.exports.vals {
-                if unit.exports().val_port(&port.name).is_none() {
-                    return Err(RuntimeError::SealFailure {
-                        reason: format!("signature exports `{}`, unit does not", port.name),
-                    });
-                }
-            }
-            Ok(Value::Unit(Rc::new(UnitValue::Restricted {
-                inner: unit,
-                exports: sig.exports.clone(),
-            })))
+            Ok(Value::Unit(Rc::new(seal_unit(unit, sig)?)))
         }
         Expr::Loc(_) | Expr::CellRef(_) | Expr::Data(_) | Expr::Variant(_) => {
             Err(RuntimeError::WrongType {
@@ -232,84 +204,6 @@ fn eval_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Ru
             })
         }
     }
-}
-
-/// Reads a variable's value out of a binding lookup result.
-fn read_binding(binding: Option<&Binding>, x: &units_kernel::Symbol) -> Result<Value, RuntimeError> {
-    match binding {
-        Some(Binding::Val(v)) => Ok(v.clone()),
-        Some(Binding::Cell(c)) => match &*c.borrow() {
-            Some(v) => Ok(v.clone()),
-            None => Err(RuntimeError::UndefinedRead { name: x.clone() }),
-        },
-        None => Err(RuntimeError::Unbound { name: x.clone() }),
-    }
-}
-
-/// Narrows to a unit value, or reports which Fig. 11 rule was applied
-/// to a non-unit — the same variant the reference reducer raises, so
-/// the backends agree on the error class.
-fn as_unit(v: Value, rule: &'static str) -> Result<Rc<UnitValue>, RuntimeError> {
-    match v {
-        Value::Unit(u) => Ok(u),
-        other => Err(RuntimeError::NotAUnit { rule, found: other.to_string() }),
-    }
-}
-
-/// Builds the recursive frame for a `letrec` or unit body: fresh cells for
-/// value definitions and freshly instantiated datatype operations.
-/// Returns the extended environment and the definition cells in order.
-///
-/// # Errors
-///
-/// Returns [`RuntimeError::ResourceExhausted`] when allocating the
-/// definition cells would exceed the machine's store-cell budget.
-pub(crate) fn bind_letrec_frame(
-    types: &[TypeDefn],
-    vals: &[units_kernel::ValDefn],
-    env: &Env,
-    machine: &mut Machine,
-) -> Result<(Env, Vec<units_runtime::CellRef>), RuntimeError> {
-    machine.alloc_cells(vals.len() as u64)?;
-    let mut frame = Vec::new();
-    for td in types {
-        if let TypeDefn::Data(d) = td {
-            let instance = machine.fresh_instance();
-            for (tag, v) in d.variants.iter().enumerate() {
-                frame.push((
-                    v.ctor.clone(),
-                    Binding::Val(Value::Data(Rc::new(DataOpValue {
-                        ty_name: d.name.clone(),
-                        instance,
-                        role: DataRole::Construct(tag),
-                    }))),
-                ));
-                frame.push((
-                    v.dtor.clone(),
-                    Binding::Val(Value::Data(Rc::new(DataOpValue {
-                        ty_name: d.name.clone(),
-                        instance,
-                        role: DataRole::Deconstruct(tag),
-                    }))),
-                ));
-            }
-            frame.push((
-                d.predicate.clone(),
-                Binding::Val(Value::Data(Rc::new(DataOpValue {
-                    ty_name: d.name.clone(),
-                    instance,
-                    role: DataRole::Predicate,
-                }))),
-            ));
-        }
-    }
-    let mut cells = Vec::with_capacity(vals.len());
-    for defn in vals {
-        let cell = new_cell();
-        frame.push((defn.name.clone(), Binding::Cell(cell.clone())));
-        cells.push(cell);
-    }
-    Ok((env.extend(frame), cells))
 }
 
 /// What a body evaluation steps to: a final value, or a call in tail
@@ -401,14 +295,21 @@ pub fn apply(
                         found: args.len(),
                     });
                 }
-                let frame = closure
-                    .lambda
-                    .params
-                    .iter()
-                    .zip(args)
-                    .map(|(p, v)| (p.name.clone(), Binding::Val(v)))
-                    .collect();
-                let env = closure.env.extend(frame);
+                let env = if args.len() == 1 {
+                    let v = args.pop().expect("arity checked above");
+                    closure
+                        .env
+                        .extend1(closure.lambda.params[0].name.clone(), Binding::Val(v))
+                } else {
+                    let frame = closure
+                        .lambda
+                        .params
+                        .iter()
+                        .zip(args)
+                        .map(|(p, v)| (p.name.clone(), Binding::Val(v)))
+                        .collect();
+                    closure.env.extend(frame)
+                };
                 match eval_tail(&closure.lambda.body, &env, machine)? {
                     Tail::Done(v) => return Ok(v),
                     Tail::Call(f, a) => {
@@ -421,53 +322,5 @@ pub fn apply(
             Value::Data(op) => return apply_data(&op, args),
             other => return Err(RuntimeError::NotAFunction { found: other.to_string() }),
         }
-    }
-}
-
-fn apply_data(op: &DataOpValue, mut args: Vec<Value>) -> Result<Value, RuntimeError> {
-    if args.len() != 1 {
-        return Err(RuntimeError::Arity { expected: 1, found: args.len() });
-    }
-    let Some(arg) = args.pop() else {
-        return Err(RuntimeError::Arity { expected: 1, found: 0 });
-    };
-    match op.role {
-        DataRole::Construct(tag) => Ok(Value::Variant(Rc::new(VariantValue {
-            ty_name: op.ty_name.clone(),
-            instance: op.instance,
-            tag,
-            payload: arg,
-        }))),
-        DataRole::Deconstruct(tag) => {
-            let v = expect_own_variant(op, arg)?;
-            if v.tag != tag {
-                return Err(RuntimeError::WrongVariant {
-                    ty_name: op.ty_name.clone(),
-                    expected: tag,
-                    found: v.tag,
-                });
-            }
-            Ok(v.payload.clone())
-        }
-        DataRole::Predicate => {
-            let v = expect_own_variant(op, arg)?;
-            Ok(Value::Bool(v.tag == 0))
-        }
-    }
-}
-
-fn expect_own_variant(
-    op: &DataOpValue,
-    arg: Value,
-) -> Result<Rc<VariantValue>, RuntimeError> {
-    match arg {
-        Value::Variant(v) if v.ty_name == op.ty_name && v.instance == op.instance => Ok(v),
-        Value::Variant(v) if v.ty_name == op.ty_name => {
-            Err(RuntimeError::ForeignInstance { ty_name: op.ty_name.clone() })
-        }
-        other => Err(RuntimeError::WrongType {
-            expected: "a datatype value of the defining instance",
-            found: other.to_string(),
-        }),
     }
 }

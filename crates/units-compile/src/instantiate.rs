@@ -15,40 +15,23 @@
 //!    link order; the last one's value is the result of the invocation.
 
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use units_kernel::Symbol;
 use units_runtime::{
-    filled_cell, new_cell, Binding, CellRef, Env, Machine, RuntimeError, UnitValue, Value,
+    emit_invoke_event, import_cells, wire, Machine, RuntimeError, UnitValue, Value, WiredUnit,
 };
 
-use crate::eval::{bind_letrec_frame, eval};
-
-/// One atomic constituent, wired and awaiting its definition/init phases.
-pub(crate) struct Pending {
-    env: Env,
-    source: Rc<units_kernel::UnitExpr>,
-    def_cells: Vec<CellRef>,
-}
-
-impl Pending {
-    fn run_defs(&self, machine: &mut Machine) -> Result<(), RuntimeError> {
-        for (defn, cell) in self.source.vals.iter().zip(&self.def_cells) {
-            let v = eval(&defn.body, &self.env, machine)?;
-            *cell.borrow_mut() = Some(v);
-        }
-        Ok(())
-    }
-
-    fn run_init(&self, machine: &mut Machine) -> Result<Value, RuntimeError> {
-        eval(&self.source.init, &self.env, machine)
-    }
-}
+use crate::eval::eval;
 
 /// Invokes a unit, satisfying its imports from `supplied` (empty for a
 /// complete program). Returns the last initialization expression's value;
 /// exports are ignored ("The variables exported by a program are
 /// ignored").
+///
+/// The wiring itself — one cell per interface name, walked through the
+/// whole link graph — lives in [`units_runtime::wiring`], shared with the
+/// bytecode VM; this function supplies the tree-walking definition/init
+/// phases over the wired constituents.
 ///
 /// # Errors
 ///
@@ -61,161 +44,30 @@ pub fn invoke_unit(
 ) -> Result<Value, RuntimeError> {
     let _timer = units_trace::time("link");
     units_trace::faults::trip("compile/instantiate")?;
-    machine.alloc_cells(unit.imports().vals.len() as u64)?;
-    let mut import_cells = HashMap::with_capacity(unit.imports().vals.len());
-    for port in &unit.imports().vals {
-        match supplied.get(&port.name) {
-            Some(v) => {
-                import_cells.insert(port.name.clone(), filled_cell(v.clone()));
-            }
-            None => return Err(RuntimeError::UnsatisfiedImport { name: port.name.clone() }),
+    let cells = import_cells(unit, supplied, machine)?;
+    let mut wired: Vec<WiredUnit> = Vec::new();
+    wire(unit, &cells, &HashMap::new(), machine, &mut wired)?;
+    emit_invoke_event(unit, wired.len());
+    // All definitions in link order, then all initializations in link
+    // order (Fig. 11's merged letrec); the last init value is the result.
+    for w in &wired {
+        for (defn, cell) in w.source.vals.iter().zip(&w.def_cells) {
+            let v = eval(&defn.body, &w.env, machine)?;
+            *cell.borrow_mut() = Some(v);
         }
-    }
-    let mut pendings = Vec::new();
-    wire(unit, &import_cells, &HashMap::new(), machine, &mut pendings)?;
-    units_trace::emit(
-        units_trace::Phase::Link,
-        "link/invoke",
-        None,
-        || {
-            let mut names: Vec<&str> =
-                unit.exports().vals.iter().map(|p| p.name.as_str()).collect();
-            names.sort_unstable();
-            names.join(" ")
-        },
-        &[("link/invocations", 1), ("link/constituents", pendings.len() as u64)],
-    );
-    for p in &pendings {
-        p.run_defs(machine)?;
     }
     let mut result = Value::Void;
-    for p in &pendings {
-        result = p.run_init(machine)?;
+    for w in &wired {
+        result = eval(&w.source.init, &w.env, machine)?;
     }
     Ok(result)
-}
-
-/// Recursively wires a unit: `imports` supplies a cell per import name,
-/// `wanted_exports` lists the cells the caller wants this unit's exports
-/// to fill. Appends the atomic constituents to `out` in initialization
-/// order.
-pub(crate) fn wire(
-    unit: &UnitValue,
-    imports: &HashMap<Symbol, CellRef>,
-    wanted_exports: &HashMap<Symbol, CellRef>,
-    machine: &mut Machine,
-    out: &mut Vec<Pending>,
-) -> Result<(), RuntimeError> {
-    match unit {
-        UnitValue::Restricted { inner, exports } => {
-            // Only visible exports may be requested.
-            for name in wanted_exports.keys() {
-                if exports.val_port(name).is_none() {
-                    return Err(RuntimeError::MissingProvide { name: name.clone() });
-                }
-            }
-            wire(inner, imports, wanted_exports, machine, out)
-        }
-        UnitValue::Atomic(atomic) => {
-            let source = &atomic.source;
-            // Every import must be supplied.
-            let mut frame = Vec::new();
-            for port in &source.imports.vals {
-                let cell = imports
-                    .get(&port.name)
-                    .cloned()
-                    .ok_or_else(|| RuntimeError::UnsatisfiedImport { name: port.name.clone() })?;
-                frame.push((port.name.clone(), Binding::Cell(cell)));
-            }
-            let pre_env = atomic.env.extend(frame);
-            let (env, mut def_cells) = bind_letrec_frame(&source.types, &source.vals, &pre_env, machine)?;
-            // Exported definitions write directly into the caller's cells.
-            let defined: Vec<&Symbol> = source.vals.iter().map(|d| &d.name).collect();
-            for (name, cell) in wanted_exports {
-                if source.exports.val_port(name).is_none() {
-                    return Err(RuntimeError::MissingProvide { name: name.clone() });
-                }
-                if let Some(pos) = defined.iter().position(|d| *d == name) {
-                    def_cells[pos] = cell.clone();
-                } else {
-                    // A datatype operation export: its value exists now.
-                    match env.lookup(name) {
-                        Some(Binding::Val(v)) => *cell.borrow_mut() = Some(v.clone()),
-                        _ => return Err(RuntimeError::MissingProvide { name: name.clone() }),
-                    }
-                }
-            }
-            // Rebind exported definitions to the caller's cells so that
-            // internal references and external consumers share storage.
-            let rebound: Vec<(Symbol, Binding)> = source
-                .vals
-                .iter()
-                .zip(&def_cells)
-                .map(|(d, c)| (d.name.clone(), Binding::Cell(c.clone())))
-                .collect();
-            let env = env.extend(rebound);
-            out.push(Pending { env, source: source.clone(), def_cells });
-            Ok(())
-        }
-        UnitValue::Linked(linked) => {
-            // One cell per provided *outer* name; compound exports reuse
-            // the caller's cells (linking identifies a constituent's
-            // inner export name with the outer name its rename pairs
-            // choose — the same name in the paper's by-name core form).
-            let mut cell_of: HashMap<Symbol, CellRef> = HashMap::new();
-            for lc in &linked.links {
-                for port in &lc.provides.vals {
-                    let outer = lc.renames.outer_export_val(&port.name).clone();
-                    let cell = match wanted_exports.get(&outer) {
-                        Some(c) => c.clone(),
-                        None => {
-                            machine.alloc_cells(1)?;
-                            new_cell()
-                        }
-                    };
-                    cell_of.insert(outer, cell);
-                }
-            }
-            for name in wanted_exports.keys() {
-                if !cell_of.contains_key(name) {
-                    return Err(RuntimeError::MissingProvide { name: name.clone() });
-                }
-            }
-            for lc in &linked.links {
-                let mut constituent_imports = HashMap::new();
-                for port in &lc.with.vals {
-                    let outer = lc.renames.outer_import_val(&port.name);
-                    let cell = imports
-                        .get(outer)
-                        .or_else(|| cell_of.get(outer))
-                        .cloned()
-                        .ok_or_else(|| RuntimeError::UnsatisfiedImport {
-                            name: outer.clone(),
-                        })?;
-                    // The constituent sees the cell under its inner name.
-                    constituent_imports.insert(port.name.clone(), cell);
-                }
-                let mut wanted: HashMap<Symbol, CellRef> =
-                    HashMap::with_capacity(lc.provides.vals.len());
-                for p in &lc.provides.vals {
-                    let outer = lc.renames.outer_export_val(&p.name);
-                    let cell = cell_of
-                        .get(outer)
-                        .cloned()
-                        .ok_or_else(|| RuntimeError::MissingProvide { name: outer.clone() })?;
-                    wanted.insert(p.name.clone(), cell);
-                }
-                wire(&lc.unit, &constituent_imports, &wanted, machine, out)?;
-            }
-            Ok(())
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::eval::evaluate_program;
+    use std::rc::Rc;
     use units_syntax::parse_expr;
 
     fn run(src: &str) -> Result<Value, RuntimeError> {

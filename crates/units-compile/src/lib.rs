@@ -28,10 +28,12 @@ mod artifact;
 mod dynlink;
 mod eval;
 mod instantiate;
+mod lower;
 mod resolve;
 
 pub use artifact::{load_interface, load_unit, publish_unit, ArtifactError, Published};
 pub use dynlink::{Archive, DynlinkError};
 pub use eval::{apply, eval, evaluate_program};
 pub use instantiate::invoke_unit;
+pub use lower::lower_program;
 pub use resolve::resolve_program;

@@ -5,7 +5,7 @@
 //!   -e, --expr <SRC>       evaluate a source string instead of a file
 //!   -i, --interactive      read-eval-print loop (default on a terminal)
 //!   -l, --level <d|c|e>    UNITd (default) / UNITc / UNITe
-//!   -b, --backend <name>   compiled (default) | reducer
+//!   -b, --backend <name>   compiled (default) | reducer | bytecode
 //!       --mzscheme         relax the valuability restriction (§4.1.1)
 //!       --check-only       parse and check, do not run
 //!       --trace <N>        print the first N reduction steps (reducer)
@@ -51,7 +51,7 @@ fn engine_for(opts: &Options) -> Engine {
 }
 
 fn usage() -> &'static str {
-    "usage: units-repl [-e EXPR] [-i] [-l d|c|e] [-b compiled|reducer] \
+    "usage: units-repl [-e EXPR] [-i] [-l d|c|e] [-b compiled|reducer|bytecode] \
      [--mzscheme] [--check-only] [--diagram] [--trace N] [--fuel N] [FILE]"
 }
 
@@ -87,6 +87,7 @@ fn parse_args() -> Result<Options, String> {
                 opts.backend = match args.next().as_deref() {
                     Some("compiled") => Backend::Compiled,
                     Some("reducer") => Backend::Reducer,
+                    Some("bytecode") | Some("vm") => Backend::Bytecode,
                     other => return Err(format!("unknown backend {other:?}")),
                 };
             }

@@ -52,6 +52,8 @@ struct Repl {
     /// The session: artifacts loaded at the prompt stay cached, so
     /// re-evaluating a line skips checking and resolution.
     engine: Engine,
+    /// Which evaluator `:backend` has selected for this session.
+    backend: Backend,
     mode: TraceMode,
     /// Metrics accumulated across the session (what `:stats` prints).
     metrics: Arc<Metrics>,
@@ -60,9 +62,13 @@ struct Repl {
 const HELP: &str = ";; commands:
 ;;   :help                 this message
 ;;   :quit                 leave the repl (also Ctrl-D)
+;;   :backend compiled|reducer|bytecode
+;;                         switch the evaluator (no argument: show current)
+;;   :disasm <program>     lower <program> to flat bytecode and print the
+;;                         chunk — opcodes, operands, const-pool refs
 ;;   :trace on|off|json    stream events per evaluation (text or JSON lines)
 ;;   :stats                print accumulated counters and phase timings
-;;   :profile <expr>       run <expr> on both backends; report per-phase
+;;   :profile <expr>       run <expr> on all three backends; report per-phase
 ;;                         durations and the Fig. 11 step count
 ;;   :faults <seed> [rate‰] [panic]
 ;;                         arm a deterministic fault-injection plane
@@ -74,6 +80,7 @@ const HELP: &str = ";; commands:
 pub fn run(opts: &Options) -> ExitCode {
     let mut repl = Repl {
         engine: crate::engine_for(opts),
+        backend: opts.backend,
         mode: TraceMode::Off,
         metrics: Arc::new(Metrics::new()),
     };
@@ -180,6 +187,15 @@ impl Repl {
             Some("help") | Some("h") => println!("{HELP}"),
             Some("quit") | Some("q") | Some("exit") => return false,
             Some("trace") => self.set_trace(words.next()),
+            Some("backend") => self.set_backend(words.next()),
+            Some("disasm") => {
+                let rest = command.strip_prefix("disasm").unwrap_or("").trim();
+                if rest.is_empty() {
+                    println!(";; usage: :disasm <program>");
+                } else {
+                    self.disasm(rest);
+                }
+            }
             Some("stats") => self.stats(),
             Some("faults") => self.faults(&words.collect::<Vec<_>>()),
             Some("profile") => {
@@ -221,6 +237,39 @@ impl Repl {
                 TraceMode::Json => "json",
             }
         );
+    }
+
+    /// Switches the evaluator every later line runs on (the engine's
+    /// artifact cache is shared across backends, so switching costs no
+    /// re-checking). With no argument, reports the current selection.
+    fn set_backend(&mut self, arg: Option<&str>) {
+        match arg {
+            Some("compiled") => self.backend = Backend::Compiled,
+            Some("reducer") => self.backend = Backend::Reducer,
+            Some("bytecode") | Some("vm") => self.backend = Backend::Bytecode,
+            None => {}
+            Some(other) => {
+                println!(";; usage: :backend compiled|reducer|bytecode (got {other:?})");
+                return;
+            }
+        }
+        println!(
+            ";; backend: {}",
+            match self.backend {
+                Backend::Compiled => "compiled (cells tree-walker, §4.1.6)",
+                Backend::Reducer => "reducer (Fig. 11 reference)",
+                Backend::Bytecode => "bytecode (flat-chunk dispatch loop)",
+            }
+        );
+    }
+
+    /// Lowers a program to flat bytecode and prints the chunk listing —
+    /// the repl's view of what the `bytecode` backend actually runs.
+    fn disasm(&self, source: &str) {
+        match self.load(source) {
+            Ok(loaded) => println!("{}", loaded.disassemble()),
+            Err(e) => eprintln!("{e}"),
+        }
     }
 
     /// Arms, disarms, or reports the fault-injection plane on the repl
@@ -296,7 +345,7 @@ impl Repl {
         // Install before loading so the parse and check phases are
         // traced too (a cache hit skips both).
         self.install();
-        let result = self.load(source).and_then(|p| p.run());
+        let result = self.load(source).and_then(|p| p.run_on(self.backend));
         units::trace::uninstall();
         match result {
             Ok(outcome) => {
@@ -354,7 +403,7 @@ impl Repl {
         print_durations(&self.metrics);
     }
 
-    /// Runs `source` on *both* backends under a fresh metrics registry
+    /// Runs `source` on all three backends under a fresh metrics registry
     /// and reports per-phase durations plus the Fig. 11 step count.
     fn profile(&mut self, source: &str) {
         if !units::trace::COMPILED {
@@ -367,23 +416,33 @@ impl Repl {
             Arc::clone(&metrics),
         );
         let runs = self.load(source).map(|p| {
-            (p.run_on(Backend::Compiled), p.run_on(Backend::Reducer))
+            (
+                p.run_on(Backend::Compiled),
+                p.run_on(Backend::Reducer),
+                p.run_on(Backend::Bytecode),
+            )
         });
         units::trace::uninstall();
-        let (compiled, reduced) = match runs {
-            Ok(pair) => pair,
+        let (compiled, reduced, bytecode) = match runs {
+            Ok(triple) => triple,
             Err(e) => {
                 eprintln!("{e}");
                 return;
             }
         };
-        match (&compiled, &reduced) {
-            (Ok(a), Ok(b)) if a == b => println!(";; both backends: {}", a.value),
-            (Ok(a), Ok(b)) => {
-                println!(";; BACKENDS DISAGREE: compiled={} reduced={}", a.value, b.value);
+        match (&compiled, &reduced, &bytecode) {
+            (Ok(a), Ok(b), Ok(c)) if a == b && b == c => {
+                println!(";; all three backends: {}", a.value);
             }
-            (Err(e), _) => eprintln!("compiled backend: {e}"),
-            (_, Err(e)) => eprintln!("reducer backend: {e}"),
+            (Ok(a), Ok(b), Ok(c)) => {
+                println!(
+                    ";; BACKENDS DISAGREE: compiled={} reduced={} bytecode={}",
+                    a.value, b.value, c.value
+                );
+            }
+            (Err(e), _, _) => eprintln!("compiled backend: {e}"),
+            (_, Err(e), _) => eprintln!("reducer backend: {e}"),
+            (_, _, Err(e)) => eprintln!("bytecode backend: {e}"),
         }
         println!(";; Fig. 11 steps: {}", metrics.counter("reduce/steps"));
         println!(";; prim calls: compiled {}, reducer {}",

@@ -171,6 +171,43 @@ fn faults_command_explains_the_missing_feature() {
 }
 
 #[test]
+fn bytecode_backend_evaluates() {
+    let (stdout, _, ok) = run_expr(
+        &["-b", "bytecode"],
+        "(invoke (unit (import) (export) (init (display \"vm\") (* 6 7))))",
+    );
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines, vec!["vm", "42"]);
+}
+
+#[test]
+fn backend_command_switches_and_reports() {
+    let (stdout, _) = run_session(
+        ":backend bytecode\n\
+         (invoke (unit (import) (export) (init (+ 40 2))))\n\
+         :backend\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("backend: bytecode"), "{stdout}");
+    assert!(stdout.contains("42"), "{stdout}");
+}
+
+#[test]
+fn disasm_prints_the_chunk_listing() {
+    let (stdout, stderr) = run_session(
+        ":disasm (invoke (unit (import) (export) (define f (lambda (x) (+ x 1))) (init (f 41))))\n\
+         :quit\n",
+    );
+    assert!(stderr.is_empty(), "{stderr}");
+    assert!(stdout.contains("chunk:"), "{stdout}");
+    assert!(stdout.contains("consts:") || stdout.contains("invoke-unit") || stdout.contains("make-unit"), "{stdout}");
+    // The usage line appears when no program is given.
+    let (stdout, _) = run_session(":disasm\n:quit\n");
+    assert!(stdout.contains("usage: :disasm"), "{stdout}");
+}
+
+#[test]
 fn bad_flags_print_usage() {
     let output = repl().arg("--no-such-flag").output().unwrap();
     assert!(!output.status.success());

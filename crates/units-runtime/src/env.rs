@@ -11,7 +11,24 @@ use std::rc::Rc;
 
 use units_kernel::{LexAddr, Symbol};
 
+use crate::error::RuntimeError;
 use crate::value::{CellRef, Value};
+
+/// Reads a variable's value out of a binding lookup result: direct
+/// bindings clone, cells dereference (an empty cell is the
+/// MzScheme-strictness [`RuntimeError::UndefinedRead`]), and a missing
+/// binding is [`RuntimeError::Unbound`]. Shared by the tree-walker and
+/// the bytecode VM so both report the same error classes.
+pub fn read_binding(binding: Option<&Binding>, name: &Symbol) -> Result<Value, RuntimeError> {
+    match binding {
+        Some(Binding::Val(v)) => Ok(v.clone()),
+        Some(Binding::Cell(c)) => match &*c.borrow() {
+            Some(v) => Ok(v.clone()),
+            None => Err(RuntimeError::UndefinedRead { name: name.clone() }),
+        },
+        None => Err(RuntimeError::Unbound { name: name.clone() }),
+    }
+}
 
 /// A binding: immediate or through a cell.
 #[derive(Debug, Clone)]
@@ -22,9 +39,30 @@ pub enum Binding {
     Cell(CellRef),
 }
 
+/// Frame storage. Most frames bind exactly one name — λ-parameters in
+/// curried and accumulator-style code — so that case lives inline in the
+/// frame and skips the vector's heap block; both backends' call paths
+/// build it through [`Env::extend1`].
+#[derive(Debug)]
+enum Bindings {
+    One([(Symbol, Binding); 1]),
+    Many(Vec<(Symbol, Binding)>),
+}
+
+impl std::ops::Deref for Bindings {
+    type Target = [(Symbol, Binding)];
+
+    fn deref(&self) -> &Self::Target {
+        match self {
+            Bindings::One(b) => b,
+            Bindings::Many(v) => v,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Frame {
-    bindings: Vec<(Symbol, Binding)>,
+    bindings: Bindings,
     parent: Env,
 }
 
@@ -41,7 +79,17 @@ impl Env {
     /// A new environment with one extra frame of bindings.
     pub fn extend(&self, bindings: Vec<(Symbol, Binding)>) -> Env {
         units_trace::count("runtime/frames", 1);
-        Env(Some(Rc::new(Frame { bindings, parent: self.clone() })))
+        Env(Some(Rc::new(Frame { bindings: Bindings::Many(bindings), parent: self.clone() })))
+    }
+
+    /// A new environment with a single-binding frame, stored inline — the
+    /// unary λ application case, with no vector allocation.
+    pub fn extend1(&self, name: Symbol, binding: Binding) -> Env {
+        units_trace::count("runtime/frames", 1);
+        Env(Some(Rc::new(Frame {
+            bindings: Bindings::One([(name, binding)]),
+            parent: self.clone(),
+        })))
     }
 
     /// Looks a name up, innermost frame first.
@@ -85,6 +133,43 @@ impl Env {
                 self.lookup(name)
             }
         }
+    }
+
+    /// The environment one frame out (the empty environment when there is
+    /// no frame to pop). The VM's `PopFrame` uses this to rewind the
+    /// environment register after a balanced `let`/`letrec` region.
+    pub(crate) fn parent(&self) -> Env {
+        match self.0.as_deref() {
+            Some(f) => f.parent.clone(),
+            None => Env::new(),
+        }
+    }
+
+    /// Whether the environment has no frames at all.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// The verified binding at `slot` of the innermost frame: the slot's
+    /// recorded name must match, mirroring the verify half of
+    /// [`Env::lookup_at`]. The VM's frame display resolves deep addresses
+    /// through this; on `None` the caller degrades to the by-name scan,
+    /// preserving the stale-address contract.
+    pub(crate) fn slot_binding(&self, slot: usize, name: &Symbol) -> Option<&Binding> {
+        match self.0.as_deref()?.bindings.get(slot) {
+            Some((n, b)) if n == name => {
+                units_trace::count("runtime/lookup_at/hit", 1);
+                Some(b)
+            }
+            _ => None,
+        }
+    }
+
+    /// The binding at `slot` of the innermost frame, if any — the VM's
+    /// `InitCell` writes `letrec` definition results through this without
+    /// re-scanning by name.
+    pub(crate) fn top_binding(&self, slot: usize) -> Option<&Binding> {
+        self.0.as_deref().and_then(|f| f.bindings.get(slot)).map(|(_, b)| b)
     }
 
     /// Number of frames (for diagnostics and tests).

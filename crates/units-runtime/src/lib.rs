@@ -29,12 +29,19 @@ mod error;
 mod machine;
 mod prim;
 mod value;
+pub mod vm;
+pub mod wiring;
 
-pub use env::{Binding, Env};
+pub use env::{read_binding, Binding, Env};
 pub use error::{Resource, RuntimeError};
 pub use machine::{Limits, Machine};
 pub use prim::{apply_prim, render_prim_call};
 pub use value::{
     filled_cell, new_cell, AtomicUnit, CellRef, Closure, DataOpValue, LinkedConstituent,
     LinkedUnit, UnitValue, Value, VariantValue,
+};
+pub use vm::{disassemble, execute, Chunk, Op, Proto, UnitProto, VmCode};
+pub use wiring::{
+    apply_data, as_unit, bind_letrec_frame, check_link, emit_invoke_event, import_cells,
+    seal_unit, wire, WiredUnit,
 };

@@ -120,6 +120,31 @@ impl Machine {
         Ok(())
     }
 
+    /// Records `n` evaluation steps at once against the fuel budget — the
+    /// batched form of [`Machine::step`] used by the bytecode VM, which
+    /// accumulates a local opcode count and flushes it at back-edges and
+    /// call sites instead of paying a budget check per instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`RuntimeError::ResourceExhausted`] (fuel) as
+    /// [`Machine::step`], carrying the configured limit.
+    pub fn charge(&mut self, n: u64) -> Result<(), RuntimeError> {
+        if let Some(fuel) = &mut self.fuel_left {
+            if *fuel < n {
+                self.steps_taken += *fuel;
+                *fuel = 0;
+                return Err(RuntimeError::ResourceExhausted {
+                    resource: Resource::Fuel,
+                    limit: self.limits.fuel.unwrap_or(0),
+                });
+            }
+            *fuel -= n;
+        }
+        self.steps_taken += n;
+        Ok(())
+    }
+
     /// Steps taken so far (fuel consumed, whether or not a limit is set).
     pub fn steps_taken(&self) -> u64 {
         self.steps_taken
@@ -221,6 +246,22 @@ mod tests {
             Err(RuntimeError::ResourceExhausted { resource: Resource::Fuel, limit: 2 })
         );
         assert_eq!(m.steps_taken(), 2);
+    }
+
+    #[test]
+    fn charge_batches_fuel_and_reports_the_configured_limit() {
+        let mut m = Machine::with_fuel(10);
+        m.charge(4).unwrap();
+        m.charge(6).unwrap();
+        assert_eq!(
+            m.charge(1),
+            Err(RuntimeError::ResourceExhausted { resource: Resource::Fuel, limit: 10 })
+        );
+        assert_eq!(m.steps_taken(), 10);
+        // Overshooting consumes only the remaining fuel.
+        let mut m = Machine::with_fuel(3);
+        assert!(m.charge(100).is_err());
+        assert_eq!(m.steps_taken(), 3);
     }
 
     #[test]

@@ -39,9 +39,18 @@ pub struct Closure {
     pub lambda: Rc<units_kernel::Lambda>,
     /// The captured lexical environment.
     pub env: Env,
+    /// The lowered body, when the closure was created by the bytecode VM
+    /// (`None` for tree-walker closures). Both evaluators keep the
+    /// `lambda` source, so the value is inspectable either way.
+    pub code: Option<crate::vm::VmCode>,
 }
 
 impl Closure {
+    /// A tree-walker closure: source λ plus captured environment.
+    pub fn new(lambda: Rc<units_kernel::Lambda>, env: Env) -> Closure {
+        Closure { lambda, env, code: None }
+    }
+
     /// Number of parameters.
     pub fn arity(&self) -> usize {
         self.lambda.params.len()
@@ -81,6 +90,16 @@ pub struct AtomicUnit {
     pub source: Rc<UnitExpr>,
     /// The lexical environment the unit expression was evaluated in.
     pub env: Env,
+    /// Lowered definition/init segments, when the unit value was created
+    /// by the bytecode VM (`None` for tree-walker units).
+    pub code: Option<crate::vm::VmCode>,
+}
+
+impl AtomicUnit {
+    /// A tree-walker unit value: shared source plus captured environment.
+    pub fn new(source: Rc<UnitExpr>, env: Env) -> AtomicUnit {
+        AtomicUnit { source, env, code: None }
+    }
 }
 
 /// One wired constituent of a [`LinkedUnit`].

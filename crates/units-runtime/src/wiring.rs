@@ -1,0 +1,398 @@
+//! The backend-neutral half of unit instantiation (§4.1.6).
+//!
+//! Wiring — creating one reference cell per interface name and threading
+//! the cells through the link graph — is pure runtime logic: it never
+//! evaluates an expression. Both evaluators that *do* evaluate (the
+//! tree-walking cells backend in `units-compile` and the bytecode VM in
+//! [`crate::vm`]) share this module, so cell accounting, link-error
+//! ordering, and frame discipline cannot drift between them.
+//!
+//! The shared pieces are:
+//!
+//! * [`bind_letrec_frame`] — the recursive frame for a `letrec` or unit
+//!   body: freshly instantiated datatype operations, then one cell per
+//!   value definition (the slot order the resolver mirrors);
+//! * [`apply_data`] — first-class datatype operations (§5.3);
+//! * [`check_link`] / [`seal_unit`] — the Fig. 11 side conditions and the
+//!   §5.2 signature-ascription checks, with their exact error strings;
+//! * [`wire`] — the recursive cell-threading walk, producing one
+//!   [`WiredUnit`] per atomic constituent in initialization order.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use units_kernel::{DataRole, Ports, Signature, Symbol, TypeDefn, UnitExpr, ValDefn};
+
+use crate::env::{Binding, Env};
+use crate::error::RuntimeError;
+use crate::machine::Machine;
+use crate::value::{
+    filled_cell, new_cell, CellRef, DataOpValue, UnitValue, Value, VariantValue,
+};
+use crate::vm::VmCode;
+
+/// Builds the recursive frame for a `letrec` or unit body: fresh cells for
+/// value definitions and freshly instantiated datatype operations.
+/// Returns the extended environment and the definition cells in order.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::ResourceExhausted`] when allocating the
+/// definition cells would exceed the machine's store-cell budget.
+pub fn bind_letrec_frame(
+    types: &[TypeDefn],
+    vals: &[ValDefn],
+    env: &Env,
+    machine: &mut Machine,
+) -> Result<(Env, Vec<CellRef>), RuntimeError> {
+    machine.alloc_cells(vals.len() as u64)?;
+    let mut frame = Vec::new();
+    for td in types {
+        if let TypeDefn::Data(d) = td {
+            let instance = machine.fresh_instance();
+            for (tag, v) in d.variants.iter().enumerate() {
+                frame.push((
+                    v.ctor.clone(),
+                    Binding::Val(Value::Data(Rc::new(DataOpValue {
+                        ty_name: d.name.clone(),
+                        instance,
+                        role: DataRole::Construct(tag),
+                    }))),
+                ));
+                frame.push((
+                    v.dtor.clone(),
+                    Binding::Val(Value::Data(Rc::new(DataOpValue {
+                        ty_name: d.name.clone(),
+                        instance,
+                        role: DataRole::Deconstruct(tag),
+                    }))),
+                ));
+            }
+            frame.push((
+                d.predicate.clone(),
+                Binding::Val(Value::Data(Rc::new(DataOpValue {
+                    ty_name: d.name.clone(),
+                    instance,
+                    role: DataRole::Predicate,
+                }))),
+            ));
+        }
+    }
+    let mut cells = Vec::with_capacity(vals.len());
+    for defn in vals {
+        let cell = new_cell();
+        frame.push((defn.name.clone(), Binding::Cell(cell.clone())));
+        cells.push(cell);
+    }
+    Ok((env.extend(frame), cells))
+}
+
+/// Applies a first-class datatype operation (§5.3): construct, deconstruct,
+/// or discriminate a variant of the operation's own instance.
+///
+/// # Errors
+///
+/// [`RuntimeError::Arity`] off one argument;
+/// [`RuntimeError::WrongVariant`] / [`RuntimeError::ForeignInstance`] /
+/// [`RuntimeError::WrongType`] when the argument is not the operation's.
+pub fn apply_data(op: &DataOpValue, mut args: Vec<Value>) -> Result<Value, RuntimeError> {
+    if args.len() != 1 {
+        return Err(RuntimeError::Arity { expected: 1, found: args.len() });
+    }
+    let Some(arg) = args.pop() else {
+        return Err(RuntimeError::Arity { expected: 1, found: 0 });
+    };
+    match op.role {
+        DataRole::Construct(tag) => Ok(Value::Variant(Rc::new(VariantValue {
+            ty_name: op.ty_name.clone(),
+            instance: op.instance,
+            tag,
+            payload: arg,
+        }))),
+        DataRole::Deconstruct(tag) => {
+            let v = expect_own_variant(op, arg)?;
+            if v.tag != tag {
+                return Err(RuntimeError::WrongVariant {
+                    ty_name: op.ty_name.clone(),
+                    expected: tag,
+                    found: v.tag,
+                });
+            }
+            Ok(v.payload.clone())
+        }
+        DataRole::Predicate => {
+            let v = expect_own_variant(op, arg)?;
+            Ok(Value::Bool(v.tag == 0))
+        }
+    }
+}
+
+fn expect_own_variant(
+    op: &DataOpValue,
+    arg: Value,
+) -> Result<Rc<VariantValue>, RuntimeError> {
+    match arg {
+        Value::Variant(v) if v.ty_name == op.ty_name && v.instance == op.instance => Ok(v),
+        Value::Variant(v) if v.ty_name == op.ty_name => {
+            Err(RuntimeError::ForeignInstance { ty_name: op.ty_name.clone() })
+        }
+        other => Err(RuntimeError::WrongType {
+            expected: "a datatype value of the defining instance",
+            found: other.to_string(),
+        }),
+    }
+}
+
+/// Narrows to a unit value, or reports which Fig. 11 rule was applied to a
+/// non-unit — the same variant the reference reducer raises, so all three
+/// backends agree on the error class.
+///
+/// # Errors
+///
+/// [`RuntimeError::NotAUnit`] naming `rule`.
+pub fn as_unit(v: Value, rule: &'static str) -> Result<Rc<UnitValue>, RuntimeError> {
+    match v {
+        Value::Unit(u) => Ok(u),
+        other => Err(RuntimeError::NotAUnit { rule, found: other.to_string() }),
+    }
+}
+
+/// The Fig. 11 side conditions for one `compound` link clause: the
+/// constituent needs no more than the `with` clause grants, and provides
+/// at least what the clause promises.
+///
+/// # Errors
+///
+/// [`RuntimeError::ExcessImport`] / [`RuntimeError::MissingProvide`],
+/// imports checked first — the order both backends must agree on.
+pub fn check_link(
+    unit: &UnitValue,
+    with: &Ports,
+    provides: &Ports,
+) -> Result<(), RuntimeError> {
+    for name in unit.imports().vals.iter().map(|p| &p.name) {
+        if with.val_port(name).is_none() {
+            return Err(RuntimeError::ExcessImport { name: name.clone() });
+        }
+    }
+    for name in provides.vals.iter().map(|p| &p.name) {
+        if unit.exports().val_port(name).is_none() {
+            return Err(RuntimeError::MissingProvide { name: name.clone() });
+        }
+    }
+    Ok(())
+}
+
+/// The run-time effect of §5.2 signature ascription: imports may only be
+/// narrowed, exports only restricted. Returns the sealed view.
+///
+/// # Errors
+///
+/// [`RuntimeError::SealFailure`] naming the offending port, imports
+/// checked first.
+pub fn seal_unit(unit: Rc<UnitValue>, sig: &Signature) -> Result<UnitValue, RuntimeError> {
+    for port in &unit.imports().vals {
+        if sig.imports.val_port(&port.name).is_none() {
+            return Err(RuntimeError::SealFailure {
+                reason: format!("unit imports `{}`, signature does not", port.name),
+            });
+        }
+    }
+    for port in &sig.exports.vals {
+        if unit.exports().val_port(&port.name).is_none() {
+            return Err(RuntimeError::SealFailure {
+                reason: format!("signature exports `{}`, unit does not", port.name),
+            });
+        }
+    }
+    Ok(UnitValue::Restricted { inner: unit, exports: sig.exports.clone() })
+}
+
+/// One atomic constituent, wired and awaiting its definition/init phases.
+/// The evaluator that triggered the invocation decides *how* the phases
+/// run: the tree-walker evaluates `source.vals[i].body` / `source.init`,
+/// the VM executes the segments behind `code`.
+pub struct WiredUnit {
+    /// The constituent's environment: captured env, import cells, the
+    /// internal letrec frame, and the export-rebinding frame — in that
+    /// order (the discipline `resolve_program` mirrors).
+    pub env: Env,
+    /// The shared unit source.
+    pub source: Rc<UnitExpr>,
+    /// The lowered segments, when the unit value came from the VM.
+    pub code: Option<VmCode>,
+    /// One cell per value definition, already redirected to the caller's
+    /// cells for exported definitions.
+    pub def_cells: Vec<CellRef>,
+}
+
+/// Creates the import cells for an invocation, one filled cell per
+/// supplied import.
+///
+/// # Errors
+///
+/// [`RuntimeError::UnsatisfiedImport`] when `supplied` misses an import;
+/// [`RuntimeError::ResourceExhausted`] on the cell budget.
+pub fn import_cells(
+    unit: &UnitValue,
+    supplied: &HashMap<Symbol, Value>,
+    machine: &mut Machine,
+) -> Result<HashMap<Symbol, CellRef>, RuntimeError> {
+    machine.alloc_cells(unit.imports().vals.len() as u64)?;
+    let mut cells = HashMap::with_capacity(unit.imports().vals.len());
+    for port in &unit.imports().vals {
+        match supplied.get(&port.name) {
+            Some(v) => {
+                cells.insert(port.name.clone(), filled_cell(v.clone()));
+            }
+            None => return Err(RuntimeError::UnsatisfiedImport { name: port.name.clone() }),
+        }
+    }
+    Ok(cells)
+}
+
+/// Emits the per-invocation trace event (sorted export names, invocation
+/// and constituent counters) — shared so both backends' traces line up.
+pub fn emit_invoke_event(unit: &UnitValue, constituents: usize) {
+    units_trace::emit(
+        units_trace::Phase::Link,
+        "link/invoke",
+        None,
+        || {
+            let mut names: Vec<&str> =
+                unit.exports().vals.iter().map(|p| p.name.as_str()).collect();
+            names.sort_unstable();
+            names.join(" ")
+        },
+        &[("link/invocations", 1), ("link/constituents", constituents as u64)],
+    );
+}
+
+/// Recursively wires a unit: `imports` supplies a cell per import name,
+/// `wanted_exports` lists the cells the caller wants this unit's exports
+/// to fill. Appends the atomic constituents to `out` in initialization
+/// order.
+///
+/// # Errors
+///
+/// [`RuntimeError::UnsatisfiedImport`] / [`RuntimeError::MissingProvide`]
+/// when the link graph does not satisfy an interface;
+/// [`RuntimeError::ResourceExhausted`] on the cell budget.
+pub fn wire(
+    unit: &UnitValue,
+    imports: &HashMap<Symbol, CellRef>,
+    wanted_exports: &HashMap<Symbol, CellRef>,
+    machine: &mut Machine,
+    out: &mut Vec<WiredUnit>,
+) -> Result<(), RuntimeError> {
+    match unit {
+        UnitValue::Restricted { inner, exports } => {
+            // Only visible exports may be requested.
+            for name in wanted_exports.keys() {
+                if exports.val_port(name).is_none() {
+                    return Err(RuntimeError::MissingProvide { name: name.clone() });
+                }
+            }
+            wire(inner, imports, wanted_exports, machine, out)
+        }
+        UnitValue::Atomic(atomic) => {
+            let source = &atomic.source;
+            // Every import must be supplied.
+            let mut frame = Vec::new();
+            for port in &source.imports.vals {
+                let cell = imports
+                    .get(&port.name)
+                    .cloned()
+                    .ok_or_else(|| RuntimeError::UnsatisfiedImport { name: port.name.clone() })?;
+                frame.push((port.name.clone(), Binding::Cell(cell)));
+            }
+            let pre_env = atomic.env.extend(frame);
+            let (env, mut def_cells) =
+                bind_letrec_frame(&source.types, &source.vals, &pre_env, machine)?;
+            // Exported definitions write directly into the caller's cells.
+            let defined: Vec<&Symbol> = source.vals.iter().map(|d| &d.name).collect();
+            for (name, cell) in wanted_exports {
+                if source.exports.val_port(name).is_none() {
+                    return Err(RuntimeError::MissingProvide { name: name.clone() });
+                }
+                if let Some(pos) = defined.iter().position(|d| *d == name) {
+                    def_cells[pos] = cell.clone();
+                } else {
+                    // A datatype operation export: its value exists now.
+                    match env.lookup(name) {
+                        Some(Binding::Val(v)) => *cell.borrow_mut() = Some(v.clone()),
+                        _ => return Err(RuntimeError::MissingProvide { name: name.clone() }),
+                    }
+                }
+            }
+            // Rebind exported definitions to the caller's cells so that
+            // internal references and external consumers share storage.
+            let rebound: Vec<(Symbol, Binding)> = source
+                .vals
+                .iter()
+                .zip(&def_cells)
+                .map(|(d, c)| (d.name.clone(), Binding::Cell(c.clone())))
+                .collect();
+            let env = env.extend(rebound);
+            out.push(WiredUnit {
+                env,
+                source: source.clone(),
+                code: atomic.code.clone(),
+                def_cells,
+            });
+            Ok(())
+        }
+        UnitValue::Linked(linked) => {
+            // One cell per provided *outer* name; compound exports reuse
+            // the caller's cells (linking identifies a constituent's
+            // inner export name with the outer name its rename pairs
+            // choose — the same name in the paper's by-name core form).
+            let mut cell_of: HashMap<Symbol, CellRef> = HashMap::new();
+            for lc in &linked.links {
+                for port in &lc.provides.vals {
+                    let outer = lc.renames.outer_export_val(&port.name).clone();
+                    let cell = match wanted_exports.get(&outer) {
+                        Some(c) => c.clone(),
+                        None => {
+                            machine.alloc_cells(1)?;
+                            new_cell()
+                        }
+                    };
+                    cell_of.insert(outer, cell);
+                }
+            }
+            for name in wanted_exports.keys() {
+                if !cell_of.contains_key(name) {
+                    return Err(RuntimeError::MissingProvide { name: name.clone() });
+                }
+            }
+            for lc in &linked.links {
+                let mut constituent_imports = HashMap::new();
+                for port in &lc.with.vals {
+                    let outer = lc.renames.outer_import_val(&port.name);
+                    let cell = imports
+                        .get(outer)
+                        .or_else(|| cell_of.get(outer))
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::UnsatisfiedImport {
+                            name: outer.clone(),
+                        })?;
+                    // The constituent sees the cell under its inner name.
+                    constituent_imports.insert(port.name.clone(), cell);
+                }
+                let mut wanted: HashMap<Symbol, CellRef> =
+                    HashMap::with_capacity(lc.provides.vals.len());
+                for p in &lc.provides.vals {
+                    let outer = lc.renames.outer_export_val(&p.name);
+                    let cell = cell_of
+                        .get(outer)
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::MissingProvide { name: outer.clone() })?;
+                    wanted.insert(p.name.clone(), cell);
+                }
+                wire(&lc.unit, &constituent_imports, &wanted, machine, out)?;
+            }
+            Ok(())
+        }
+    }
+}

@@ -28,6 +28,7 @@
 //! | `compile/instantiate` | §4.1.6 `invoke_unit`                        |
 //! | `compile/dynlink`     | §3.4 `Archive::load`                        |
 //! | `compile/artifact`    | §2 artifact publish/load                    |
+//! | `vm/dispatch`         | bytecode VM chunk entry / unit invocation   |
 //!
 //! # Feature gating
 //!

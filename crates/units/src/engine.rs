@@ -54,7 +54,7 @@
 //! # Ok::<(), units::Error>(())
 //! ```
 
-use std::cell::{Cell, RefCell};
+use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -63,10 +63,10 @@ use std::rc::Rc;
 use std::sync::Mutex;
 
 use units_check::{check_program, CheckError, CheckOptions, Level, Strictness};
-use units_compile::{evaluate_program, resolve_program, Archive};
+use units_compile::{evaluate_program, lower_program, resolve_program, Archive};
 use units_kernel::{alpha_eq, alpha_hash, Expr, Ty};
 use units_reduce::Reducer;
-use units_runtime::{Limits, Machine, Resource};
+use units_runtime::{execute, Chunk, Limits, Machine, Resource};
 use units_syntax::{parse_file, ParseError};
 use units_trace::faults::FaultPlane;
 
@@ -84,6 +84,23 @@ struct Artifact {
     ty: Option<Ty>,
     /// The lexical-address-resolved form the compiled backend runs.
     resolved: Option<Expr>,
+    /// The flat-bytecode chunk the VM backend runs: lowered from the
+    /// resolved form on the first bytecode run, then shared by every
+    /// later run. Because the artifact itself is cached under both the
+    /// raw-source and alpha-normalized keys, the chunk is too.
+    chunk: OnceCell<Rc<Chunk>>,
+}
+
+impl Artifact {
+    /// The bytecode chunk, lowering (and caching) it on first use.
+    fn chunk(&self) -> Rc<Chunk> {
+        self.chunk
+            .get_or_init(|| {
+                let _timer = units_trace::time("lower");
+                lower_program(self.resolved.as_ref().unwrap_or(&self.expr))
+            })
+            .clone()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -110,7 +127,8 @@ pub struct CacheStats {
 ///
 /// The default ([`FallbackPolicy::none`]) surfaces every failure as-is —
 /// existing behavior, nothing re-runs. [`FallbackPolicy::reference`]
-/// turns on graceful degradation: when the compiled backend faults
+/// turns on graceful degradation: when a production backend — the
+/// compiled tree-walker or the bytecode VM — faults
 /// (caught panic, injected fault, exhausted budget), the engine re-runs
 /// the program on the Fig. 11 reference reducer — with any armed fault
 /// plane suspended, so the recovery itself is clean — and reports that
@@ -141,8 +159,9 @@ impl FallbackPolicy {
         }
     }
 
-    /// Fall back to the reference reducer on compiled-backend faults,
-    /// with differential diagnosis of the divergence (in `trace` builds).
+    /// Fall back to the reference reducer on production-backend faults
+    /// (compiled tree-walker or bytecode VM), with differential
+    /// diagnosis of the divergence (in `trace` builds).
     pub fn reference() -> FallbackPolicy {
         FallbackPolicy { reference_fallback: true, fuel_retries: 0, fuel_factor: 2, diagnose: true }
     }
@@ -500,7 +519,7 @@ impl Engine {
             None => check_program(&expr, self.opts)?,
         };
         let resolved = if self.resolve { Some(resolve_program(&expr)) } else { None };
-        let artifact = Rc::new(Artifact { expr, ty, resolved });
+        let artifact = Rc::new(Artifact { expr, ty, resolved, chunk: OnceCell::new() });
         let mut cache = self.cache.borrow_mut();
         cache.by_source.insert(skey, artifact.clone());
         cache.by_term.entry(tkey).or_default().push(artifact.clone());
@@ -686,6 +705,13 @@ impl Loaded<'_> {
         &self.artifact.expr
     }
 
+    /// The program's flat-bytecode listing — opcode, operands, and
+    /// const-pool references, one instruction per line — lowering (and
+    /// caching) the chunk if no bytecode run has happened yet.
+    pub fn disassemble(&self) -> String {
+        units_runtime::disassemble(&self.artifact.chunk())
+    }
+
     /// Runs on the engine's default backend.
     ///
     /// # Errors
@@ -720,7 +746,40 @@ impl Loaded<'_> {
         }
     }
 
-    /// One un-recovered run: the two backends behind the unwind boundary.
+    /// Runs on *all three* backends and asserts they agree — the
+    /// executable form of the paper's implementation-correctness claim,
+    /// under the engine's limits and cache. Returns the common outcome.
+    ///
+    /// # Errors
+    ///
+    /// When every backend fails, the compiled backend's error (the
+    /// program's own answer on the default semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any backend disagrees with the compiled tree-walker —
+    /// that is a bug in this repository, not in the program.
+    pub fn run_differential(&self) -> Result<Outcome, Error> {
+        let compiled = self.run_on(Backend::Compiled);
+        for backend in [Backend::Bytecode, Backend::Reducer] {
+            let other = self.run_on(backend);
+            match (&compiled, &other) {
+                (Ok(a), Ok(b)) if a != b => {
+                    panic!("backends disagree: Compiled={a:?} vs {backend:?}={b:?}")
+                }
+                (Ok(a), Err(b)) => {
+                    panic!("Compiled succeeded ({a:?}) but {backend:?} failed ({b})")
+                }
+                (Err(a), Ok(b)) => {
+                    panic!("{backend:?} succeeded ({b:?}) but Compiled failed ({a})")
+                }
+                _ => {}
+            }
+        }
+        compiled
+    }
+
+    /// One un-recovered run: the three backends behind the unwind boundary.
     fn run_raw(&self, backend: Backend, limits: Limits) -> Result<Outcome, Error> {
         guard("run", || match backend {
             Backend::Compiled => {
@@ -728,6 +787,14 @@ impl Loaded<'_> {
                 let mut machine = Machine::with_limits(limits);
                 let expr = self.artifact.resolved.as_ref().unwrap_or(&self.artifact.expr);
                 let value = evaluate_program(expr, &mut machine)?;
+                units_trace::count("engine/fuel_used", machine.steps_taken());
+                Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
+            }
+            Backend::Bytecode => {
+                let chunk = self.artifact.chunk();
+                let _timer = units_trace::time("eval");
+                let mut machine = Machine::with_limits(limits);
+                let value = execute(&chunk, &mut machine)?;
                 units_trace::count("engine/fuel_used", machine.steps_taken());
                 Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
             }
@@ -789,7 +856,7 @@ impl Loaded<'_> {
         let backend_fault = err.as_internal().is_some()
             || err.is_injected()
             || err.as_resource_exhausted().is_some();
-        if policy.reference_fallback && backend == Backend::Compiled && backend_fault {
+        if policy.reference_fallback && backend != Backend::Reducer && backend_fault {
             units_trace::count("engine/fallbacks", 1);
             // The fault plane stays suspended for the re-run: recovery
             // must not itself be a fault target.
@@ -798,7 +865,7 @@ impl Loaded<'_> {
             });
             if let Ok(outcome) = fallback {
                 recovery.fell_back = true;
-                recovery.divergence = self.diagnose(&policy);
+                recovery.divergence = self.diagnose(&policy, backend);
                 *self.engine.recovery.borrow_mut() = Some(recovery);
                 return Ok(outcome);
             }
@@ -813,20 +880,15 @@ impl Loaded<'_> {
     /// build lacks the `trace` feature (event capture is how the
     /// backends are compared).
     #[cfg_attr(not(feature = "trace"), allow(clippy::unused_self))]
-    fn diagnose(&self, policy: &FallbackPolicy) -> Option<String> {
+    fn diagnose(&self, policy: &FallbackPolicy, backend: Backend) -> Option<String> {
         #[cfg(feature = "trace")]
         if policy.diagnose {
-            #[allow(deprecated)]
-            let program = crate::Program::from_expr(self.artifact.expr.clone())
-                .at_level(self.engine.opts.level)
-                .with_strictness(self.engine.opts.strictness);
-            let program = match self.engine.limits.fuel {
-                Some(fuel) => program.with_fuel(fuel),
-                None => program,
-            };
             let report = units_trace::faults::pause(|| {
                 catch_unwind(AssertUnwindSafe(|| {
-                    crate::observe::diagnose_divergence(&program).to_string()
+                    crate::observe::diagnose_divergence_with(backend, |b| {
+                        self.run_raw(b, self.engine.limits)
+                    })
+                    .to_string()
                 }))
             });
             return Some(report.unwrap_or_else(|payload| {
@@ -834,7 +896,7 @@ impl Loaded<'_> {
             }));
         }
         #[cfg(not(feature = "trace"))]
-        let _ = policy;
+        let _ = (policy, backend);
         None
     }
 }
@@ -887,7 +949,7 @@ mod tests {
     }
 
     #[test]
-    fn fuel_exhaustion_is_typed_on_both_backends() {
+    fn fuel_exhaustion_is_typed_on_all_backends() {
         let engine = Engine::builder()
             .strictness(Strictness::MzScheme)
             .limits(Limits::none().fuel(5_000))
@@ -895,7 +957,7 @@ mod tests {
         let loaded = engine
             .load("(letrec ((define loop (lambda () (loop)))) (loop))")
             .unwrap();
-        for backend in [Backend::Compiled, Backend::Reducer] {
+        for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
             let err = loaded.run_on(backend).unwrap_err();
             assert_eq!(
                 err.as_resource_exhausted(),
@@ -903,6 +965,23 @@ mod tests {
                 "{backend:?}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn bytecode_backend_agrees_and_reuses_the_lowered_chunk() {
+        let engine = Engine::new();
+        let loaded = engine.load(SQUARE).unwrap();
+        assert_eq!(loaded.run_on(Backend::Bytecode).unwrap().value, Observation::Int(144));
+        let first = loaded.artifact.chunk();
+        assert_eq!(loaded.run_on(Backend::Bytecode).unwrap().value, Observation::Int(144));
+        assert!(Rc::ptr_eq(&first, &loaded.artifact.chunk()), "chunk lowered once per artifact");
+    }
+
+    #[test]
+    fn run_differential_crosses_all_three_backends() {
+        let engine = Engine::new();
+        let loaded = engine.load(SQUARE).unwrap();
+        assert_eq!(loaded.run_differential().unwrap().value, Observation::Int(144));
     }
 
     // Terminates, but only well past 5_000 steps on either backend.
@@ -979,6 +1058,20 @@ mod tests {
             let recovery = engine.last_recovery().unwrap();
             assert!(recovery.fell_back, "{recovery:?}");
             assert!(recovery.failure.contains("injected fault at compile/eval"));
+        }
+
+        #[test]
+        fn injected_vm_fault_falls_back_to_the_reducer() {
+            let engine =
+                Engine::builder().on_failure(FallbackPolicy::reference().diagnose(false)).build();
+            let loaded = engine.load(SQUARE).unwrap();
+            faults::arm(faults::FaultPlane::seeded(11).trigger("vm/dispatch", 1));
+            let outcome = loaded.run_on(Backend::Bytecode);
+            faults::disarm();
+            assert_eq!(outcome.unwrap().value, Observation::Int(144));
+            let recovery = engine.last_recovery().unwrap();
+            assert!(recovery.fell_back, "{recovery:?}");
+            assert!(recovery.failure.contains("injected fault at vm/dispatch"));
         }
 
         #[test]

@@ -63,7 +63,7 @@ pub use engine::{CacheStats, Engine, EngineBuilder, FallbackPolicy, Loaded, Reco
 pub use error::Error;
 pub use observe::{observe_expr, observe_value, Observation};
 #[cfg(feature = "trace")]
-pub use observe::{diagnose_divergence, DivergenceReport};
+pub use observe::{diagnose_divergence, diagnose_divergence_with, DivergenceReport};
 pub use program::{Backend, Outcome};
 #[allow(deprecated)]
 pub use program::Program;

@@ -167,16 +167,15 @@ pub fn observe_expr(expr: &Expr) -> Observation {
     }
 }
 
-/// Divergence diagnosis: replay a program on both backends with event
+/// Divergence diagnosis: replay a program on both semantics with event
 /// capture on and pinpoint the first primitive call where they disagree.
 #[cfg(feature = "trace")]
-#[allow(deprecated)] // public API still takes the Program shim
 mod divergence {
     use std::fmt;
 
     use units_trace::Event;
 
-    use crate::program::{Backend, Program};
+    use crate::program::Backend;
 
     /// Where (and whether) the two backends' primitive-call streams
     /// diverge, as reported by [`diagnose_divergence`].
@@ -272,20 +271,29 @@ mod divergence {
         Some(steps + 1)
     }
 
-    /// Runs `program` on both backends with event capture on and reports
-    /// where their primitive-call streams first disagree.
+    /// Runs a program on both semantics — production (`against`, the
+    /// compiled tree-walker or the bytecode VM) vs the Fig. 11
+    /// reference reducer — with event capture on and reports where
+    /// their primitive-call streams first disagree. `run` is whatever
+    /// executes the program on a given backend: [`Loaded::run_on`]
+    /// closed over a loaded artifact, or the deprecated
+    /// [`Program::run_on`].
     ///
-    /// The streams are comparable because both backends render every
+    /// The streams are comparable because the backends render every
     /// primitive application with the same
     /// [`units_runtime::render_prim_call`] ground formatter. When the
     /// streams agree but the outcomes differ, the divergence is outside
     /// the primitives (e.g. in a final higher-order value) and the report
     /// says so.
-    pub fn diagnose_divergence(program: &Program) -> DivergenceReport {
-        let (compiled, compiled_events) =
-            units_trace::capture(|| program.run_on(Backend::Compiled));
-        let (reduced, reduced_events) =
-            units_trace::capture(|| program.run_on(Backend::Reducer));
+    ///
+    /// [`Loaded::run_on`]: crate::Loaded::run_on
+    /// [`Program::run_on`]: crate::Program::run_on
+    pub fn diagnose_divergence_with<F>(against: Backend, run: F) -> DivergenceReport
+    where
+        F: Fn(Backend) -> Result<crate::Outcome, crate::Error>,
+    {
+        let (compiled, compiled_events) = units_trace::capture(|| run(against));
+        let (reduced, reduced_events) = units_trace::capture(|| run(Backend::Reducer));
         let cp = prim_payloads(&compiled_events);
         let rp = prim_payloads(&reduced_events);
         let diverging_call = cp
@@ -304,10 +312,19 @@ mod divergence {
             reduced_call: diverging_call.and_then(|i| rp.get(i).map(|s| s.to_string())),
         }
     }
+
+    /// [`diagnose_divergence_with`] over the deprecated [`Program`]
+    /// shim, kept so existing callers keep compiling.
+    ///
+    /// [`Program`]: crate::Program
+    #[allow(deprecated)]
+    pub fn diagnose_divergence(program: &crate::Program) -> DivergenceReport {
+        diagnose_divergence_with(Backend::Compiled, |backend| program.run_on(backend))
+    }
 }
 
 #[cfg(feature = "trace")]
-pub use divergence::{diagnose_divergence, DivergenceReport};
+pub use divergence::{diagnose_divergence, diagnose_divergence_with, DivergenceReport};
 
 #[cfg(test)]
 #[allow(deprecated)]

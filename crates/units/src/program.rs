@@ -13,10 +13,10 @@
 #![allow(deprecated)]
 
 use units_check::{check_program, CheckOptions, Level, Strictness};
-use units_compile::{evaluate_program, resolve_program};
+use units_compile::{evaluate_program, lower_program, resolve_program};
 use units_kernel::{Expr, Ty};
 use units_reduce::Reducer;
-use units_runtime::Machine;
+use units_runtime::{execute, Machine};
 use units_syntax::{parse_file, pretty_expr};
 
 use crate::error::Error;
@@ -30,6 +30,10 @@ pub enum Backend {
     Compiled,
     /// The substitution-based reference reducer (Fig. 11).
     Reducer,
+    /// The flat-bytecode dispatch-loop VM: the resolved form lowered to
+    /// a stack ISA over interned symbols (see `units_compile::lower` and
+    /// `units_runtime::vm`).
+    Bytecode,
 }
 
 /// The result of running a program: what it computed and what it printed.
@@ -221,6 +225,21 @@ impl Program {
                 let value = evaluate_program(expr, &mut machine)?;
                 Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
             }
+            Backend::Bytecode => {
+                let expr = if self.resolve {
+                    self.resolved.get_or_init(|| resolve_program(&self.expr))
+                } else {
+                    &self.expr
+                };
+                let chunk = lower_program(expr);
+                let _timer = units_trace::time("eval");
+                let mut machine = match self.fuel {
+                    Some(f) => Machine::with_fuel(f),
+                    None => Machine::new(),
+                };
+                let value = execute(&chunk, &mut machine)?;
+                Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
+            }
             Backend::Reducer => {
                 let mut reducer = match self.fuel {
                     Some(f) => Reducer::with_fuel(f),
@@ -239,22 +258,36 @@ impl Program {
         }
     }
 
-    /// Runs on *both* backends and asserts they agree — the executable
-    /// form of the paper's implementation-correctness claim. Returns the
-    /// common outcome.
+    /// Runs on *all three* backends and asserts they agree — the
+    /// executable form of the paper's implementation-correctness claim.
+    /// Returns the common outcome.
     ///
     /// # Errors
     ///
     /// Check or runtime errors; a [`units_runtime::RuntimeError`] from
-    /// either backend is reported as that backend's error. Disagreement
+    /// any backend is reported as that backend's error. Disagreement
     /// between the backends is a panic (it is a bug in this repository,
     /// not in the program).
     ///
     /// # Panics
     ///
-    /// Panics when the two backends disagree.
+    /// Panics when any two backends disagree.
     pub fn run_differential(&self) -> Result<Outcome, Error> {
         let compiled = self.run_on(Backend::Compiled);
+        let bytecode = self.run_on(Backend::Bytecode);
+        match (&compiled, &bytecode) {
+            (Ok(a), Ok(b)) if a != b => panic!(
+                "backends disagree: compiled={a:?} vs bytecode={b:?}\nprogram: {}",
+                self.to_source()
+            ),
+            (Ok(a), Err(b)) => {
+                panic!("compiled succeeded ({a:?}) but bytecode failed ({b})")
+            }
+            (Err(a), Ok(b)) => {
+                panic!("bytecode succeeded ({b:?}) but compiled failed ({a})")
+            }
+            _ => {}
+        }
         let reduced = self.run_on(Backend::Reducer);
         match (compiled, reduced) {
             (Ok(a), Ok(b)) => {
@@ -328,14 +361,14 @@ mod tests {
     }
 
     #[test]
-    fn fuel_limits_apply_to_both_backends() {
+    fn fuel_limits_apply_to_all_backends() {
         let p = Program::parse(
             "(letrec ((define loop (lambda () (loop)))) (loop))",
         )
         .unwrap()
         .with_strictness(Strictness::MzScheme)
         .with_fuel(5_000);
-        for backend in [Backend::Compiled, Backend::Reducer] {
+        for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
             let err = p.run_on(backend).unwrap_err();
             assert_eq!(
                 err.as_resource_exhausted(),

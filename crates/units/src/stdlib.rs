@@ -251,15 +251,15 @@ pub fn compiler_pipeline() -> String {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the Program shim on purpose
 mod tests {
     use super::*;
+    use crate::engine::Engine;
     use crate::observe::Observation;
-    use crate::program::Program;
 
     #[test]
     fn fig3_ipb_runs_and_reports_both_entries() {
-        let outcome = Program::parse(&ipb_program()).unwrap().run_differential().unwrap();
+        let outcome =
+            Engine::new().load(&ipb_program()).unwrap().run_differential().unwrap();
         assert_eq!(outcome.value, Observation::Bool(true));
         assert_eq!(
             outcome.output,
@@ -288,8 +288,7 @@ mod tests {
         // `delete` is not among PhoneBook's exports: the context check
         // rejects the provides clause outright? No — provides is checked
         // at run time (Fig. 11 side condition): MissingProvide.
-        let p = Program::parse(&bad).unwrap();
-        let err = p.run().unwrap_err();
+        let err = Engine::new().invoke(&bad).unwrap_err();
         match err.as_runtime() {
             Some(units_runtime::RuntimeError::MissingProvide { name }) => {
                 assert_eq!(name.as_str(), "delete");
@@ -300,9 +299,10 @@ mod tests {
 
     #[test]
     fn fig6_starter_picks_a_gui_at_runtime() {
-        let expert = Program::parse(&make_ipb_program(true)).unwrap().run().unwrap();
+        let engine = Engine::new();
+        let expert = engine.invoke(&make_ipb_program(true)).unwrap();
         assert!(expert.output.iter().any(|l| l.contains("expert gui ready")));
-        let novice = Program::parse(&make_ipb_program(false)).unwrap().run().unwrap();
+        let novice = engine.invoke(&make_ipb_program(false)).unwrap();
         assert!(novice.output.iter().any(|l| l.contains("novice gui ready")));
         assert_eq!(expert.value, Observation::Bool(true));
         assert_eq!(novice.value, expert.value);
@@ -310,7 +310,8 @@ mod tests {
 
     #[test]
     fn fig7_plugin_is_dynamically_linked_and_runs() {
-        let outcome = Program::parse(&plugin_program(&sample_loader_plugin()))
+        let outcome = Engine::new()
+            .load(&plugin_program(&sample_loader_plugin()))
             .unwrap()
             .run_differential()
             .unwrap();
@@ -320,7 +321,8 @@ mod tests {
 
     #[test]
     fn sec53_diamond_shares_one_symbol_instance() {
-        let outcome = Program::parse(&compiler_pipeline()).unwrap().run_differential().unwrap();
+        let outcome =
+            Engine::new().load(&compiler_pipeline()).unwrap().run_differential().unwrap();
         assert_eq!(
             outcome.value,
             Observation::Tuple(vec![
@@ -346,7 +348,7 @@ mod tests {
                       (with new insert) (provides error)))))"#,
             database = database_unit()
         );
-        let outcome = Program::parse(&src).unwrap().run_differential().unwrap();
+        let outcome = Engine::new().load(&src).unwrap().run_differential().unwrap();
         assert!(outcome.output.iter().any(|l| l.contains("duplicate key: k")));
     }
 }

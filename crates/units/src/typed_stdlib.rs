@@ -122,15 +122,19 @@ pub fn ipb_program() -> String {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the Program shim on purpose
 mod tests {
     use super::*;
-    use crate::{Level, Observation, Program, Ty};
+    use crate::{Engine, Level, Observation, Ty};
+
+    fn typed() -> Engine {
+        Engine::builder().level(Level::Constructed).build()
+    }
 
     #[test]
     fn typed_ipb_checks_at_bool_and_runs() {
-        let mut p = Program::parse(&ipb_program()).unwrap().at_level(Level::Constructed);
-        assert_eq!(p.check().unwrap(), Some(Ty::Bool));
+        let engine = typed();
+        let p = engine.load(&ipb_program()).unwrap();
+        assert_eq!(p.ty(), Some(&Ty::Bool));
         let outcome = p.run_differential().unwrap();
         assert_eq!(outcome.value, Observation::Bool(true));
         assert_eq!(
@@ -141,8 +145,9 @@ mod tests {
 
     #[test]
     fn typed_phonebook_signature_hides_delete() {
-        let mut p = Program::parse(&phonebook()).unwrap().at_level(Level::Constructed);
-        let ty = p.check().unwrap().unwrap();
+        let engine = typed();
+        let p = engine.load(&phonebook()).unwrap();
+        let ty = p.ty().cloned().unwrap();
         let sig = ty.as_sig().unwrap();
         assert!(sig.exports.val_port(&"insert".into()).is_some());
         assert!(sig.exports.val_port(&"delete".into()).is_none());
@@ -152,12 +157,9 @@ mod tests {
 
     #[test]
     fn typed_units_check_in_isolation() {
+        let engine = typed();
         for src in [database(), number_info(), gui(), main_unit()] {
-            Program::parse(&src)
-                .unwrap()
-                .at_level(Level::Constructed)
-                .check()
-                .unwrap_or_else(|e| panic!("{src}\n{e}"));
+            engine.load(&src).unwrap_or_else(|e| panic!("{src}\n{e}"));
         }
     }
 }

@@ -1,24 +1,23 @@
-//! Differential testing: the §4.1.6 cells backend against the Fig. 11
-//! substitution reducer, on randomly generated programs.
+//! Differential testing: the §4.1.6 cells backend, the Fig. 11
+//! substitution reducer, and the flat-bytecode VM against each other,
+//! on randomly generated programs.
 //!
-//! The two evaluators share nothing but the kernel AST, the primitive
-//! table, and the error type, so agreement over thousands of random
+//! The three evaluators share nothing but the kernel AST, the primitive
+//! table, and the error type (the VM additionally shares the wiring
+//! layer with the cells backend), so agreement over thousands of random
 //! programs — including random unit/compound/invoke topologies — is
-//! strong evidence that the compilation implements the rewriting
+//! strong evidence that both compilations implement the rewriting
 //! semantics.
 //!
 //! A second axis of the same idea guards the lexical-address resolver:
 //! every program in the random corpus and every stdlib figure must
 //! produce identical outcomes with slot resolution on and off, since
-//! resolution is a pure lookup-strategy change.
-
-// These integration tests exercise the original Program facade on
-// purpose: the deprecated shim must keep behaving until it is removed.
-#![allow(deprecated)]
+//! resolution is a pure lookup-strategy change (the lowerer falls back
+//! to by-name `LoadName` ops on unresolved input).
 
 use bench::rng::SplitMix64;
 
-use units::{Backend, Error, Outcome, Program, Strictness};
+use units::{Backend, Engine, Error, Limits, Outcome, Strictness};
 use units_kernel::{
     Binding, CompoundExpr, Expr, InvokeExpr, LinkClause, Param, Ports, PrimOp, UnitExpr, ValDefn,
 };
@@ -265,62 +264,95 @@ impl Gen {
     }
 }
 
+/// One differential session: MzScheme strictness, a fuel budget, no
+/// fallback policy (a backend fault must surface, not be papered over).
+fn engine(fuel: u64) -> Engine {
+    Engine::builder()
+        .strictness(Strictness::MzScheme)
+        .limits(Limits::none().fuel(fuel))
+        .build()
+}
+
 fn agree(seed: u64) -> Result<(), String> {
     let mut gen = Gen::new(seed);
-    let expr = gen.expr(4, &[]);
-    let program = Program::from_expr(expr)
-        .with_strictness(Strictness::MzScheme)
-        .with_fuel(200_000);
-    let a = program.run_on(Backend::Compiled);
-    let b = program.run_on(Backend::Reducer);
-    check_agreement(seed, &program, a, b)
+    check_three_way(seed, gen.expr(4, &[]))
 }
 
-fn check_agreement(
-    seed: u64,
-    program: &Program,
-    a: Result<Outcome, Error>,
-    b: Result<Outcome, Error>,
-) -> Result<(), String> {
-    let fuel = |r: &Result<Outcome, Error>| {
-        matches!(r, Err(Error::ResourceExhausted { .. }))
-    };
-    if fuel(&a) || fuel(&b) {
+/// Runs `expr` on all three backends and demands agreement. Fuel
+/// exhaustion on any backend excuses the comparison (step budgets
+/// differ between the semantics); otherwise every pair must agree on
+/// success and on the outcome, while joint rejection tolerates
+/// differing error classes (those are pinned by a separate test).
+fn check_three_way(seed: u64, expr: Expr) -> Result<(), String> {
+    let engine = engine(200_000);
+    let source = units::pretty_expr_indent(&expr, 78);
+    let loaded = engine
+        .load_expr(expr)
+        .map_err(|e| format!("seed {seed}: load failed: {e}\n program: {source}"))?;
+    let runs: Vec<(Backend, Result<Outcome, Error>)> =
+        [Backend::Compiled, Backend::Reducer, Backend::Bytecode]
+            .into_iter()
+            .map(|b| (b, loaded.run_on(b)))
+            .collect();
+    let fuel =
+        |r: &Result<Outcome, Error>| matches!(r, Err(Error::ResourceExhausted { .. }));
+    if runs.iter().any(|(_, r)| fuel(r)) {
         return Ok(()); // step budgets differ between the semantics
     }
-    match (a, b) {
-        (Ok(x), Ok(y)) if x == y => Ok(()),
-        (Ok(x), Ok(y)) => Err(format!(
-            "seed {seed}: values differ\n compiled: {x:?}\n reduced:  {y:?}\n program: {}",
-            program.to_source()
-        )),
-        (Err(_), Err(_)) => Ok(()), // both reject; error classes may differ
-        (Ok(x), Err(e)) => Err(format!(
-            "seed {seed}: compiled={x:?} but reducer errored: {e}\n program: {}",
-            program.to_source()
-        )),
-        (Err(e), Ok(y)) => Err(format!(
-            "seed {seed}: reducer={y:?} but compiled errored: {e}\n program: {}",
-            program.to_source()
-        )),
+    let (first_backend, first) = &runs[0];
+    for (backend, other) in &runs[1..] {
+        match (first, other) {
+            (Ok(x), Ok(y)) if x == y => {}
+            (Ok(x), Ok(y)) => {
+                return Err(format!(
+                    "seed {seed}: values differ\n {first_backend:?}: {x:?}\n {backend:?}: {y:?}\n program: {source}"
+                ));
+            }
+            (Err(_), Err(_)) => {} // joint rejection; classes may differ
+            (Ok(x), Err(e)) => {
+                return Err(format!(
+                    "seed {seed}: {first_backend:?}={x:?} but {backend:?} errored: {e}\n program: {source}"
+                ));
+            }
+            (Err(e), Ok(y)) => {
+                return Err(format!(
+                    "seed {seed}: {backend:?}={y:?} but {first_backend:?} errored: {e}\n program: {source}"
+                ));
+            }
+        }
     }
+    Ok(())
 }
 
-/// Compares the compiled backend with lexical-address resolution on
-/// (default) and off (pure by-name environment scans). The two must be
-/// observationally identical on every program; any divergence means the
-/// resolver computed an address the runtime frames don't honour.
-fn check_resolution_invariance(seed: u64, program: &Program) -> Result<(), String> {
-    let resolved = program.run_on(Backend::Compiled);
-    let by_name = program.clone().with_resolution(false).run_on(Backend::Compiled);
-    match (resolved, by_name) {
-        (Ok(x), Ok(y)) if x == y => Ok(()),
-        (Err(_), Err(_)) => Ok(()),
-        (x, y) => Err(format!(
-            "seed {seed}: resolution changed the outcome\n resolved: {x:?}\n by-name:  {y:?}\n program: {}",
-            program.to_source()
-        )),
+/// Compares a backend with lexical-address resolution on (default) and
+/// off (pure by-name environment scans — the lowerer emits `LoadName`
+/// instead of slot-addressed `Load`). The two must be observationally
+/// identical on every program; any divergence means the resolver
+/// computed an address the runtime frames (or the VM) don't honour.
+fn check_resolution_invariance(seed: u64, expr: &Expr) -> Result<(), String> {
+    let with = engine(200_000);
+    let without = Engine::builder()
+        .strictness(Strictness::MzScheme)
+        .limits(Limits::none().fuel(200_000))
+        .resolution(false)
+        .build();
+    for backend in [Backend::Compiled, Backend::Bytecode] {
+        let resolved =
+            with.load_expr(expr.clone()).and_then(|p| p.run_on(backend));
+        let by_name =
+            without.load_expr(expr.clone()).and_then(|p| p.run_on(backend));
+        match (resolved, by_name) {
+            (Ok(x), Ok(y)) if x == y => {}
+            (Err(_), Err(_)) => {}
+            (x, y) => {
+                return Err(format!(
+                    "seed {seed}: resolution changed the {backend:?} outcome\n resolved: {x:?}\n by-name:  {y:?}\n program: {}",
+                    units::pretty_expr_indent(expr, 78)
+                ));
+            }
+        }
     }
+    Ok(())
 }
 
 #[test]
@@ -341,13 +373,7 @@ fn backends_agree_on_random_unit_programs() {
     let mut failures = Vec::new();
     for seed in 0..600 {
         let mut gen = Gen::new(0xC0FFEE ^ seed);
-        let expr = gen.invoke(3, &[]);
-        let program = Program::from_expr(expr)
-            .with_strictness(Strictness::MzScheme)
-            .with_fuel(200_000);
-        let a = program.run_on(Backend::Compiled);
-        let b = program.run_on(Backend::Reducer);
-        if let Err(msg) = check_agreement(seed, &program, a, b) {
+        if let Err(msg) = check_three_way(seed, gen.invoke(3, &[])) {
             failures.push(msg);
         }
     }
@@ -359,17 +385,11 @@ fn resolution_is_invisible_on_random_programs() {
     let mut failures = Vec::new();
     for seed in 0..400 {
         let mut gen = Gen::new(seed);
-        let program = Program::from_expr(gen.expr(4, &[]))
-            .with_strictness(Strictness::MzScheme)
-            .with_fuel(200_000);
-        if let Err(msg) = check_resolution_invariance(seed, &program) {
+        if let Err(msg) = check_resolution_invariance(seed, &gen.expr(4, &[])) {
             failures.push(msg);
         }
         let mut gen = Gen::new(0xBEEF ^ seed);
-        let program = Program::from_expr(gen.invoke(3, &[]))
-            .with_strictness(Strictness::MzScheme)
-            .with_fuel(200_000);
-        if let Err(msg) = check_resolution_invariance(seed, &program) {
+        if let Err(msg) = check_resolution_invariance(seed, &gen.invoke(3, &[])) {
             failures.push(msg);
         }
     }
@@ -386,22 +406,31 @@ fn resolution_is_invisible_on_stdlib_figures() {
         ("plugin_program", stdlib::plugin_program(&stdlib::sample_loader_plugin())),
         ("compiler_pipeline", stdlib::compiler_pipeline()),
     ];
+    let with = Engine::builder().strictness(Strictness::MzScheme).build();
+    let without =
+        Engine::builder().strictness(Strictness::MzScheme).resolution(false).build();
     for (name, src) in sources {
-        let program = Program::parse(&src)
-            .unwrap_or_else(|e| panic!("{name}: parse failed: {e}"))
-            .with_strictness(Strictness::MzScheme);
-        let resolved = program.run_on(Backend::Compiled)
-            .unwrap_or_else(|e| panic!("{name}: resolved run failed: {e}"));
-        let by_name = program.with_resolution(false).run_on(Backend::Compiled)
-            .unwrap_or_else(|e| panic!("{name}: by-name run failed: {e}"));
-        assert_eq!(resolved, by_name, "{name}: resolution changed the outcome");
+        for backend in [Backend::Compiled, Backend::Bytecode] {
+            let resolved = with
+                .load(&src)
+                .and_then(|p| p.run_on(backend))
+                .unwrap_or_else(|e| panic!("{name}: resolved {backend:?} run failed: {e}"));
+            let by_name = without
+                .load(&src)
+                .and_then(|p| p.run_on(backend))
+                .unwrap_or_else(|e| panic!("{name}: by-name {backend:?} run failed: {e}"));
+            assert_eq!(
+                resolved, by_name,
+                "{name}: resolution changed the {backend:?} outcome"
+            );
+        }
     }
 }
 
 #[test]
 fn backends_agree_on_error_classes_for_key_failures() {
-    // For the dynamic errors the paper specifies, both backends must
-    // agree on the *class*, not just fail.
+    // For the dynamic errors the paper specifies, all three backends
+    // must agree on the *class*, not just fail.
     let cases = [
         ("(invoke (unit (import x) (export) (init x)))", "UnsatisfiedImport"),
         ("(proj 3 (tuple 1 2))", "BadProjection"),
@@ -418,10 +447,11 @@ fn backends_agree_on_error_classes_for_key_failures() {
             "ExcessImport",
         ),
     ];
+    let engine = Engine::builder().strictness(Strictness::MzScheme).build();
     for (src, expected) in cases {
-        let program = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
-        for backend in [Backend::Compiled, Backend::Reducer] {
-            let err = program.run_on(backend).unwrap_err();
+        let loaded = engine.load(src).unwrap();
+        for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
+            let err = loaded.run_on(backend).unwrap_err();
             let rendered = format!("{:?}", err);
             assert!(
                 rendered.contains(expected),
@@ -429,4 +459,42 @@ fn backends_agree_on_error_classes_for_key_failures() {
             );
         }
     }
+}
+
+#[test]
+fn resource_exhaustion_reports_identical_text_on_all_three_backends() {
+    // Same program, same fuel: the budget error must render char-for-char
+    // identically whichever evaluator hit it — the VM batches fuel via
+    // `Machine::charge`, but the reported limit must stay the configured
+    // one, naming the same resource.
+    let diverging = "(letrec ((define loop (lambda () (loop)))) (loop))";
+    let engine = Engine::builder().limits(Limits::none().fuel(5_000)).build();
+    let loaded = engine.load(diverging).unwrap();
+    let texts: Vec<String> = [Backend::Compiled, Backend::Reducer, Backend::Bytecode]
+        .into_iter()
+        .map(|backend| {
+            let err = loaded.run_on(backend).unwrap_err();
+            assert!(
+                matches!(err, Error::ResourceExhausted { .. }),
+                "{backend:?}: expected fuel exhaustion, got {err:?}"
+            );
+            err.to_string()
+        })
+        .collect();
+    assert_eq!(texts[0], texts[1], "compiled vs reducer");
+    assert_eq!(texts[0], texts[2], "compiled vs bytecode");
+    assert!(texts[0].contains("fuel budget of 5000"), "{}", texts[0]);
+
+    // Depth exhaustion carries the same guarantee: the VM checks
+    // `max_depth` at the same call-site boundaries the tree-walkers do.
+    let deep = "(letrec ((define down (lambda (n) (if (< 0 n) (+ 1 (down (- n 1))) 0)))) (down 500))";
+    let engine = Engine::builder().limits(Limits::none().max_depth(40)).build();
+    let loaded = engine.load(deep).unwrap();
+    let texts: Vec<String> = [Backend::Compiled, Backend::Reducer, Backend::Bytecode]
+        .into_iter()
+        .map(|backend| loaded.run_on(backend).unwrap_err().to_string())
+        .collect();
+    assert_eq!(texts[0], texts[1], "compiled vs reducer");
+    assert_eq!(texts[0], texts[2], "compiled vs bytecode");
+    assert!(texts[0].contains("depth budget of 40"), "{}", texts[0]);
 }

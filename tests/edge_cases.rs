@@ -1,17 +1,20 @@
 //! Corner cases and failure injection across the whole pipeline.
 
-// These integration tests exercise the original Program facade on
-// purpose: the deprecated shim must keep behaving until it is removed.
-#![allow(deprecated)]
-
 use units::{
-    Backend, CheckError, Level, Observation, Program, RuntimeError, Strictness, Ty,
+    Backend, CheckError, Engine, Level, Observation, RuntimeError, Strictness, Ty,
 };
 
+fn mz() -> Engine {
+    Engine::builder().strictness(Strictness::MzScheme).build()
+}
+
+fn at(level: Level) -> Engine {
+    Engine::builder().level(level).build()
+}
+
 fn both(source: &str) -> units::Outcome {
-    Program::parse(source)
-        .unwrap_or_else(|e| panic!("parse: {e}"))
-        .with_strictness(Strictness::MzScheme)
+    mz().load(source)
+        .unwrap_or_else(|e| panic!("load: {e}"))
         .run_differential()
         .unwrap_or_else(|e| panic!("run: {e}"))
 }
@@ -103,11 +106,7 @@ fn seal_chains_narrow_monotonically() {
     // b was stripped by the outer seal even though the inner kept it.
     let bad = src.replace("(provides a)", "(provides b)").replace("import a", "import b")
         .replace("(with a)", "(with b)").replace("(init a)", "(init b)");
-    let err = Program::parse(&bad)
-        .unwrap()
-        .with_strictness(Strictness::MzScheme)
-        .run()
-        .unwrap_err();
+    let err = mz().load(&bad).unwrap().run().unwrap_err();
     assert!(
         matches!(err.as_runtime(), Some(RuntimeError::MissingProvide { name }) if name.as_str() == "b")
     );
@@ -182,14 +181,12 @@ fn invoke_inside_a_unit_body_nests_machines_correctly() {
 
 #[test]
 fn duplicate_signature_ports_are_rejected() {
-    let err = Program::parse(
-        "(seal (unit (import) (export))
-               (sig (import (x int) (x str)) (export) (init void)))",
-    )
-    .unwrap()
-    .at_level(Level::Constructed)
-    .check()
-    .unwrap_err();
+    let err = at(Level::Constructed)
+        .load(
+            "(seal (unit (import) (export))
+                   (sig (import (x int) (x str)) (export) (init void)))",
+        )
+        .unwrap_err();
     let errs = err.as_check().unwrap();
     assert!(
         errs.iter().any(|e| matches!(e, CheckError::Duplicate { name, .. } if name.as_str() == "x")),
@@ -199,14 +196,12 @@ fn duplicate_signature_ports_are_rejected() {
 
 #[test]
 fn signature_types_must_be_bound() {
-    let err = Program::parse(
-        "(seal (unit (import) (export))
-               (sig (import (x mystery)) (export) (init void)))",
-    )
-    .unwrap()
-    .at_level(Level::Constructed)
-    .check()
-    .unwrap_err();
+    let err = at(Level::Constructed)
+        .load(
+            "(seal (unit (import) (export))
+                   (sig (import (x mystery)) (export) (init void)))",
+        )
+        .unwrap_err();
     let errs = err.as_check().unwrap();
     assert!(
         errs.iter()
@@ -221,10 +216,8 @@ fn depends_endpoints_must_be_interface_types() {
         "(sig (import (type i)) (export) (init void) (depends (ghost i)))",
         "(sig (import) (export (type e)) (init void) (depends (e ghost)))",
     ] {
-        let err = Program::parse(&format!("(seal (unit (import) (export)) {sig})"))
-            .unwrap()
-            .at_level(Level::Equations)
-            .check()
+        let err = at(Level::Equations)
+            .load(&format!("(seal (unit (import) (export)) {sig})"))
             .unwrap_err();
         assert!(err.as_check().is_some(), "{sig}");
     }
@@ -232,14 +225,12 @@ fn depends_endpoints_must_be_interface_types() {
 
 #[test]
 fn unite_forms_are_rejected_at_unitc() {
-    let err = Program::parse(
-        "(seal (unit (import) (export))
-               (sig (import (type i)) (export (type e)) (init void) (depends (e i))))",
-    )
-    .unwrap()
-    .at_level(Level::Constructed)
-    .check()
-    .unwrap_err();
+    let err = at(Level::Constructed)
+        .load(
+            "(seal (unit (import) (export))
+                   (sig (import (type i)) (export (type e)) (init void) (depends (e i))))",
+        )
+        .unwrap_err();
     let errs = err.as_check().unwrap();
     assert!(
         errs.iter().any(|e| matches!(e, CheckError::UnsupportedAtLevel { .. })),
@@ -249,17 +240,10 @@ fn unite_forms_are_rejected_at_unitc() {
 
 #[test]
 fn projection_type_errors_are_static_at_typed_levels() {
-    let err = Program::parse("(proj 2 (tuple 1 2))")
-        .unwrap()
-        .at_level(Level::Constructed)
-        .check()
-        .unwrap_err();
+    let err = at(Level::Constructed).load("(proj 2 (tuple 1 2))").unwrap_err();
     assert!(err.as_check().is_some());
     // And the same program is a *runtime* error at the untyped level.
-    let err = Program::parse("(proj 2 (tuple 1 2))")
-        .unwrap()
-        .run()
-        .unwrap_err();
+    let err = Engine::new().invoke("(proj 2 (tuple 1 2))").unwrap_err();
     assert!(matches!(err.as_runtime(), Some(RuntimeError::BadProjection { .. })));
 }
 
@@ -270,12 +254,9 @@ fn if_branches_join_through_subtyping_of_signatures() {
     let src = "(if true
          (unit (import) (export (a int) (b int)) (define a int 1) (define b int 2))
          (unit (import) (export (a int)) (define a int 1)))";
-    let ty = Program::parse(src)
-        .unwrap()
-        .at_level(Level::Constructed)
-        .check()
-        .unwrap()
-        .unwrap();
+    let engine = at(Level::Constructed);
+    let loaded = engine.load(src).unwrap();
+    let ty = loaded.ty().unwrap();
     let sig = ty.as_sig().unwrap();
     assert!(sig.exports.val_port(&"a".into()).is_some());
     assert!(sig.exports.val_port(&"b".into()).is_none(), "join is the supertype");
@@ -288,13 +269,9 @@ fn init_type_may_be_a_signature() {
     let src = "(invoke (invoke (unit (import) (export)
         (init (unit (import) (export) (init 9))))))";
     assert_eq!(both(src).value, Observation::Int(9));
-    let ty = Program::parse(src)
-        .unwrap()
-        .at_level(Level::Constructed)
-        .check()
-        .unwrap()
-        .unwrap();
-    assert_eq!(ty, Ty::Int);
+    let engine = at(Level::Constructed);
+    let loaded = engine.load(src).unwrap();
+    assert_eq!(loaded.ty(), Some(&Ty::Int));
 }
 
 // ---------------------------------------------------------------------
@@ -308,8 +285,9 @@ fn errors_inside_definitions_abort_the_whole_invocation() {
                (with) (provides))
               ((unit (import) (export) (init (display \"never\")))
                (with) (provides)))))";
-    let p = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
-    for backend in [Backend::Compiled, Backend::Reducer] {
+    let engine = mz();
+    let p = engine.load(src).unwrap();
+    for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
         let err = p.run_on(backend).unwrap_err();
         assert!(
             matches!(err.as_runtime(), Some(RuntimeError::User { message }) if message == "defs"),
@@ -325,8 +303,9 @@ fn errors_in_an_early_init_prevent_later_inits() {
                (with) (provides))
               ((unit (import) (export) (init (display \"unreached\")))
                (with) (provides)))))";
-    let p = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
-    for backend in [Backend::Compiled, Backend::Reducer] {
+    let engine = mz();
+    let p = engine.load(src).unwrap();
+    for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
         let err = p.run_on(backend).unwrap_err();
         assert!(err.as_runtime().is_some(), "{backend:?}");
     }
@@ -336,8 +315,9 @@ fn errors_in_an_early_init_prevent_later_inits() {
 fn invoke_of_a_failing_link_expression_propagates() {
     let src = "(invoke (compound (import) (export)
         (link (((inst fail void) \"no unit here\") (with) (provides)))))";
-    let p = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
-    for backend in [Backend::Compiled, Backend::Reducer] {
+    let engine = mz();
+    let p = engine.load(src).unwrap();
+    for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
         let err = p.run_on(backend).unwrap_err();
         assert!(
             matches!(err.as_runtime(), Some(RuntimeError::User { .. })),
@@ -372,8 +352,9 @@ fn wrong_instance_errors_name_the_type() {
                 (un-unit (with) (provides unmk))
                 ((unit (import mk unmk) (export) (init (unmk (mk 1))))
                  (with mk unmk) (provides)))))";
-    let p = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
-    for backend in [Backend::Compiled, Backend::Reducer] {
+    let engine = mz();
+    let p = engine.load(src).unwrap();
+    for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
         let err = p.run_on(backend).unwrap_err();
         assert!(
             matches!(

@@ -1,7 +1,7 @@
 //! Chaos harness for the deterministic fault plane.
 //!
 //! Sweeps hundreds of seeded fault schedules — error-kind and
-//! panic-kind, across all three calculus levels and both backends —
+//! panic-kind, across all three calculus levels and all three backends —
 //! and holds the engine to its contract: every injected failure
 //! surfaces as a *typed* [`units::Error`] (never an escaped panic),
 //! and the session stays fully usable afterwards. Each schedule is a
@@ -77,7 +77,7 @@ fn chaos_case(seed: u64, level: Level, backend: Backend) -> usize {
 fn chaos_sweep_is_typed_or_correct_everywhere() {
     faults::install_quiet_hook();
     let levels = [Level::Untyped, Level::Constructed, Level::Equations];
-    let backends = [Backend::Compiled, Backend::Reducer];
+    let backends = [Backend::Compiled, Backend::Reducer, Backend::Bytecode];
     let mut schedules = 0u64;
     let mut fired = 0usize;
     for seed in 0..40 {
@@ -129,6 +129,26 @@ fn injected_compiled_fault_falls_back_byte_identically() {
     assert!(recovery.fell_back, "{recovery:?}");
     assert_eq!(recovery.retries, 0);
     assert!(recovery.failure.contains("injected fault at compile/eval"), "{recovery:?}");
+}
+
+#[test]
+fn injected_vm_fault_falls_back_byte_identically() {
+    faults::install_quiet_hook();
+    let (source, _) = program_for(Level::Untyped);
+    // The uninjected reference verdict: same program, reducer backend.
+    let expected = Engine::builder().backend(Backend::Reducer).build().invoke(source).unwrap();
+
+    let engine =
+        Engine::builder().on_failure(FallbackPolicy::reference().diagnose(false)).build();
+    let loaded = engine.load(source).unwrap();
+    faults::arm(FaultPlane::seeded(78).trigger("vm/dispatch", 1));
+    let outcome = loaded.run_on(Backend::Bytecode).unwrap();
+    faults::disarm();
+    assert_eq!(outcome, expected, "the fallback observation equals the reference run");
+    let recovery = engine.last_recovery().expect("the fallback is recorded");
+    assert!(recovery.fell_back, "{recovery:?}");
+    assert_eq!(recovery.retries, 0);
+    assert!(recovery.failure.contains("injected fault at vm/dispatch"), "{recovery:?}");
 }
 
 #[test]

@@ -6,18 +6,24 @@
 //! exercised through their crates, and the §5 extensions (Figs. 20/21)
 //! run as full programs at the UNITe level.
 
-// These integration tests exercise the original Program facade on
-// purpose: the deprecated shim must keep behaving until it is removed.
-#![allow(deprecated)]
-
 use units::{
-    alpha_eq, parse_expr, stdlib, Backend, CheckOptions, Depend, Level, Observation,
-    Program, Reducer, Strictness, Ty,
+    alpha_eq, parse_expr, stdlib, Backend, CheckOptions, Depend, Engine, Level,
+    Observation, Reducer, Strictness, Ty,
 };
 
+fn at(level: Level) -> Engine {
+    Engine::builder().level(level).build()
+}
+
+/// The checked type of `source` at `level` (None for untyped levels).
+fn ty_of(source: &str, level: Level) -> Result<Option<Ty>, units::Error> {
+    Ok(at(level).load(source)?.ty().cloned())
+}
+
 fn run_both(source: &str) -> units::Outcome {
-    Program::parse(source)
-        .unwrap_or_else(|e| panic!("parse: {e}"))
+    Engine::new()
+        .load(source)
+        .unwrap_or_else(|e| panic!("load: {e}"))
         .run_differential()
         .unwrap_or_else(|e| panic!("run: {e}"))
 }
@@ -70,8 +76,7 @@ fn fig1_database_unit_typed() {
       (define delete (-> db str void)
         (lambda ((d db) (key str)) ((inst hash-remove! info) (undb d) key)))
       (init (display "database ready")))"#;
-    let mut p = Program::parse(source).unwrap().at_level(Level::Constructed);
-    let ty = p.check().unwrap().unwrap();
+    let ty = ty_of(source, Level::Constructed).unwrap().unwrap();
     let sig = ty.as_sig().expect("a unit has a signature type");
     assert!(sig.imports.ty_port(&"info".into()).is_some());
     assert!(sig.exports.ty_port(&"db".into()).is_some());
@@ -108,7 +113,7 @@ fn fig2_phonebook_hides_delete_and_reexports() {
                   (with delete) (provides error)))))",
         pb = stdlib::phonebook_compound()
     );
-    let err = Program::parse(&hidden).unwrap().run().unwrap_err();
+    let err = Engine::new().invoke(&hidden).unwrap_err();
     assert!(
         matches!(err.as_runtime(), Some(units::RuntimeError::MissingProvide { name }) if name.as_str() == "delete")
     );
@@ -130,12 +135,7 @@ fn fig3_ipb_cyclic_link_and_invoke() {
 #[test]
 fn fig3_ipb_typed() {
     let source = typed_ipb_with_gui_db(false);
-    let ty = Program::parse(&source)
-        .unwrap()
-        .at_level(Level::Constructed)
-        .check()
-        .unwrap()
-        .unwrap();
+    let ty = ty_of(&source, Level::Constructed).unwrap().unwrap();
     assert_eq!(ty, Ty::Bool);
 }
 
@@ -202,11 +202,7 @@ fn typed_ipb_with_gui_db(bad: bool) -> String {
 #[test]
 fn fig4_bad_rejected_by_type_checker() {
     let source = typed_ipb_with_gui_db(true);
-    let err = Program::parse(&source)
-        .unwrap()
-        .at_level(Level::Constructed)
-        .check()
-        .unwrap_err();
+    let err = ty_of(&source, Level::Constructed).unwrap_err();
     let errs = err.as_check().expect("a check error");
     // "The type checker correctly rejects Bad due to this mismatch."
     assert!(
@@ -341,7 +337,7 @@ fn fig12_deep_mutual_recursion_runs_in_constant_stack() {
                  (define odd (lambda (n) (if (= n 0) false (even (- n 1)))))
                  (init (odd 200001)))
                (with even) (provides odd)))))";
-    let outcome = Program::parse(source).unwrap().run_on(Backend::Compiled).unwrap();
+    let outcome = Engine::new().load(source).unwrap().run_on(Backend::Compiled).unwrap();
     assert_eq!(outcome.value, Observation::Bool(true));
 }
 
@@ -377,12 +373,7 @@ fn fig20_translucent_env() {
                 (where (env (-> name value)))))",
         env_unit = environment_unit()
     );
-    let ty = Program::parse(&sealed)
-        .unwrap()
-        .at_level(Level::Equations)
-        .check()
-        .unwrap()
-        .unwrap();
+    let ty = ty_of(&sealed, Level::Equations).unwrap().unwrap();
     let sig = ty.as_sig().unwrap();
     assert_eq!(sig.equations.len(), 1);
     assert_eq!(sig.equations[0].name.as_str(), "env");
@@ -420,20 +411,11 @@ fn fig21_opaque_env_hiding() {
         |outer: &str| format!("(seal (seal {base} {translucent_sig}) {outer})");
 
     // Without the induced dependencies: rejected.
-    let err = Program::parse(&chain(opaque_sig_missing))
-        .unwrap()
-        .at_level(Level::Equations)
-        .check()
-        .unwrap_err();
+    let err = ty_of(&chain(opaque_sig_missing), Level::Equations).unwrap_err();
     assert!(err.as_check().is_some(), "{err}");
 
     // With them: accepted, and env is now opaque with declared depends.
-    let ty = Program::parse(&chain(opaque_sig))
-        .unwrap()
-        .at_level(Level::Equations)
-        .check()
-        .unwrap()
-        .unwrap();
+    let ty = ty_of(&chain(opaque_sig), Level::Equations).unwrap().unwrap();
     let sig = ty.as_sig().unwrap();
     assert!(sig.exports.ty_port(&"env".into()).is_some());
     assert!(sig.depend_set().contains(&Depend::new("env", "name")));
@@ -453,11 +435,7 @@ fn fig20_21_sealed_environment_still_runs() {
            (let ((e2 (extend-fn (lambda ((n str)) 0) "answer" 42)))
              (tuple (e2 "answer") (e2 "missing"))))"#
     );
-    let outcome = Program::parse(&source)
-        .unwrap()
-        .at_level(Level::Equations)
-        .run()
-        .unwrap();
+    let outcome = at(Level::Equations).invoke(&source).unwrap();
     assert_eq!(
         outcome.value,
         Observation::Tuple(vec![Observation::Int(42), Observation::Int(0)])
@@ -473,8 +451,9 @@ fn sec53_sharing_limitation_two_symbol_instances() {
           (init (tuple mk unmk))))
         (let ((lexer-sym (invoke symbol)) (parser-sym (invoke symbol)))
           ((proj 1 parser-sym) ((proj 0 lexer-sym) \"id\")))";
-    let p = Program::parse(source).unwrap().with_strictness(Strictness::MzScheme);
-    for backend in [Backend::Compiled, Backend::Reducer] {
+    let engine = Engine::builder().strictness(Strictness::MzScheme).build();
+    let p = engine.load(source).unwrap();
+    for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
         let err = p.run_on(backend).unwrap_err();
         assert!(
             matches!(err.as_runtime(), Some(units::RuntimeError::ForeignInstance { .. })),
@@ -553,11 +532,7 @@ fn fig5_signature_typed_unit_argument() {
                (define openBook (-> int bool)
                  (lambda ((n int)) (= (ping n) 4)))))))"
     );
-    let outcome = Program::parse(&src)
-        .unwrap()
-        .at_level(Level::Constructed)
-        .run()
-        .unwrap();
+    let outcome = at(Level::Constructed).invoke(&src).unwrap();
     assert_eq!(outcome.value, Observation::Bool(true));
 
     // Passing a unit that does not satisfy the signature is a type error
@@ -566,11 +541,7 @@ fn fig5_signature_typed_unit_argument() {
         "(let ((make-app (lambda ((a-gui {gui_sig})) 0)))
            (make-app (unit (import) (export))))"
     );
-    let err = Program::parse(&bad)
-        .unwrap()
-        .at_level(Level::Constructed)
-        .check()
-        .unwrap_err();
+    let err = ty_of(&bad, Level::Constructed).unwrap_err();
     assert!(err.as_check().is_some());
 }
 
@@ -586,8 +557,8 @@ fn separate_compilation_units_check_in_isolation() {
           (export (openBook (-> db bool)))
       (define openBook (-> db bool) (lambda ((d db)) true)))";
     // Both check independently…
-    let db_ty = Program::parse(database).unwrap().at_level(Level::Constructed).check().unwrap();
-    let gui_ty = Program::parse(gui).unwrap().at_level(Level::Constructed).check().unwrap();
+    let db_ty = ty_of(database, Level::Constructed).unwrap();
+    let gui_ty = ty_of(gui, Level::Constructed).unwrap();
     assert!(db_ty.unwrap().as_sig().is_some());
     assert!(gui_ty.unwrap().as_sig().is_some());
     // …and the assembly step is a separate program, written later —

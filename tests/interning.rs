@@ -3,13 +3,9 @@
 //! the property Fig. 11's α-renaming depends on — `NameGen::fresh` never
 //! collides with a previously interned source name.
 
-// These integration tests exercise the original Program facade on
-// purpose: the deprecated shim must keep behaving until it is removed.
-#![allow(deprecated)]
-
 use bench::rng::SplitMix64;
 
-use units::{Backend, Program, Strictness, Symbol};
+use units::{Backend, Engine, Strictness, Symbol};
 use units_kernel::NameGen;
 
 /// Interning round-trips: `Symbol::new(s).as_str() == s` for arbitrary
@@ -82,7 +78,8 @@ fn alpha_renaming_stays_fresh_under_interning() {
                   (init (+ n (k))))
                 (val k (lambda () n))))
     "#;
-    let program = Program::parse(src).unwrap().with_strictness(Strictness::MzScheme);
+    let engine = Engine::builder().strictness(Strictness::MzScheme).build();
+    let program = engine.load(src).unwrap();
     let reduced = program.run_on(Backend::Reducer).unwrap();
     let compiled = program.run_on(Backend::Compiled).unwrap();
     assert_eq!(reduced, compiled);

@@ -7,16 +7,14 @@
 //! [τ])` links the constituent's `inner` port to the compound's `outer`
 //! name; `(as-type inner outer [κ])` does the same for type ports.
 
-// These integration tests exercise the original Program facade on
-// purpose: the deprecated shim must keep behaving until it is removed.
-#![allow(deprecated)]
-
-use units::{parse_expr, pretty_expr, Level, Observation, Program, Strictness};
+use units::{parse_expr, pretty_expr, Engine, Level, Observation, Strictness};
 
 fn both(source: &str) -> units::Outcome {
-    Program::parse(source)
-        .unwrap_or_else(|e| panic!("parse: {e}"))
-        .with_strictness(Strictness::MzScheme)
+    Engine::builder()
+        .strictness(Strictness::MzScheme)
+        .build()
+        .load(source)
+        .unwrap_or_else(|e| panic!("load: {e}"))
         .run_differential()
         .unwrap_or_else(|e| panic!("run: {e}"))
 }
@@ -69,7 +67,7 @@ fn renamed_exports_respect_hiding() {
                (with) (provides (as secret public)))
               ((unit (import secret) (export) (init secret))
                (with secret) (provides)))))";
-    let err = Program::parse(src).unwrap().run().unwrap_err();
+    let err = Engine::new().load(src).unwrap_err();
     let errs = err.as_check().expect("context check rejects");
     assert!(
         errs.iter().any(|e| matches!(
@@ -87,7 +85,7 @@ fn duplicate_outer_names_are_rejected() {
                (with) (provides (as a shared)))
               ((unit (import) (export b) (define b 2))
                (with) (provides (as b shared)))))";
-    let err = Program::parse(src).unwrap().run().unwrap_err();
+    let err = Engine::new().load(src).unwrap_err();
     let errs = err.as_check().expect("context check rejects");
     assert!(
         errs.iter().any(|e| matches!(
@@ -109,12 +107,8 @@ fn typed_linking_translates_value_port_types() {
               ((unit (import (step (-> int int))) (export)
                  (init (step 41)))
                (with (as step bump (-> int int))) (provides)))))";
-    let ty = Program::parse(src)
-        .unwrap()
-        .at_level(Level::Constructed)
-        .check()
-        .unwrap()
-        .unwrap();
+    let engine = Engine::builder().level(Level::Constructed).build();
+    let ty = engine.load(src).unwrap().ty().cloned().unwrap();
     assert_eq!(ty, units::Ty::Int);
     assert_eq!(both(src).value, Observation::Int(42));
 }
@@ -134,13 +128,9 @@ fn typed_linking_translates_type_ports() {
                  (define mk2 (-> int db) (lambda ((n int)) (mkb n))))
                (with)
                (provides (as-type db db2) (as mk2 mk2 (-> int db))))))";
-    let ty = Program::parse(src)
-        .unwrap()
-        .at_level(Level::Constructed)
-        .check()
-        .unwrap()
-        .unwrap();
-    let sig = ty.as_sig().unwrap();
+    let engine = Engine::builder().level(Level::Constructed).build();
+    let loaded = engine.load(src).unwrap();
+    let sig = loaded.ty().unwrap().as_sig().unwrap();
     assert!(sig.exports.ty_port(&"db1".into()).is_some());
     assert!(sig.exports.ty_port(&"db2".into()).is_some());
     // And the two mk functions have distinct outer types.
@@ -156,11 +146,7 @@ fn typed_mismatch_through_renames_is_still_caught() {
                (with) (provides (as inc bump (-> int int))))
               ((unit (import (step (-> str str))) (export))
                (with (as step bump (-> str str))) (provides))))";
-    let err = Program::parse(src)
-        .unwrap()
-        .at_level(Level::Constructed)
-        .check()
-        .unwrap_err();
+    let err = Engine::builder().level(Level::Constructed).build().load(src).unwrap_err();
     let errs = err.as_check().unwrap();
     assert!(
         errs.iter().any(|e| matches!(e, units::CheckError::Mismatch { .. })),

@@ -1,22 +1,22 @@
 //! Cross-crate semantic tests: behaviours the paper specifies informally,
 //! exercised on both evaluators.
 
-// These integration tests exercise the original Program facade on
-// purpose: the deprecated shim must keep behaving until it is removed.
-#![allow(deprecated)]
+use units::{Backend, Engine, Observation, RuntimeError, Strictness};
 
-use units::{Backend, Observation, Program, RuntimeError, Strictness};
+fn mz() -> Engine {
+    Engine::builder().strictness(Strictness::MzScheme).build()
+}
 
 fn both(source: &str) -> units::Outcome {
-    Program::parse(source)
-        .unwrap_or_else(|e| panic!("parse: {e}"))
-        .with_strictness(Strictness::MzScheme)
+    mz().load(source)
+        .unwrap_or_else(|e| panic!("load: {e}"))
         .run_differential()
         .unwrap_or_else(|e| panic!("run: {e}"))
 }
 
 fn both_err(source: &str) -> (RuntimeError, RuntimeError) {
-    let p = Program::parse(source).unwrap().with_strictness(Strictness::MzScheme);
+    let engine = mz();
+    let p = engine.load(source).unwrap();
     let a = p.run_on(Backend::Compiled).unwrap_err();
     let b = p.run_on(Backend::Reducer).unwrap_err();
     (a.as_runtime().unwrap().clone(), b.as_runtime().unwrap().clone())
@@ -209,14 +209,10 @@ fn paper_strictness_rejects_what_mzscheme_permits() {
         (define a (b))
         (init a)))";
     // Paper mode: statically rejected (application is not valuable).
-    let err = Program::parse(src).unwrap().run().unwrap_err();
+    let err = Engine::new().load(src).unwrap_err();
     assert!(err.as_check().is_some());
     // MzScheme mode: runs, because `b` is already determined.
-    let outcome = Program::parse(src)
-        .unwrap()
-        .with_strictness(Strictness::MzScheme)
-        .run_differential()
-        .unwrap();
+    let outcome = mz().load(src).unwrap().run_differential().unwrap();
     assert_eq!(outcome.value, Observation::Int(1));
 }
 
@@ -228,14 +224,14 @@ fn paper_strictness_accepts_references_to_earlier_definitions() {
         (define first (lambda () 1))
         (define synonym first)
         (init (synonym))))";
-    let outcome = Program::parse(src).unwrap().run_differential().unwrap();
+    let outcome = Engine::new().load(src).unwrap().run_differential().unwrap();
     assert_eq!(outcome.value, Observation::Int(1));
     // Mutual references still need λ-protection.
     let bad = "(invoke (unit (import) (export)
         (define synonym first)
         (define first (lambda () 1))
         (init (synonym))))";
-    let err = Program::parse(bad).unwrap().run().unwrap_err();
+    let err = Engine::new().load(bad).unwrap_err();
     assert!(err.as_check().is_some());
 }
 
@@ -324,16 +320,18 @@ fn reduction_and_evaluation_step_counts_scale_together() {
     // Sanity check on machine-step accounting: both backends' step
     // counts grow linearly in the workload, with the reducer's constant
     // factor larger (the EXPERIMENTS.md B.2 claim, at test scale).
-    use units::{Backend, Program};
+    use units::{Backend, Limits};
     let steps = |src: &str, backend: Backend| -> u64 {
         let mut lo = 1u64;
         let mut hi = 1_000_000;
         while lo < hi {
             let mid = (lo + hi) / 2;
-            let ok = Program::parse(src)
+            let ok = Engine::builder()
+                .strictness(Strictness::MzScheme)
+                .limits(Limits::none().fuel(mid))
+                .build()
+                .load(src)
                 .unwrap()
-                .with_strictness(Strictness::MzScheme)
-                .with_fuel(mid)
                 .run_on(backend)
                 .is_ok();
             if ok {

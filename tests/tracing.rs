@@ -5,17 +5,13 @@
 //! Everything here needs the `trace` cargo feature except the
 //! NullSink-identity test, which also pins the no-op build's behavior.
 
-// These integration tests exercise the original Program facade on
-// purpose: the deprecated shim must keep behaving until it is removed.
-#![allow(deprecated)]
-
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
 #[cfg(feature = "trace")]
 use units::Backend;
-use units::Program;
+use units::Engine;
 
 /// The stdlib programs these tests replay: the paper's running examples
 /// (Figs. 1–8) plus the cyclic even/odd of Fig. 12.
@@ -43,8 +39,9 @@ const EVEN_ODD: &str = "(invoke (compound (import) (export)
 /// `trace`, `install` itself is a no-op and this pins that too).
 #[test]
 fn null_sink_is_observably_inert() {
+    let engine = Engine::new();
     for (name, src) in stdlib_programs() {
-        let program = Program::parse(&src).unwrap();
+        let program = engine.load(&src).unwrap();
         let bare = program.run_differential().unwrap();
         units::trace::install(
             Rc::new(RefCell::new(units::trace::NullSink)),
@@ -62,9 +59,10 @@ fn null_sink_is_observably_inert() {
 #[test]
 fn event_streams_are_deterministic() {
     for (name, src) in stdlib_programs() {
-        for backend in [Backend::Compiled, Backend::Reducer] {
+        for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
             let run = || {
-                let program = Program::parse(&src).unwrap();
+                let engine = Engine::new();
+                let program = engine.load(&src).unwrap();
                 let (outcome, events) = units::trace::capture(|| program.run_on(backend));
                 outcome.unwrap();
                 events.iter().map(units::trace::Event::to_json).collect::<Vec<_>>()
@@ -83,8 +81,9 @@ fn event_streams_are_deterministic() {
 #[cfg(feature = "trace")]
 #[test]
 fn step_events_match_the_reducers_step_count() {
+    let engine = Engine::new();
     for (name, src) in stdlib_programs() {
-        let program = Program::parse(&src).unwrap();
+        let program = engine.load(&src).unwrap();
         let mut reducer = units::Reducer::new();
         let (value, events) =
             units::trace::capture(|| reducer.reduce_to_value(program.expr()));
@@ -105,6 +104,37 @@ fn step_events_match_the_reducers_step_count() {
     }
 }
 
+/// Runs `src` with a reducer whose δ-rules are deliberately broken after
+/// `diverge_after` steps (trace-only [`units::Reducer`] fault injection),
+/// while the production backends stay clean — the modern
+/// [`units::diagnose_divergence_with`] closure shape.
+#[cfg(feature = "trace")]
+fn diverging_run(
+    src: &str,
+    fuel: u64,
+    diverge_after: Option<u64>,
+) -> impl Fn(Backend) -> Result<units::Outcome, units::Error> + '_ {
+    move |backend| {
+        let engine =
+            Engine::builder().limits(units::Limits::none().fuel(fuel)).build();
+        let program = engine.load(src)?;
+        match backend {
+            Backend::Reducer => {
+                let mut reducer = units::Reducer::with_fuel(fuel);
+                if let Some(after) = diverge_after {
+                    reducer.inject_divergence_after(after);
+                }
+                let value = reducer.reduce_to_value(program.expr())?;
+                Ok(units::Outcome {
+                    value: units::observe_expr(&value),
+                    output: reducer.machine.take_output(),
+                })
+            }
+            other => program.run_on(other),
+        }
+    }
+}
+
 /// An injected reducer fault makes the backends disagree, and the
 /// divergence report names the exact primitive call and Fig. 11 step
 /// where their streams part ways.
@@ -114,9 +144,10 @@ fn divergence_report_names_the_first_diverging_step() {
     // The fault makes `(- n 1)` come back as `n`, so even/odd would loop
     // forever — fuel bounds the broken reducer run; the streams diverge
     // long before it runs out.
-    let program =
-        Program::parse(EVEN_ODD).unwrap().with_fuel(10_000).with_injected_divergence(0);
-    let report = units::diagnose_divergence(&program);
+    let report = units::diagnose_divergence_with(
+        Backend::Compiled,
+        diverging_run(EVEN_ODD, 10_000, Some(0)),
+    );
     let call = report.diverging_call.expect("fault injection must diverge the streams");
     let step = report.diverging_step.expect("a diverging call happens during some step");
     assert!(step >= 1, "steps are 1-based");
@@ -128,16 +159,21 @@ fn divergence_report_names_the_first_diverging_step() {
     );
 
     // Sanity: without injection the same program's streams agree.
-    let clean = units::diagnose_divergence(&Program::parse(EVEN_ODD).unwrap());
+    let clean = units::diagnose_divergence_with(
+        Backend::Compiled,
+        diverging_run(EVEN_ODD, 10_000, None),
+    );
     assert_eq!(clean.diverging_call, None, "{clean}");
     assert_eq!(clean.prim_calls.0, clean.prim_calls.1);
 }
 
-/// The differential harness itself surfaces the report on mismatch.
+/// The deprecated `Program` shim's differential harness surfaces the
+/// report on mismatch — pinned here until the shim is removed.
 #[cfg(feature = "trace")]
 #[test]
+#[allow(deprecated)]
 fn run_differential_panics_with_the_report_on_divergence() {
-    let program = Program::parse("(invoke (unit (import) (export) (init (+ 20 22))))")
+    let program = units::Program::parse("(invoke (unit (import) (export) (init (+ 20 22))))")
         .unwrap()
         .with_injected_divergence(0);
     let panic =
@@ -155,7 +191,7 @@ fn emitted_json_is_valid() {
     let sink = Rc::new(RefCell::new(units::trace::JsonLinesSink::new(Vec::new())));
     let metrics = Arc::new(units::trace::Metrics::new());
     units::trace::install(Rc::clone(&sink) as _, Arc::clone(&metrics));
-    Program::parse(EVEN_ODD).unwrap().run_differential().unwrap();
+    Engine::new().load(EVEN_ODD).unwrap().run_differential().unwrap();
     units::trace::uninstall();
     let bytes = Rc::try_unwrap(sink).expect("session dropped").into_inner().into_inner();
     let lines = String::from_utf8(bytes).unwrap();
