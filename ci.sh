@@ -28,16 +28,62 @@ UNITS_ENGINE_THREADS=1 cargo test -q --features trace --test engine
 # The bench tables must emit a machine-readable summary. The binary
 # self-validates the document with units_trace::json before writing;
 # cross-check with a second parser when one is available. The summary
-# must include the engine cache series.
-cargo run --release -p bench --bin tables --features trace -- --quick --json >/dev/null
+# must include the engine cache series, the engine's always-on metrics
+# snapshot with invoke-latency percentiles, and (with --chrome-trace) a
+# valid Chrome/Perfetto span export.
+cargo run --release -p bench --bin tables --features trace -- --quick --json --chrome-trace >/dev/null
 test -s BENCH_trace.json
 grep -q repeat_invoke BENCH_trace.json
 # The bytecode backend's B.2c series must be in the summary.
 grep -q invoke_bytecode BENCH_trace.json
+grep -q '"engine_metrics"' BENCH_trace.json
+grep -q '"p50_ns"' BENCH_trace.json
+grep -q '"p99_ns"' BENCH_trace.json
+test -s CHROME_trace.json
+grep -q '"traceEvents"' CHROME_trace.json
 if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json; json.load(open('BENCH_trace.json'))"
+    python3 -c "import json; json.load(open('CHROME_trace.json'))"
 fi
-rm -f BENCH_trace.json
+mv BENCH_trace.json .ci-bench-trace.tmp
+rm -f CHROME_trace.json
+
+# The metrics plane is always on: a default-features build must carry
+# the same engine_metrics document (p50/p99 included) — and the trace
+# build's hooks must not leak into the default build's dispatch loop.
+# The overhead gate compares the bytecode backend's per-point timings:
+# the default build must not be slower than a generous multiple of the
+# trace build (catches accidentally always-live instrumentation without
+# flaking on scheduler noise).
+cargo run --release -p bench --bin tables -- --quick --json --chrome-trace >/dev/null
+test -s BENCH_trace.json
+grep -q '"engine_metrics"' BENCH_trace.json
+grep -q '"p50_ns"' BENCH_trace.json
+grep -q '"p99_ns"' BENCH_trace.json
+test -s CHROME_trace.json
+grep -q '"traceEvents"' CHROME_trace.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'GATE'
+import json
+trace = json.load(open('.ci-bench-trace.tmp'))
+default = json.load(open('BENCH_trace.json'))
+assert trace['trace_compiled'] is True and default['trace_compiled'] is False
+def vm_points(doc):
+    return {
+        (r['series'], r['size']): r['bytecode_us']
+        for r in doc['records']
+        if r['series'].startswith('invoke_bytecode/')
+    }
+tp, dp = vm_points(trace), vm_points(default)
+assert tp.keys() == dp.keys() and tp, (sorted(tp), sorted(dp))
+for key in tp:
+    assert dp[key] <= 3.0 * tp[key] + 50.0, (
+        f"{key}: default build {dp[key]:.1f}us vs trace build {tp[key]:.1f}us -- "
+        "did the default dispatch loop grow live instrumentation?")
+print(f"trace-overhead gate: {len(tp)} vm points within tolerance")
+GATE
+fi
+rm -f BENCH_trace.json CHROME_trace.json .ci-bench-trace.tmp
 
 # Three-backend agreement: the differential suite runs 600 random link
 # topologies on the reducer, the tree-walker, and the bytecode VM, and

@@ -9,9 +9,14 @@
 //! Flags:
 //!
 //! * `--json`  — also write every record (plus, with the `trace`
-//!   feature, a pipeline metrics snapshot of the even/odd example) to
-//!   `BENCH_trace.json`, self-validated with `units_trace::json`, so the
-//!   perf trajectory is machine-readable run over run;
+//!   feature, a pipeline metrics snapshot of the even/odd example, and
+//!   in every build the engine's always-on metrics snapshot with invoke
+//!   p50/p99) to `BENCH_trace.json`, self-validated with
+//!   `units_trace::json`, so the perf trajectory is machine-readable
+//!   run over run;
+//! * `--chrome-trace` — write the pipeline phase spans of the even/odd
+//!   example as `CHROME_trace.json` (Chrome/Perfetto `traceEvents`
+//!   format; empty but valid without `--features trace`);
 //! * `--quick` — smaller sizes and fewer repetitions (CI smoke mode).
 
 use std::time::Instant;
@@ -116,10 +121,45 @@ impl Recorder {
             out.push('}');
         }
         out.push_str("],");
+        out.push_str(&format!("\"engine_metrics\":{},", engine_metrics_json()));
         out.push_str(&format!("\"pipeline_metrics\":{}", pipeline_metrics_json()));
         out.push('}');
         out
     }
+}
+
+/// The engine's always-on metrics plane over a short warm session:
+/// even/odd on all three backends plus one repeated load (a cache
+/// hit). Works identically with and without the `trace` feature — the
+/// invoke-latency percentiles in particular are present in every build.
+fn engine_metrics_json() -> String {
+    let engine = session();
+    let p = engine.load_expr(even_odd_program(100)).unwrap();
+    p.run_on(Backend::Compiled).unwrap();
+    p.run_on(Backend::Reducer).unwrap();
+    p.run_on(Backend::Bytecode).unwrap();
+    // The α-invariant term index answers this one: a recorded hit.
+    engine.load_expr(even_odd_program(100)).unwrap();
+    engine.metrics_snapshot().to_json()
+}
+
+/// Runs the even/odd pipeline under a fresh metrics registry and
+/// exports its phase spans in Chrome `traceEvents` format. Without the
+/// `trace` feature no spans are recorded and the document is an empty
+/// (but valid) trace.
+fn chrome_trace_export() -> String {
+    let metrics = std::sync::Arc::new(units_trace::Metrics::new());
+    units_trace::install(
+        std::rc::Rc::new(std::cell::RefCell::new(units_trace::NullSink)),
+        std::sync::Arc::clone(&metrics),
+    );
+    let engine = session();
+    let p = engine.load_expr(even_odd_program(100)).unwrap();
+    p.run_on(Backend::Compiled).unwrap();
+    p.run_on(Backend::Reducer).unwrap();
+    p.run_on(Backend::Bytecode).unwrap();
+    units_trace::uninstall();
+    metrics.chrome_trace_json()
 }
 
 /// With the `trace` feature: run the even/odd example once on each
@@ -144,12 +184,16 @@ fn pipeline_metrics_json() -> String {
 fn main() {
     let mut json = false;
     let mut quick = false;
+    let mut chrome = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
             "--quick" => quick = true,
+            "--chrome-trace" => chrome = true,
             other => {
-                eprintln!("unknown flag {other:?}; usage: tables [--json] [--quick]");
+                eprintln!(
+                    "unknown flag {other:?}; usage: tables [--json] [--chrome-trace] [--quick]"
+                );
                 std::process::exit(2);
             }
         }
@@ -527,6 +571,20 @@ fn main() {
             "\nWrote BENCH_trace.json ({} records, pipeline metrics {}).",
             rec.records.len(),
             if units_trace::COMPILED { "included" } else { "empty — built without trace" }
+        );
+    }
+    if chrome {
+        let doc = chrome_trace_export();
+        units_trace::json::validate(&doc)
+            .unwrap_or_else(|e| panic!("CHROME_trace.json would be invalid at {e:?}"));
+        std::fs::write("CHROME_trace.json", &doc).expect("write CHROME_trace.json");
+        println!(
+            "Wrote CHROME_trace.json ({}).",
+            if units_trace::COMPILED {
+                "open in chrome://tracing or Perfetto"
+            } else {
+                "empty — built without trace"
+            }
         );
     }
     println!("\nDone. Record these series in EXPERIMENTS.md.");

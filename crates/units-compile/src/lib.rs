@@ -29,6 +29,7 @@ mod dynlink;
 mod eval;
 mod instantiate;
 mod lower;
+mod profile;
 mod resolve;
 
 pub use artifact::{load_interface, load_unit, publish_unit, ArtifactError, Published};
@@ -36,4 +37,5 @@ pub use dynlink::{Archive, DynlinkError};
 pub use eval::{apply, eval, evaluate_program};
 pub use instantiate::invoke_unit;
 pub use lower::lower_program;
+pub use profile::ChunkProfile;
 pub use resolve::resolve_program;

@@ -81,6 +81,12 @@ pub fn lower_program(expr: &Expr) -> Rc<Chunk> {
             }
         }
     }
+    // In trace builds every chunk gets profiler storage so the dispatch
+    // loop can count op executions; default builds leave it empty and
+    // the counting code compiles out.
+    if units_trace::COMPILED {
+        lw.chunk.profile = units_runtime::OpProfile::sized(lw.chunk.code.len());
+    }
     Rc::new(lw.chunk)
 }
 

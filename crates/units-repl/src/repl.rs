@@ -57,6 +57,9 @@ struct Repl {
     mode: TraceMode,
     /// Metrics accumulated across the session (what `:stats` prints).
     metrics: Arc<Metrics>,
+    /// Flight-recorder dumps already announced, so `evaluate` mentions
+    /// each new post-mortem exactly once.
+    flight_seen: u64,
 }
 
 const HELP: &str = ";; commands:
@@ -64,10 +67,16 @@ const HELP: &str = ";; commands:
 ;;   :quit                 leave the repl (also Ctrl-D)
 ;;   :backend compiled|reducer|bytecode
 ;;                         switch the evaluator (no argument: show current)
-;;   :disasm <program>     lower <program> to flat bytecode and print the
-;;                         chunk — opcodes, operands, const-pool refs
+;;   :disasm [--profile] <program>
+;;                         lower <program> to flat bytecode and print the
+;;                         chunk — opcodes, operands, const-pool refs;
+;;                         --profile runs it first and annotates each op
+;;                         with its execution count (needs --features trace)
 ;;   :trace on|off|json    stream events per evaluation (text or JSON lines)
 ;;   :stats                print accumulated counters and phase timings
+;;   :metrics [reset]      print (or zero) the engine's always-on metrics
+;;                         plane: cache, pool, recovery, fuel, latency p50/p99
+;;   :flight               print the last flight-recorder dump, if any
 ;;   :profile <expr>       run <expr> on all three backends; report per-phase
 ;;                         durations and the Fig. 11 step count
 ;;   :faults <seed> [rate‰] [panic]
@@ -83,6 +92,7 @@ pub fn run(opts: &Options) -> ExitCode {
         backend: opts.backend,
         mode: TraceMode::Off,
         metrics: Arc::new(Metrics::new()),
+        flight_seen: 0,
     };
     println!(";; units repl — :help for commands");
     if !units::trace::COMPILED {
@@ -190,13 +200,22 @@ impl Repl {
             Some("backend") => self.set_backend(words.next()),
             Some("disasm") => {
                 let rest = command.strip_prefix("disasm").unwrap_or("").trim();
-                if rest.is_empty() {
-                    println!(";; usage: :disasm <program>");
+                if let Some(source) = rest.strip_prefix("--profile") {
+                    let source = source.trim();
+                    if source.is_empty() {
+                        println!(";; usage: :disasm --profile <program>");
+                    } else {
+                        self.disasm_profiled(source);
+                    }
+                } else if rest.is_empty() {
+                    println!(";; usage: :disasm [--profile] <program>");
                 } else {
                     self.disasm(rest);
                 }
             }
             Some("stats") => self.stats(),
+            Some("metrics") => self.metrics_plane(words.next()),
+            Some("flight") => self.flight(),
             Some("faults") => self.faults(&words.collect::<Vec<_>>()),
             Some("profile") => {
                 let rest = command.strip_prefix("profile").unwrap_or("").trim();
@@ -269,6 +288,127 @@ impl Repl {
         match self.load(source) {
             Ok(loaded) => println!("{}", loaded.disassemble()),
             Err(e) => eprintln!("{e}"),
+        }
+    }
+
+    /// Runs `source` on the bytecode backend, then prints the chunk with
+    /// each op annotated by its execution count, plus a hottest-ops
+    /// table. Without `--features trace` the counters do not exist, so
+    /// the plain listing is shown with an explanation.
+    fn disasm_profiled(&self, source: &str) {
+        let loaded = match self.load(source) {
+            Ok(loaded) => loaded,
+            Err(e) => {
+                eprintln!("{e}");
+                return;
+            }
+        };
+        if !units::trace::COMPILED {
+            println!(
+                ";; per-op counters need a build with --features trace; plain listing:"
+            );
+            println!("{}", loaded.disassemble());
+            return;
+        }
+        loaded.profile_reset();
+        match loaded.run_on(Backend::Bytecode) {
+            Ok(outcome) => println!(";; ran on bytecode backend: {}", outcome.value),
+            Err(e) => println!(";; bytecode run failed ({e}); counts cover the partial run"),
+        }
+        println!("{}", loaded.disassemble_profiled());
+        let profile = loaded.chunk_profile();
+        let hottest = profile.hottest(8);
+        if !hottest.is_empty() {
+            println!(";; hottest ops:");
+            for (name, count) in hottest {
+                println!(";;   {name:<12} {count:>9}×");
+            }
+            println!(
+                ";; total: {} ops executed, {} fuel attributed",
+                profile.total_executed, profile.fuel_attributed
+            );
+        }
+    }
+
+    /// Prints (or with `reset` zeroes) the engine's always-on metrics
+    /// plane. Unlike `:stats`, this works in every build.
+    fn metrics_plane(&self, arg: Option<&str>) {
+        match arg {
+            Some("reset") => {
+                self.engine.metrics_reset();
+                println!(";; engine metrics reset");
+                return;
+            }
+            Some(other) => {
+                println!(";; usage: :metrics [reset] (got {other:?})");
+                return;
+            }
+            None => {}
+        }
+        let snap = self.engine.metrics_snapshot();
+        println!(
+            ";; cache:    {} source hits, {} term hits, {} misses, {} evictions, {} artifacts",
+            snap.cache.source_hits,
+            snap.cache.term_hits,
+            snap.cache.misses,
+            snap.cache.evictions,
+            snap.cache.entries
+        );
+        println!(
+            ";; pool:     {} batches, {} jobs, peak {} workers",
+            snap.pool.batches, snap.pool.jobs, snap.pool.peak_workers
+        );
+        println!(
+            ";; recovery: {} fuel retries, {} reference fallbacks, {} recovered, {} flight dumps",
+            snap.recovery.fuel_retries,
+            snap.recovery.reference_fallbacks,
+            snap.recovery.recovered_runs,
+            snap.recovery.flight_dumps
+        );
+        println!(
+            ";; runs:     {} total, {} failures, fuel {} total / {} max, {} store cells peak",
+            snap.runs.total,
+            snap.runs.failures,
+            snap.runs.fuel_total,
+            snap.runs.fuel_max,
+            snap.runs.store_cells_peak
+        );
+        let lat = snap.invoke_latency;
+        if lat.count == 0 {
+            println!(";; latency:  no runs timed yet");
+        } else {
+            println!(
+                ";; latency:  {} runs, min {} / mean {} / p50 {} / p99 {} / max {}",
+                lat.count,
+                format_ns(lat.min_ns),
+                format_ns(lat.mean_ns),
+                format_ns(lat.p50_ns),
+                format_ns(lat.p99_ns),
+                format_ns(lat.max_ns)
+            );
+        }
+    }
+
+    /// Prints the most recent flight-recorder post-mortem, one JSON
+    /// line per recorded event.
+    fn flight(&self) {
+        match self.engine.last_flight_dump() {
+            Some(dump) => {
+                println!(
+                    ";; flight dump — {} ({} of {} events kept, {} dropped):",
+                    dump.reason, dump.events, dump.recorded, dump.dropped
+                );
+                for line in dump.json_lines.lines() {
+                    println!("{line}");
+                }
+            }
+            None => {
+                if units::trace::COMPILED {
+                    println!(";; no flight-recorder dump (no fault has tripped yet)");
+                } else {
+                    println!(";; flight recorder needs a build with --features trace");
+                }
+            }
         }
     }
 
@@ -357,6 +497,18 @@ impl Repl {
             Err(e) => eprintln!("{e}"),
         }
         self.report_recovery();
+        self.report_flight();
+    }
+
+    /// Announces a fresh flight-recorder post-mortem exactly once, so a
+    /// faulting evaluation points at `:flight` without spamming later
+    /// prompts.
+    fn report_flight(&mut self) {
+        let dumps = self.engine.metrics_snapshot().recovery.flight_dumps;
+        if dumps > self.flight_seen {
+            self.flight_seen = dumps;
+            println!(";; flight recorder captured a post-mortem — :flight to inspect");
+        }
     }
 
     /// Prints how the engine coped when a run needed retries or a
@@ -382,17 +534,20 @@ impl Repl {
     }
 
     fn stats(&self) {
-        if !units::trace::COMPILED {
-            println!(";; tracing not compiled in; rebuild with --features trace");
-            return;
-        }
-        let counters = self.metrics.counters();
-        if counters.is_empty() {
-            println!(";; no counters yet — evaluate something first");
+        if units::trace::COMPILED {
+            println!(";; trace feature: compiled in");
         } else {
-            println!(";; counters:");
-            for (name, value) in &counters {
-                println!(";;   {name:<28} {value}");
+            println!(";; trace feature: NOT compiled in (rebuild with --features trace)");
+        }
+        if units::trace::COMPILED {
+            let counters = self.metrics.counters();
+            if counters.is_empty() {
+                println!(";; no counters yet — evaluate something first");
+            } else {
+                println!(";; counters:");
+                for (name, value) in &counters {
+                    println!(";;   {name:<28} {value}");
+                }
             }
         }
         let cache = self.engine.cache_stats();

@@ -208,6 +208,96 @@ fn disasm_prints_the_chunk_listing() {
 }
 
 #[test]
+fn metrics_command_reports_and_resets() {
+    // The metrics plane is always on, so this holds in every build.
+    let (stdout, _) = run_session(
+        "(invoke (unit (import) (export) (init (* 6 7))))\n\
+         :metrics\n\
+         :metrics reset\n\
+         :metrics\n\
+         :quit\n",
+    );
+    assert!(stdout.contains("42"), "{stdout}");
+    assert!(stdout.contains(";; runs:     1 total"), "{stdout}");
+    assert!(stdout.contains("p50"), "{stdout}");
+    assert!(stdout.contains(";; engine metrics reset"), "{stdout}");
+    assert!(stdout.contains(";; runs:     0 total"), "{stdout}");
+    assert!(stdout.contains(";; latency:  no runs timed yet"), "{stdout}");
+}
+
+#[test]
+fn stats_states_whether_trace_is_compiled_in() {
+    let (stdout, _) = run_session(":stats\n:quit\n");
+    #[cfg(feature = "trace")]
+    assert!(stdout.contains(";; trace feature: compiled in"), "{stdout}");
+    #[cfg(not(feature = "trace"))]
+    assert!(
+        stdout.contains(";; trace feature: NOT compiled in (rebuild with --features trace)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains(";; engine cache:"), "{stdout}");
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn disasm_profile_annotates_execution_counts() {
+    let (stdout, stderr) = run_session(
+        ":disasm --profile (invoke (unit (import) (export) (define f (lambda (x) (+ x 1))) (init (f 41))))\n\
+         :quit\n",
+    );
+    assert!(stderr.is_empty(), "{stderr}");
+    assert!(stdout.contains("ran on bytecode backend: 42"), "{stdout}");
+    assert!(stdout.contains("ops executed"), "{stdout}");
+    assert!(stdout.contains("×"), "per-op counts annotated: {stdout}");
+    assert!(stdout.contains(";; hottest ops:"), "{stdout}");
+}
+
+#[cfg(not(feature = "trace"))]
+#[test]
+fn disasm_profile_explains_the_missing_feature() {
+    let (stdout, _) = run_session(
+        ":disasm --profile (invoke (unit (import) (export) (init 1)))\n:quit\n",
+    );
+    assert!(
+        stdout.contains("per-op counters need a build with --features trace"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("chunk:"), "the plain listing still prints: {stdout}");
+}
+
+#[test]
+fn flight_command_reports_absence() {
+    let (stdout, _) = run_session(":flight\n:quit\n");
+    #[cfg(feature = "trace")]
+    assert!(stdout.contains(";; no flight-recorder dump"), "{stdout}");
+    #[cfg(not(feature = "trace"))]
+    assert!(
+        stdout.contains("flight recorder needs a build with --features trace"),
+        "{stdout}"
+    );
+}
+
+#[cfg(all(feature = "trace", feature = "faults"))]
+#[test]
+fn injected_fault_surfaces_a_flight_dump() {
+    let (stdout, stderr) = run_session(
+        ":faults 1 1000\n\
+         (invoke (unit (import) (export) (init (* 6 7))))\n\
+         :faults off\n\
+         :flight\n\
+         :quit\n",
+    );
+    assert!(stderr.contains("injected fault at"), "{stderr}");
+    assert!(
+        stdout.contains("flight recorder captured a post-mortem"),
+        "{stdout}"
+    );
+    assert!(stdout.contains(";; flight dump — "), "{stdout}");
+    assert!(stdout.contains("\"flight\":\"dump\""), "{stdout}");
+    assert!(stdout.contains("fault/fired"), "the dump names the trip: {stdout}");
+}
+
+#[test]
 fn bad_flags_print_usage() {
     let output = repl().arg("--no-such-flag").output().unwrap();
     assert!(!output.status.success());

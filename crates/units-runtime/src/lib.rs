@@ -40,7 +40,7 @@ pub use value::{
     filled_cell, new_cell, AtomicUnit, CellRef, Closure, DataOpValue, LinkedConstituent,
     LinkedUnit, UnitValue, Value, VariantValue,
 };
-pub use vm::{disassemble, execute, Chunk, Op, Proto, UnitProto, VmCode};
+pub use vm::{disassemble, disassemble_profiled, execute, Chunk, Op, OpProfile, Proto, UnitProto, VmCode};
 pub use wiring::{
     apply_data, as_unit, bind_letrec_frame, check_link, emit_invoke_event, import_cells,
     seal_unit, wire, WiredUnit,

@@ -150,6 +150,12 @@ impl Machine {
         self.steps_taken
     }
 
+    /// Store cells allocated so far. Cells are never freed within a
+    /// run, so at completion this is the run's high-water mark.
+    pub fn cells_allocated(&self) -> u64 {
+        self.cells_allocated
+    }
+
     /// Enters one level of term nesting; pair with [`Machine::exit`].
     ///
     /// # Errors

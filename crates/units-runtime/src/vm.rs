@@ -32,7 +32,14 @@
 //!   on the tree-walking backend, so the chaos harness covers the VM.
 //! * **Tracing.** Each dispatched opcode bumps a `vm/op/...` counter
 //!   (free in non-`trace` builds, where `units_trace::count` is a no-op).
+//! * **Profiling.** In `trace` builds every chunk carries an
+//!   [`OpProfile`] — per-op execution counts plus batched-fuel
+//!   attribution, filled by the dispatch loop and rendered by
+//!   [`disassemble_profiled`]. In default builds the profile is an
+//!   empty vector and the counting code is removed by constant folding
+//!   on [`units_trace::COMPILED`].
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -259,6 +266,81 @@ pub struct Chunk {
     pub sigs: Vec<Rc<Signature>>,
     /// Entry of the program's top-level segment.
     pub entry: u32,
+    /// Per-op execution counters (empty unless allocated by the
+    /// lowerer in `trace` builds — see [`OpProfile::sized`]).
+    pub profile: OpProfile,
+}
+
+/// The bytecode profiler's raw storage: one execution counter per op in
+/// the owning [`Chunk`], plus how much batched fuel the dispatch loop
+/// attributed to this chunk at flush points. Interior mutability
+/// (`Cell`) lets the dispatch loop count through the shared `Rc<Chunk>`
+/// without threading `&mut` through every activation.
+///
+/// A default-constructed profile is *disabled* (no counter storage);
+/// counting only happens when the lowerer allocated counters, which it
+/// does exactly when `units_trace::COMPILED` — so default builds pay
+/// nothing, matching the trace/faults gating story.
+#[derive(Debug, Clone, Default)]
+pub struct OpProfile {
+    counts: Vec<Cell<u64>>,
+    fuel: Cell<u64>,
+}
+
+impl OpProfile {
+    /// A profile with one counter per op of a `len`-op chunk.
+    pub fn sized(len: usize) -> OpProfile {
+        OpProfile { counts: vec![Cell::new(0); len], fuel: Cell::new(0) }
+    }
+
+    /// Whether this profile has counter storage.
+    pub fn enabled(&self) -> bool {
+        !self.counts.is_empty()
+    }
+
+    /// Bumps the counter for op `i` (no-op when disabled).
+    #[inline]
+    pub fn hit(&self, i: usize) {
+        if let Some(c) = self.counts.get(i) {
+            c.set(c.get() + 1);
+        }
+    }
+
+    /// Attributes `n` units of batched fuel to this chunk.
+    #[inline]
+    pub fn add_fuel(&self, n: u64) {
+        if self.enabled() {
+            self.fuel.set(self.fuel.get() + n);
+        }
+    }
+
+    /// The execution count of op `i` (0 when disabled or out of range).
+    pub fn count_at(&self, i: usize) -> u64 {
+        self.counts.get(i).map(Cell::get).unwrap_or(0)
+    }
+
+    /// All per-op counts, in instruction order (empty when disabled).
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts.iter().map(Cell::get).collect()
+    }
+
+    /// Fuel attributed to this chunk at flush points so far.
+    pub fn fuel(&self) -> u64 {
+        self.fuel.get()
+    }
+
+    /// Total ops executed (the sum of all counters).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(Cell::get).sum()
+    }
+
+    /// Zeroes every counter, keeping the storage.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.set(0);
+        }
+        self.fuel.set(0);
+    }
 }
 
 /// A handle from a run-time value back into its chunk: the closure's
@@ -468,6 +550,12 @@ fn dispatch(
     macro_rules! flush {
         () => {
             if pending > 0 {
+                if units_trace::COMPILED {
+                    // Attribute the batch to the chunk it ran in — at a
+                    // flush point `pending` belongs entirely to the
+                    // chunk in the register.
+                    chunk.profile.add_fuel(pending);
+                }
                 machine.charge(pending)?;
                 pending = 0;
             }
@@ -486,6 +574,9 @@ fn dispatch(
         ip += 1;
         pending += 1;
         units_trace::count(op.name(), 1);
+        if units_trace::COMPILED {
+            chunk.profile.hit(ip - 1);
+        }
         match op {
             Op::Int(n) => stack.push(Value::Int(*n)),
             Op::Bool(b) => stack.push(Value::Bool(*b)),
@@ -848,9 +939,44 @@ fn store(
 /// operands, followed by the constant pool and segment tables. Backs the
 /// REPL's `:disasm`.
 pub fn disassemble(chunk: &Chunk) -> String {
+    render(chunk, false)
+}
+
+/// Like [`disassemble`], but prefixes every instruction with its
+/// execution count from the chunk's [`OpProfile`] and reports the
+/// totals — the REPL's `:disasm --profile`. Counts are only collected
+/// in `trace` builds; elsewhere (or before any bytecode run) the
+/// header says so instead of printing a column of zeros.
+pub fn disassemble_profiled(chunk: &Chunk) -> String {
+    render(chunk, true)
+}
+
+fn render(chunk: &Chunk, profiled: bool) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "chunk: {} ops, entry @{}", chunk.code.len(), chunk.entry);
+    let counts = if profiled {
+        if !chunk.profile.enabled() {
+            let _ = writeln!(
+                out,
+                "profile: unavailable — per-op counters need a build with --features trace"
+            );
+            None
+        } else if chunk.profile.total() == 0 {
+            let _ = writeln!(out, "profile: no bytecode run recorded yet (all counts zero)");
+            None
+        } else {
+            let _ = writeln!(
+                out,
+                "profile: {} ops executed, {} fuel attributed",
+                chunk.profile.total(),
+                chunk.profile.fuel()
+            );
+            Some(chunk.profile.counts())
+        }
+    } else {
+        None
+    };
     for (i, op) in chunk.code.iter().enumerate() {
         let mnemonic = op.name().trim_start_matches("vm/op/");
         let operands = match op {
@@ -908,6 +1034,9 @@ pub fn disassemble(chunk: &Chunk) -> String {
             }
             Op::Void | Op::PopFrame | Op::Return | Op::Pop => String::new(),
         };
+        if let Some(counts) = &counts {
+            let _ = write!(out, "{:>9}× ", counts.get(i).copied().unwrap_or(0));
+        }
         if operands.is_empty() {
             let _ = writeln!(out, "{i:>5}  {mnemonic}");
         } else {

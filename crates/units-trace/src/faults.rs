@@ -288,12 +288,25 @@ mod dispatch {
             PLANE.with(|p| p.borrow_mut().as_mut().and_then(|plane| plane.roll(site)));
         match fired {
             None => Ok(()),
-            Some(f) => match f.kind {
-                FaultKind::Error => Err(Injected { site: f.site, hit: f.hit }),
-                FaultKind::Panic => {
-                    panic!("injected panic at {} (hit {})", f.site, f.hit)
+            Some(f) => {
+                // In trace builds, leave the trip site in the flight
+                // recorder so a post-mortem dump names it even after
+                // the error has been wrapped by recovery layers.
+                #[cfg(feature = "trace")]
+                crate::recorder::record(&crate::Event {
+                    phase: crate::Phase::Engine,
+                    kind: "fault/fired",
+                    span: None,
+                    payload: format!("{} (hit {})", f.site, f.hit),
+                    counters: Vec::new(),
+                });
+                match f.kind {
+                    FaultKind::Error => Err(Injected { site: f.site, hit: f.hit }),
+                    FaultKind::Panic => {
+                        panic!("injected panic at {} (hit {})", f.site, f.hit)
+                    }
                 }
-            },
+            }
         }
     }
 

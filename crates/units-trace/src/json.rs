@@ -1,11 +1,14 @@
 //! A minimal JSON writer/validator so the workspace can emit and
 //! self-check machine-readable output with zero dependencies.
 //!
-//! The writer side is just [`escape`]; producers assemble objects by
-//! hand (see [`crate::Event::to_json`] and `bench`'s `tables --json`).
-//! The validator is a strict recursive-descent parser over the full
-//! JSON grammar — enough to assert that what we wrote is what a real
-//! consumer can read, without pulling in serde.
+//! The writer side is just [`escape`] (every control character is
+//! `\u00XX`-escaped, not only the named ones); producers assemble
+//! objects by hand (see [`crate::Event::to_json`] and `bench`'s
+//! `tables --json`). [`unescape`] is its exact inverse, so tests can
+//! prove round-trip fidelity over adversarial payloads. The validator
+//! is a strict recursive-descent parser over the full JSON grammar —
+//! enough to assert that what we wrote is what a real consumer can
+//! read, without pulling in serde.
 
 use std::fmt;
 
@@ -26,6 +29,102 @@ pub fn escape(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Decodes a JSON string literal (including the surrounding quotes)
+/// back into the text it encodes — the inverse of [`escape`], accepting
+/// any escape the JSON grammar allows (`\n`, `\u00XX`, surrogate
+/// pairs, …), so `unescape(&escape(s)) == Ok(s)` for every `s`.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when `src` is not exactly one well-formed
+/// string literal (bad escape, lone surrogate, unescaped control
+/// character, trailing data).
+pub fn unescape(src: &str) -> Result<String, JsonError> {
+    let bytes = src.as_bytes();
+    let err = |offset: usize, message: &str| JsonError { offset, message: message.to_string() };
+    if bytes.first() != Some(&b'"') {
+        return Err(err(0, "expected `\"`"));
+    }
+    let mut out = String::with_capacity(src.len().saturating_sub(2));
+    let mut chars = src.char_indices();
+    chars.next(); // the opening quote
+    // Reads one `\uXXXX` code unit; `i` is the backslash's offset.
+    let hex4 = |chars: &mut std::str::CharIndices<'_>, i: usize| -> Result<u16, JsonError> {
+        let mut unit = 0u16;
+        for _ in 0..4 {
+            let Some((_, c)) = chars.next() else {
+                return Err(err(i, "truncated \\u escape"));
+            };
+            let digit =
+                c.to_digit(16).ok_or_else(|| err(i, "invalid \\u escape"))? as u16;
+            unit = unit << 4 | digit;
+        }
+        Ok(unit)
+    };
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                return if chars.next().is_none() {
+                    Ok(out)
+                } else {
+                    Err(err(i + 1, "trailing characters after the string"))
+                };
+            }
+            '\\' => {
+                let Some((_, esc)) = chars.next() else {
+                    return Err(err(i, "truncated escape"));
+                };
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let unit = hex4(&mut chars, i)?;
+                        if (0xD800..=0xDBFF).contains(&unit) {
+                            // High surrogate: a `\uDC00..DFFF` low half
+                            // must follow immediately.
+                            match (chars.next(), chars.next()) {
+                                (Some((_, '\\')), Some((_, 'u'))) => {
+                                    let low = hex4(&mut chars, i)?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(err(i, "invalid low surrogate"));
+                                    }
+                                    let scalar = 0x10000
+                                        + ((unit as u32 - 0xD800) << 10)
+                                        + (low as u32 - 0xDC00);
+                                    out.push(
+                                        char::from_u32(scalar)
+                                            .ok_or_else(|| err(i, "invalid surrogate pair"))?,
+                                    );
+                                }
+                                _ => return Err(err(i, "lone high surrogate")),
+                            }
+                        } else if (0xDC00..=0xDFFF).contains(&unit) {
+                            return Err(err(i, "lone low surrogate"));
+                        } else {
+                            out.push(
+                                char::from_u32(unit as u32)
+                                    .ok_or_else(|| err(i, "invalid \\u escape"))?,
+                            );
+                        }
+                    }
+                    _ => return Err(err(i, "invalid escape character")),
+                }
+            }
+            c if (c as u32) < 0x20 => {
+                return Err(err(i, "unescaped control character in string"));
+            }
+            c => out.push(c),
+        }
+    }
+    Err(err(src.len(), "unterminated string"))
 }
 
 /// Where and why a validation failed.
@@ -272,5 +371,63 @@ mod tests {
     fn escape_round_trips_through_validate() {
         let nasty = "a\"b\\c\nd\te\u{1}f — π";
         validate(&escape(nasty)).unwrap();
+    }
+
+    /// Adversarial payloads: every control character, the quoting
+    /// characters, DEL, line/paragraph separators, astral-plane text.
+    /// `escape` must produce a literal that both validates and decodes
+    /// back to the original, byte for byte.
+    #[test]
+    fn escape_unescape_round_trips_adversarial_payloads() {
+        let mut all_controls = String::new();
+        for c in 0u32..0x20 {
+            all_controls.push(char::from_u32(c).unwrap());
+        }
+        let payloads = [
+            all_controls.as_str(),
+            "\u{0}embedded\u{0}nuls\u{0}",
+            "quotes \" and \\ backslashes \\\" mixed",
+            "\\u0000 (a literal escape sequence, not a control)",
+            "\u{7f}\u{80}\u{9f}", // DEL and C1 controls pass through raw
+            "\u{2028}line sep\u{2029}paragraph sep",
+            "π ≠ 𝄞 😀 — astral pairs",
+            "",
+        ];
+        for payload in payloads {
+            let literal = escape(payload);
+            validate(&literal).unwrap_or_else(|e| panic!("{payload:?}: {e}"));
+            assert_eq!(
+                unescape(&literal).as_deref(),
+                Ok(payload),
+                "round trip mangled {payload:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unescape_decodes_foreign_escapes() {
+        // Escapes `escape` never emits but real JSON producers do.
+        assert_eq!(unescape(r#""\/\b\f""#).unwrap(), "/\u{8}\u{c}");
+        assert_eq!(unescape("\"\\ud834\\udd1e\"").unwrap(), "\u{1d11e}", "surrogate pair");
+        assert_eq!(unescape("\"\\u00e9\\u2028\"").unwrap(), "\u{e9}\u{2028}");
+    }
+
+    #[test]
+    fn unescape_rejects_malformed_literals() {
+        for bad in [
+            "",
+            "x",
+            "\"unterminated",
+            "\"trailing\" x",
+            r#""\q""#,
+            r#""\u12""#,
+            r#""\uZZZZ""#,
+            r#""\ud834""#,        // lone high surrogate
+            r#""\ud834A""#,  // high surrogate followed by a non-surrogate
+            r#""\udd1e""#,        // lone low surrogate
+            "\"raw\u{1}control\"",
+        ] {
+            assert!(unescape(bad).is_err(), "accepted: {bad:?}");
+        }
     }
 }

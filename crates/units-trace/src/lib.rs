@@ -10,8 +10,12 @@
 //! * [`TraceSink`] — where events go: [`NullSink`] (drop),
 //!   [`CollectSink`] (buffer), [`JsonLinesSink`] (stream as JSON).
 //! * [`Metrics`] — thread-safe monotonic counters plus duration
-//!   histograms. Wall-clock data lives *only* here; events carry no
-//!   timestamps so two runs of one program yield identical streams.
+//!   histograms (with derived p50/p99) and a bounded span log that
+//!   exports as a Chrome-trace timeline. Wall-clock data lives *only*
+//!   here; events carry no timestamps so two runs of one program yield
+//!   identical streams.
+//! * [`recorder`] — the flight recorder: a thread-local ring of the
+//!   most recent events, dumped as a JSON-lines post-mortem on failure.
 //! * The dispatch layer below — [`install`]/[`uninstall`] bind a sink
 //!   and a metrics registry to the current thread; [`emit`], [`count`]
 //!   and [`time`] are the hooks the pipeline crates call.
@@ -51,10 +55,12 @@ mod event;
 pub mod faults;
 pub mod json;
 mod metrics;
+pub mod recorder;
 mod sink;
 
 pub use event::{Event, Phase, Span};
-pub use metrics::{DurationStats, Metrics, DURATION_BUCKETS};
+pub use metrics::{DurationStats, Metrics, SpanRecord, DURATION_BUCKETS, SPAN_CAPACITY};
+pub use recorder::{FlightDump, FlightRecorder};
 pub use sink::{CollectSink, JsonLinesSink, NullSink, TraceSink};
 
 /// `true` when this build carries live instrumentation (the `trace`
@@ -109,8 +115,10 @@ mod dispatch {
 
     /// Emits one event and folds its `counters` into the metrics.
     ///
-    /// `payload` is only rendered when the sink wants events, so
-    /// tracing with a [`crate::NullSink`] skips all string building.
+    /// `payload` is only rendered when the sink wants events or the
+    /// [`crate::recorder`] is active, so tracing with a
+    /// [`crate::NullSink`] skips all string building. The flight
+    /// recorder sees events even when no session is installed at all.
     pub fn emit(
         phase: Phase,
         kind: &'static str,
@@ -126,14 +134,27 @@ mod dispatch {
                 .as_ref()
                 .map(|sess| (sess.sink.clone(), sess.metrics.clone(), sess.wants_events))
         });
-        let Some((sink, metrics, wants_events)) = session else { return };
+        let recording = crate::recorder::is_recording();
+        let Some((sink, metrics, wants_events)) = session else {
+            if recording {
+                let event =
+                    Event { phase, kind, span, payload: payload(), counters: counters.to_vec() };
+                crate::recorder::record(&event);
+            }
+            return;
+        };
         for &(name, delta) in counters {
             metrics.add(name, delta);
         }
-        if wants_events {
+        if wants_events || recording {
             let event =
                 Event { phase, kind, span, payload: payload(), counters: counters.to_vec() };
-            sink.borrow_mut().event(&event);
+            if recording {
+                crate::recorder::record(&event);
+            }
+            if wants_events {
+                sink.borrow_mut().event(&event);
+            }
         }
     }
 
@@ -162,7 +183,9 @@ mod dispatch {
     impl Drop for Timer {
         fn drop(&mut self) {
             if let Some((metrics, name, start)) = self.running.take() {
-                metrics.record_duration(name, start.elapsed());
+                let elapsed = start.elapsed();
+                metrics.record_duration(name, elapsed);
+                metrics.record_span(name, start, elapsed);
             }
         }
     }

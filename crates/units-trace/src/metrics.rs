@@ -1,15 +1,18 @@
-//! A thread-safe registry of monotonic counters and duration
-//! histograms.
+//! A thread-safe registry of monotonic counters, duration histograms,
+//! and completed wall-clock spans.
 //!
 //! Counters are keyed by `'static` names following a `phase/what`
 //! convention (`"reduce/steps"`, `"prim/+"`, `"runtime/cells"`).
 //! Durations are recorded into per-name statistics with log₂(ns)
 //! buckets — wall-clock data lives only here, never in events, so event
-//! streams stay deterministic.
+//! streams stay deterministic. Each timed duration also lands in a
+//! bounded span log ([`SpanRecord`]) relative to the registry's
+//! creation instant, which [`Metrics::chrome_trace_json`] exports as a
+//! Chrome-trace/Perfetto timeline (`chrome://tracing`, ui.perfetto.dev).
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of log₂ nanosecond buckets ([`DurationStats::buckets`]).
 /// Bucket `i` counts samples with `floor(log2(ns)) == i`, clamped at
@@ -44,7 +47,8 @@ impl Default for DurationStats {
 }
 
 impl DurationStats {
-    fn record(&mut self, ns: u64) {
+    /// Records one sample of `ns` nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
         self.count += 1;
         self.total_ns += ns;
         self.min_ns = self.min_ns.min(ns);
@@ -57,14 +61,81 @@ impl DurationStats {
     pub fn mean_ns(&self) -> u64 {
         self.total_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// An estimate of the `p`-quantile (`0.0 < p <= 1.0`) in
+    /// nanoseconds, derived from the log₂ histogram: the upper edge of
+    /// the bucket holding the quantile sample, clamped to the observed
+    /// `[min_ns, max_ns]` range so single-sample and tail queries stay
+    /// exact. Returns 0 when no samples were recorded.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = (1u64 << (i + 1)).saturating_sub(1).max(1);
+                return upper.clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median sample duration in nanoseconds (bucket estimate).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// 99th-percentile sample duration in nanoseconds (bucket estimate).
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
+    }
+}
+
+/// One completed wall-clock span, with both endpoints expressed in
+/// nanoseconds since the owning [`Metrics`] registry was created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The timed scope's name (same key as its duration histogram).
+    pub name: &'static str,
+    /// Start offset from the registry's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// How long the span lasted, in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Most spans kept per registry before new ones are counted as dropped
+/// ([`Metrics::spans_dropped`]) — bounds memory on long sessions.
+pub const SPAN_CAPACITY: usize = 65_536;
+
+#[derive(Debug, Default)]
+struct SpanLog {
+    records: Vec<SpanRecord>,
+    dropped: u64,
 }
 
 /// The registry. Cheap to share (`Arc<Metrics>`) and safe to update
 /// from any thread.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
+    /// When this registry was created — span offsets are relative to it.
+    epoch: Instant,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     durations: Mutex<BTreeMap<&'static str, DurationStats>>,
+    spans: Mutex<SpanLog>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            epoch: Instant::now(),
+            counters: Mutex::default(),
+            durations: Mutex::default(),
+            spans: Mutex::default(),
+        }
+    }
 }
 
 impl Metrics {
@@ -83,7 +154,26 @@ impl Metrics {
     pub fn record_duration(&self, name: &'static str, duration: Duration) {
         let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
         let mut durations = self.durations.lock().expect("metrics duration lock");
-        durations.entry(name).or_default().record(ns);
+        durations.entry(name).or_default().record_ns(ns);
+    }
+
+    /// Records one completed span (`name`, started at `start`, lasting
+    /// `duration`) into the bounded span log. Spans that started before
+    /// this registry existed are clamped to offset 0; once the log holds
+    /// [`SPAN_CAPACITY`] records, further spans only bump the dropped
+    /// count.
+    pub fn record_span(&self, name: &'static str, start: Instant, duration: Duration) {
+        let start_ns = start
+            .checked_duration_since(self.epoch)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        let dur_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        let mut log = self.spans.lock().expect("metrics span lock");
+        if log.records.len() >= SPAN_CAPACITY {
+            log.dropped += 1;
+        } else {
+            log.records.push(SpanRecord { name, start_ns, dur_ns });
+        }
     }
 
     /// The current value of one counter (0 if never touched).
@@ -101,10 +191,49 @@ impl Metrics {
         self.durations.lock().expect("metrics duration lock").clone()
     }
 
-    /// Clears all counters and histograms.
+    /// A snapshot of the span log, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().expect("metrics span lock").records.clone()
+    }
+
+    /// How many spans were discarded because the log was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.lock().expect("metrics span lock").dropped
+    }
+
+    /// Clears all counters, histograms, and spans.
     pub fn reset(&self) {
         self.counters.lock().expect("metrics counter lock").clear();
         self.durations.lock().expect("metrics duration lock").clear();
+        let mut log = self.spans.lock().expect("metrics span lock");
+        log.records.clear();
+        log.dropped = 0;
+    }
+
+    /// The span log as a Chrome-trace/Perfetto JSON document — one
+    /// complete (`"ph":"X"`) event per span, timestamps in microseconds
+    /// with nanosecond fractions. Load the output in `chrome://tracing`
+    /// or ui.perfetto.dev for a whole-session timeline. Always a valid
+    /// JSON object, even when no spans were recorded.
+    pub fn chrome_trace_json(&self) -> String {
+        let log = self.spans.lock().expect("metrics span lock");
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in log.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":\"units\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+                 \"ts\":{}.{:03},\"dur\":{}.{:03}}}",
+                crate::json::escape(s.name),
+                s.start_ns / 1_000,
+                s.start_ns % 1_000,
+                s.dur_ns / 1_000,
+                s.dur_ns % 1_000,
+            ));
+        }
+        out.push_str("]}");
+        out
     }
 
     /// The whole registry as one JSON object:
@@ -126,12 +255,15 @@ impl Metrics {
             }
             out.push_str(&crate::json::escape(name));
             out.push_str(&format!(
-                ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
+                ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\
+                 \"p50_ns\":{},\"p99_ns\":{}}}",
                 stats.count,
                 stats.total_ns,
                 if stats.count == 0 { 0 } else { stats.min_ns },
                 stats.max_ns,
-                stats.mean_ns()
+                stats.mean_ns(),
+                stats.p50_ns(),
+                stats.p99_ns()
             ));
         }
         out.push_str("}}");
@@ -187,6 +319,61 @@ mod tests {
         let m = Metrics::new();
         m.add("prim/+", 4);
         m.record_duration("eval", Duration::from_micros(3));
-        crate::json::validate(&m.to_json()).unwrap();
+        let json = m.to_json();
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"p50_ns\"") && json.contains("\"p99_ns\""));
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let mut stats = DurationStats::default();
+        assert_eq!(stats.percentile_ns(0.5), 0, "empty stats have no quantiles");
+        // Half the samples in the [64, 127] bucket, half far above it.
+        for _ in 0..50 {
+            stats.record_ns(100);
+        }
+        for _ in 0..50 {
+            stats.record_ns(1 << 20);
+        }
+        assert_eq!(stats.p50_ns(), 127, "median sits at its bucket's upper edge");
+        assert!(stats.p50_ns() < stats.p99_ns());
+        assert_eq!(stats.percentile_ns(1.0), 1 << 20, "tail clamps to the observed max");
+        // A single sample is reported exactly (clamped to [min, max]).
+        let mut one = DurationStats::default();
+        one.record_ns(42);
+        assert_eq!(one.p50_ns(), 42);
+        assert_eq!(one.p99_ns(), 42);
+    }
+
+    #[test]
+    fn spans_are_logged_and_exported_as_chrome_trace() {
+        let m = Metrics::new();
+        let start = Instant::now();
+        m.record_span("eval", start, Duration::from_micros(5));
+        m.record_span("check", start, Duration::from_nanos(750));
+        let spans = m.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "eval");
+        assert_eq!(spans[0].dur_ns, 5_000);
+        assert_eq!(m.spans_dropped(), 0);
+        let chrome = m.chrome_trace_json();
+        crate::json::validate(&chrome).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"name\":\"check\""));
+        m.reset();
+        assert!(m.spans().is_empty());
+        crate::json::validate(&m.chrome_trace_json()).expect("empty export is still JSON");
+    }
+
+    #[test]
+    fn span_log_is_bounded() {
+        let m = Metrics::new();
+        let start = Instant::now();
+        for _ in 0..SPAN_CAPACITY + 3 {
+            m.record_span("tick", start, Duration::from_nanos(1));
+        }
+        assert_eq!(m.spans().len(), SPAN_CAPACITY);
+        assert_eq!(m.spans_dropped(), 3);
     }
 }

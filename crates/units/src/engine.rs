@@ -54,23 +54,26 @@
 //! # Ok::<(), units::Error>(())
 //! ```
 
-use std::cell::{Cell, OnceCell, RefCell};
+use std::cell::{OnceCell, RefCell};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use units_check::{check_program, CheckError, CheckOptions, Level, Strictness};
-use units_compile::{evaluate_program, lower_program, resolve_program, Archive};
+use units_compile::{evaluate_program, lower_program, resolve_program, Archive, ChunkProfile};
 use units_kernel::{alpha_eq, alpha_hash, Expr, Ty};
 use units_reduce::Reducer;
 use units_runtime::{execute, Chunk, Limits, Machine, Resource};
 use units_syntax::{parse_file, ParseError};
 use units_trace::faults::FaultPlane;
+use units_trace::{recorder, FlightDump};
 
 use crate::error::Error;
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::observe::{observe_expr, observe_value};
 use crate::program::{Backend, Outcome};
 
@@ -313,9 +316,9 @@ impl EngineBuilder {
             policy: self.policy,
             worker_faults: self.worker_faults,
             cache: RefCell::new(Cache::default()),
-            hits: Cell::new(0),
-            misses: Cell::new(0),
+            metrics: EngineMetrics::default(),
             recovery: RefCell::new(None),
+            flight: RefCell::new(None),
         }
     }
 }
@@ -337,9 +340,9 @@ pub struct Engine {
     policy: FallbackPolicy,
     worker_faults: Option<FaultPlane>,
     cache: RefCell<Cache>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    metrics: EngineMetrics,
     recovery: RefCell<Option<Recovery>>,
+    flight: RefCell<Option<FlightDump>>,
 }
 
 impl Default for Engine {
@@ -445,10 +448,61 @@ impl Engine {
     /// Cache hit/miss counters and current entry count.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.get(),
-            misses: self.misses.get(),
-            entries: self.cache.borrow().by_term.values().map(Vec::len).sum(),
+            hits: self.metrics.source_hits.get() + self.metrics.term_hits.get(),
+            misses: self.metrics.misses.get(),
+            entries: self.cache_entries(),
         }
+    }
+
+    fn cache_entries(&self) -> usize {
+        self.cache.borrow().by_term.values().map(Vec::len).sum()
+    }
+
+    /// A structured snapshot of the engine's always-on metrics plane:
+    /// cache behaviour per key kind, worker-pool activity, recovery
+    /// actions by policy stage, run totals with fuel and store-cell
+    /// high-water marks, and invoke latency percentiles (p50/p99 from
+    /// log₂-ns histogram buckets). Available in every build — only the
+    /// flight-dump count needs the `trace` feature to be nonzero.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache_entries())
+    }
+
+    /// Zeroes the metrics plane. Cache contents, recovery records, and
+    /// flight dumps are untouched — this resets the counters, not the
+    /// session.
+    pub fn metrics_reset(&self) {
+        self.metrics.reset();
+    }
+
+    /// The most recent flight-recorder post-mortem this engine captured
+    /// (when a run surfaced [`Error::Internal`], an injected fault, or
+    /// [`Error::ResourceExhausted`]). Always `None` without the `trace`
+    /// feature — the recorder compiles to a no-op there.
+    pub fn last_flight_dump(&self) -> Option<FlightDump> {
+        self.flight.borrow().clone()
+    }
+
+    /// Captures a flight dump when `err` indicts the machinery rather
+    /// than the program (the same classification recovery uses), naming
+    /// the failure in the dump's reason line. Set `UNITS_FLIGHT_DUMP=
+    /// <path>` to also write the JSON lines to a file, best-effort.
+    fn flight_on_fault(&self, err: &Error) {
+        let machinery = err.as_internal().is_some()
+            || err.is_injected()
+            || err.as_resource_exhausted().is_some();
+        if !machinery {
+            return;
+        }
+        let Some(dump) = recorder::dump(&err.to_string()) else { return };
+        self.metrics.flight_dumps.set(self.metrics.flight_dumps.get() + 1);
+        units_trace::count("engine/flight_dumps", 1);
+        if let Ok(path) = std::env::var("UNITS_FLIGHT_DUMP") {
+            if !path.is_empty() {
+                let _ = std::fs::write(&path, &dump.json_lines);
+            }
+        }
+        *self.flight.borrow_mut() = Some(dump);
     }
 
     fn source_key(&self, source: &str) -> u64 {
@@ -467,13 +521,17 @@ impl Engine {
         h.finish()
     }
 
-    fn record_hit(&self) {
-        self.hits.set(self.hits.get() + 1);
+    /// One cache hit, attributed to its key kind: `source` for the
+    /// raw-source fast path, else the α-invariant term index.
+    fn record_hit(&self, source: bool) {
+        let cell =
+            if source { &self.metrics.source_hits } else { &self.metrics.term_hits };
+        cell.set(cell.get() + 1);
         units_trace::count("engine/cache_hit", 1);
     }
 
     fn record_miss(&self) {
-        self.misses.set(self.misses.get() + 1);
+        self.metrics.misses.set(self.metrics.misses.get() + 1);
         units_trace::count("engine/cache_miss", 1);
     }
 
@@ -487,6 +545,7 @@ impl Engine {
             bucket.retain(|a| !Rc::ptr_eq(a, artifact));
         }
         cache.by_term.retain(|_, bucket| !bucket.is_empty());
+        self.metrics.evictions.set(self.metrics.evictions.get() + 1);
         units_trace::count("engine/cache_evict", 1);
     }
 
@@ -537,21 +596,26 @@ impl Engine {
     /// (nothing is evaluated yet). A panic inside parsing, checking, or
     /// resolution is caught here and surfaces as [`Error::Internal`].
     pub fn load(&self, source: &str) -> Result<Loaded<'_>, Error> {
-        guard("load", || {
+        recorder::ensure(recorder::DEFAULT_CAPACITY);
+        let result = guard("load", || {
             let skey = self.source_key(source);
             if let Some(artifact) = self.cache.borrow().by_source.get(&skey).cloned() {
-                self.record_hit();
+                self.record_hit(true);
                 return Ok(Loaded { engine: self, artifact });
             }
             let expr = parse_file(source)?;
             let tkey = self.term_key(&expr);
             if let Some(artifact) = self.term_lookup(skey, tkey, &expr) {
-                self.record_hit();
+                self.record_hit(false);
                 return Ok(Loaded { engine: self, artifact });
             }
             let artifact = self.admit(skey, tkey, expr, None)?;
             Ok(Loaded { engine: self, artifact })
-        })
+        });
+        if let Err(err) = &result {
+            self.flight_on_fault(err);
+        }
+        result
     }
 
     /// Wraps an already-built expression (no parsing; still checked,
@@ -561,16 +625,21 @@ impl Engine {
     ///
     /// [`Error::Check`] when the expression does not check.
     pub fn load_expr(&self, expr: Expr) -> Result<Loaded<'_>, Error> {
-        guard("load", || {
+        recorder::ensure(recorder::DEFAULT_CAPACITY);
+        let result = guard("load", || {
             // No source text, so key the source map by the term hash too.
             let tkey = self.term_key(&expr);
             if let Some(artifact) = self.term_lookup(tkey, tkey, &expr) {
-                self.record_hit();
+                self.record_hit(false);
                 return Ok(Loaded { engine: self, artifact });
             }
             let artifact = self.admit(tkey, tkey, expr, None)?;
             Ok(Loaded { engine: self, artifact })
-        })
+        });
+        if let Err(err) = &result {
+            self.flight_on_fault(err);
+        }
+        result
     }
 
     /// [`load`](Engine::load) followed by [`Loaded::run`]: the one-call
@@ -603,6 +672,7 @@ impl Engine {
         if workers <= 1 {
             return sources.iter().map(|s| self.load(s)).collect();
         }
+        self.metrics.note_batch(jobs.len() as u64, workers as u64);
         units_trace::count("engine/pool_jobs", jobs.len() as u64);
         units_trace::count("engine/pool_queue_depth", jobs.len() as u64);
         units_trace::count("engine/pool_workers", workers as u64);
@@ -654,7 +724,7 @@ impl Engine {
                     let tkey = self.term_key(&expr);
                     let artifact = match self.term_lookup(skey, tkey, &expr) {
                         Some(found) => {
-                            self.record_hit();
+                            self.record_hit(false);
                             found
                         }
                         None => self.admit(skey, tkey, expr, Some(ty))?,
@@ -712,6 +782,26 @@ impl Loaded<'_> {
         units_runtime::disassemble(&self.artifact.chunk())
     }
 
+    /// [`Loaded::disassemble`] annotated with the bytecode profiler's
+    /// per-op execution counts and fuel attribution. Counts accumulate
+    /// across bytecode runs of this (cached, shared) chunk in `trace`
+    /// builds; elsewhere the header explains they are unavailable.
+    pub fn disassemble_profiled(&self) -> String {
+        units_runtime::disassemble_profiled(&self.artifact.chunk())
+    }
+
+    /// A structured snapshot of the chunk's profiler counters — totals,
+    /// per-op counts, and the hottest mnemonics.
+    pub fn chunk_profile(&self) -> ChunkProfile {
+        ChunkProfile::capture(&self.artifact.chunk())
+    }
+
+    /// Zeroes the chunk's profiler counters (the chunk is shared by
+    /// every load of this program, so counts otherwise accumulate).
+    pub fn profile_reset(&self) {
+        self.artifact.chunk().profile.reset();
+    }
+
     /// Runs on the engine's default backend.
     ///
     /// # Errors
@@ -739,11 +829,19 @@ impl Loaded<'_> {
     ///
     /// As for [`Loaded::run`].
     pub fn run_on(&self, backend: Backend) -> Result<Outcome, Error> {
+        // Trace builds keep a flight-recorder ring rolling on the run
+        // path so a failure below can produce a post-mortem.
+        recorder::ensure(recorder::DEFAULT_CAPACITY);
+        let start = Instant::now();
         *self.engine.recovery.borrow_mut() = None;
-        match self.run_raw(backend, self.engine.limits) {
+        let result = match self.run_raw(backend, self.engine.limits) {
             Ok(outcome) => Ok(outcome),
             Err(err) => self.recover(backend, err),
-        }
+        };
+        // Latency covers the whole journey, recovery included — that is
+        // what a caller of `run_on` actually waited.
+        self.engine.metrics.note_run(start.elapsed(), result.is_ok());
+        result
     }
 
     /// Runs on *all three* backends and asserts they agree — the
@@ -786,25 +884,37 @@ impl Loaded<'_> {
                 let _timer = units_trace::time("eval");
                 let mut machine = Machine::with_limits(limits);
                 let expr = self.artifact.resolved.as_ref().unwrap_or(&self.artifact.expr);
-                let value = evaluate_program(expr, &mut machine)?;
-                units_trace::count("engine/fuel_used", machine.steps_taken());
+                // Account fuel and cells before `?` so even failed runs
+                // (e.g. budget exhaustion) land in the metrics plane.
+                let value = evaluate_program(expr, &mut machine);
+                self.note_machine(&machine);
+                let value = value?;
                 Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
             }
             Backend::Bytecode => {
                 let chunk = self.artifact.chunk();
                 let _timer = units_trace::time("eval");
                 let mut machine = Machine::with_limits(limits);
-                let value = execute(&chunk, &mut machine)?;
-                units_trace::count("engine/fuel_used", machine.steps_taken());
+                let value = execute(&chunk, &mut machine);
+                self.note_machine(&machine);
+                let value = value?;
                 Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
             }
             Backend::Reducer => {
                 let mut reducer = Reducer::with_limits(limits);
-                let value = reducer.reduce_to_value(&self.artifact.expr)?;
-                units_trace::count("engine/fuel_used", reducer.machine.steps_taken());
+                let value = reducer.reduce_to_value(&self.artifact.expr);
+                self.note_machine(&reducer.machine);
+                let value = value?;
                 Ok(Outcome { value: observe_expr(&value), output: reducer.machine.take_output() })
             }
         })
+    }
+
+    /// Folds one finished machine's fuel and store-cell usage into the
+    /// engine metrics (and the legacy trace counter).
+    fn note_machine(&self, machine: &Machine) {
+        units_trace::count("engine/fuel_used", machine.steps_taken());
+        self.engine.metrics.note_machine(machine.steps_taken(), machine.cells_allocated());
     }
 
     /// The failure path of [`run_on`](Loaded::run_on): evict the
@@ -817,6 +927,9 @@ impl Loaded<'_> {
         if err.as_internal().is_some() {
             self.engine.evict(&self.artifact);
         }
+        // Post-mortem first, while the ring still ends at the failure:
+        // the retries below will append their own (re-run) events.
+        self.engine.flight_on_fault(&err);
         let policy = self.engine.policy;
         let mut recovery =
             Recovery { failure: err.to_string(), retries: 0, fell_back: false, divergence: None };
@@ -828,11 +941,14 @@ impl Loaded<'_> {
                 while recovery.retries < policy.fuel_retries {
                     recovery.retries += 1;
                     fuel = fuel.saturating_mul(policy.fuel_factor);
+                    let m = &self.engine.metrics;
+                    m.fuel_retries.set(m.fuel_retries.get() + 1);
                     units_trace::count("engine/fuel_retries", 1);
                     let mut limits = self.engine.limits;
                     limits.fuel = Some(fuel);
                     match self.run_raw(backend, limits) {
                         Ok(outcome) => {
+                            m.recovered_runs.set(m.recovered_runs.get() + 1);
                             *self.engine.recovery.borrow_mut() = Some(recovery);
                             return Ok(outcome);
                         }
@@ -857,6 +973,8 @@ impl Loaded<'_> {
             || err.is_injected()
             || err.as_resource_exhausted().is_some();
         if policy.reference_fallback && backend != Backend::Reducer && backend_fault {
+            let m = &self.engine.metrics;
+            m.fallbacks.set(m.fallbacks.get() + 1);
             units_trace::count("engine/fallbacks", 1);
             // The fault plane stays suspended for the re-run: recovery
             // must not itself be a fault target.
@@ -864,6 +982,7 @@ impl Loaded<'_> {
                 self.run_raw(Backend::Reducer, self.engine.limits)
             });
             if let Ok(outcome) = fallback {
+                m.recovered_runs.set(m.recovered_runs.get() + 1);
                 recovery.fell_back = true;
                 recovery.divergence = self.diagnose(&policy, backend);
                 *self.engine.recovery.borrow_mut() = Some(recovery);

@@ -54,6 +54,7 @@
 pub mod diagram;
 mod engine;
 mod error;
+mod metrics;
 mod observe;
 mod program;
 pub mod stdlib;
@@ -61,9 +62,14 @@ pub mod typed_stdlib;
 
 pub use engine::{CacheStats, Engine, EngineBuilder, FallbackPolicy, Loaded, Recovery};
 pub use error::Error;
+pub use metrics::{
+    CacheMetrics, LatencyStats, MetricsSnapshot, PoolMetrics, RecoveryMetrics, RunMetrics,
+};
 pub use observe::{observe_expr, observe_value, Observation};
 #[cfg(feature = "trace")]
-pub use observe::{diagnose_divergence, diagnose_divergence_with, DivergenceReport};
+pub use observe::{
+    diagnose_divergence, diagnose_divergence_between, diagnose_divergence_with, DivergenceReport,
+};
 pub use program::{Backend, Outcome};
 #[allow(deprecated)]
 pub use program::Program;
@@ -80,8 +86,9 @@ pub use units_check::{
 };
 pub use units_compile::{
     evaluate_program, invoke_unit, load_interface, load_unit, publish_unit, Archive,
-    ArtifactError, DynlinkError, Published,
+    ArtifactError, ChunkProfile, DynlinkError, Published,
 };
+pub use units_trace::FlightDump;
 pub use units_kernel::{
     alpha_eq, free_val_vars, Depend, Expr, Kind, Ports, Signature, Symbol, Ty, TyPort, UnitExpr,
     ValPort,

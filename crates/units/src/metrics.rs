@@ -1,0 +1,290 @@
+//! The engine's always-on metrics plane.
+//!
+//! Unlike the event hooks in `units-trace` (feature-gated to no-ops),
+//! these are plain per-engine counters — a handful of `Cell` bumps and
+//! one `Instant` read per invoke — cheap enough to keep in every build,
+//! so `Engine::metrics_snapshot` reports cache behaviour, recoveries,
+//! worker-pool usage, fuel, store-cell high-water marks, and invoke
+//! latency percentiles whether or not the `trace` feature is compiled.
+//!
+//! Latency uses [`units_trace::DurationStats`] (the *types* in
+//! `units-trace` always compile): log₂-ns histogram buckets with
+//! derived p50/p99.
+
+use std::cell::{Cell, RefCell};
+use std::time::Duration;
+
+use units_trace::DurationStats;
+
+/// Internal mutable storage, one per [`crate::Engine`]. Engines are
+/// single-threaded handles (`Rc`/`RefCell` inside), so plain `Cell`s
+/// suffice; worker threads report through the engine after joining.
+#[derive(Debug, Default)]
+pub(crate) struct EngineMetrics {
+    pub source_hits: Cell<u64>,
+    pub term_hits: Cell<u64>,
+    pub misses: Cell<u64>,
+    pub evictions: Cell<u64>,
+    pub pool_batches: Cell<u64>,
+    pub pool_jobs: Cell<u64>,
+    pub pool_peak_workers: Cell<u64>,
+    pub runs: Cell<u64>,
+    pub run_failures: Cell<u64>,
+    pub fuel_total: Cell<u64>,
+    pub fuel_max: Cell<u64>,
+    pub cells_peak: Cell<u64>,
+    pub fuel_retries: Cell<u64>,
+    pub fallbacks: Cell<u64>,
+    pub recovered_runs: Cell<u64>,
+    pub flight_dumps: Cell<u64>,
+    pub invoke_latency: RefCell<DurationStats>,
+}
+
+impl EngineMetrics {
+    /// Records one completed run (including any recovery work).
+    pub fn note_run(&self, latency: Duration, ok: bool) {
+        self.runs.set(self.runs.get() + 1);
+        if !ok {
+            self.run_failures.set(self.run_failures.get() + 1);
+        }
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.invoke_latency.borrow_mut().record_ns(ns);
+    }
+
+    /// Folds one machine's end-of-run resource usage in.
+    pub fn note_machine(&self, fuel: u64, cells: u64) {
+        self.fuel_total.set(self.fuel_total.get() + fuel);
+        self.fuel_max.set(self.fuel_max.get().max(fuel));
+        self.cells_peak.set(self.cells_peak.get().max(cells));
+    }
+
+    /// Records one worker-pool batch of `jobs` jobs on `workers`
+    /// threads.
+    pub fn note_batch(&self, jobs: u64, workers: u64) {
+        self.pool_batches.set(self.pool_batches.get() + 1);
+        self.pool_jobs.set(self.pool_jobs.get() + jobs);
+        self.pool_peak_workers.set(self.pool_peak_workers.get().max(workers));
+    }
+
+    /// A structured copy of everything, with `entries` supplied by the
+    /// cache (it owns the map).
+    pub fn snapshot(&self, entries: usize) -> MetricsSnapshot {
+        let lat = self.invoke_latency.borrow();
+        MetricsSnapshot {
+            cache: CacheMetrics {
+                source_hits: self.source_hits.get(),
+                term_hits: self.term_hits.get(),
+                misses: self.misses.get(),
+                evictions: self.evictions.get(),
+                entries,
+            },
+            pool: PoolMetrics {
+                batches: self.pool_batches.get(),
+                jobs: self.pool_jobs.get(),
+                peak_workers: self.pool_peak_workers.get(),
+            },
+            recovery: RecoveryMetrics {
+                fuel_retries: self.fuel_retries.get(),
+                reference_fallbacks: self.fallbacks.get(),
+                recovered_runs: self.recovered_runs.get(),
+                flight_dumps: self.flight_dumps.get(),
+            },
+            runs: RunMetrics {
+                total: self.runs.get(),
+                failures: self.run_failures.get(),
+                fuel_total: self.fuel_total.get(),
+                fuel_max: self.fuel_max.get(),
+                store_cells_peak: self.cells_peak.get(),
+            },
+            invoke_latency: LatencyStats {
+                count: lat.count,
+                min_ns: if lat.count == 0 { 0 } else { lat.min_ns },
+                max_ns: lat.max_ns,
+                mean_ns: lat.mean_ns(),
+                p50_ns: lat.p50_ns(),
+                p99_ns: lat.p99_ns(),
+            },
+        }
+    }
+
+    /// Zeroes every counter and the latency histogram.
+    pub fn reset(&self) {
+        self.source_hits.set(0);
+        self.term_hits.set(0);
+        self.misses.set(0);
+        self.evictions.set(0);
+        self.pool_batches.set(0);
+        self.pool_jobs.set(0);
+        self.pool_peak_workers.set(0);
+        self.runs.set(0);
+        self.run_failures.set(0);
+        self.fuel_total.set(0);
+        self.fuel_max.set(0);
+        self.cells_peak.set(0);
+        self.fuel_retries.set(0);
+        self.fallbacks.set(0);
+        self.recovered_runs.set(0);
+        self.flight_dumps.set(0);
+        *self.invoke_latency.borrow_mut() = DurationStats::default();
+    }
+}
+
+/// Artifact-cache behaviour, split by key kind (raw source hash vs
+/// α-invariant term hash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheMetrics {
+    /// Loads answered from the raw-source fast path.
+    pub source_hits: u64,
+    /// Loads answered from the α-invariant term index.
+    pub term_hits: u64,
+    /// Loads that had to check and resolve from scratch.
+    pub misses: u64,
+    /// Artifacts evicted after a panic poisoned them.
+    pub evictions: u64,
+    /// Artifacts currently cached.
+    pub entries: usize,
+}
+
+/// Worker-pool activity for `load_batch` / `load_archive`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolMetrics {
+    /// Parallel batches dispatched (sequential fallbacks not counted).
+    pub batches: u64,
+    /// Jobs pushed through those batches.
+    pub jobs: u64,
+    /// Widest worker count used by any batch.
+    pub peak_workers: u64,
+}
+
+/// What the failure-recovery policy did, by stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryMetrics {
+    /// Fuel-escalation retry runs.
+    pub fuel_retries: u64,
+    /// Runs re-executed on the reference reducer.
+    pub reference_fallbacks: u64,
+    /// Runs that ultimately succeeded only thanks to recovery.
+    pub recovered_runs: u64,
+    /// Flight-recorder post-mortems captured (trace builds only).
+    pub flight_dumps: u64,
+}
+
+/// Aggregate run outcomes and resource high-water marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunMetrics {
+    /// Runs requested through the engine (`run`, `run_on`, `invoke`).
+    pub total: u64,
+    /// Runs that returned an error after recovery (if any) was spent.
+    pub failures: u64,
+    /// Fuel (machine steps) consumed across all runs.
+    pub fuel_total: u64,
+    /// Most fuel any single run consumed.
+    pub fuel_max: u64,
+    /// Most store cells any single run allocated.
+    pub store_cells_peak: u64,
+}
+
+/// Invoke latency derived from a log₂-ns histogram. Percentiles are
+/// bucket upper-bound estimates clamped to the observed range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// How many runs were timed.
+    pub count: u64,
+    /// Fastest run, in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest run, in nanoseconds.
+    pub max_ns: u64,
+    /// Mean run latency, in nanoseconds.
+    pub mean_ns: u64,
+    /// Median estimate, in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile estimate, in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Everything [`crate::Engine::metrics_snapshot`] reports, as plain
+/// data. Serializes to JSON with [`MetricsSnapshot::to_json`] for the
+/// bench harness and CI gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Cache hits/misses/evictions per key kind.
+    pub cache: CacheMetrics,
+    /// Worker-pool batches, jobs, and peak width.
+    pub pool: PoolMetrics,
+    /// Recovery actions by policy stage.
+    pub recovery: RecoveryMetrics,
+    /// Run totals, fuel, and store-cell high-water marks.
+    pub runs: RunMetrics,
+    /// Invoke latency histogram summary (p50/p99).
+    pub invoke_latency: LatencyStats,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as one JSON object (zero-dep, validated in tests).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cache\":{{\"source_hits\":{},\"term_hits\":{},\"misses\":{},\
+             \"evictions\":{},\"entries\":{}}},\
+             \"pool\":{{\"batches\":{},\"jobs\":{},\"peak_workers\":{}}},\
+             \"recovery\":{{\"fuel_retries\":{},\"reference_fallbacks\":{},\
+             \"recovered_runs\":{},\"flight_dumps\":{}}},\
+             \"runs\":{{\"total\":{},\"failures\":{},\"fuel_total\":{},\
+             \"fuel_max\":{},\"store_cells_peak\":{}}},\
+             \"invoke_latency\":{{\"count\":{},\"min_ns\":{},\"max_ns\":{},\
+             \"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}}}",
+            self.cache.source_hits,
+            self.cache.term_hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.entries,
+            self.pool.batches,
+            self.pool.jobs,
+            self.pool.peak_workers,
+            self.recovery.fuel_retries,
+            self.recovery.reference_fallbacks,
+            self.recovery.recovered_runs,
+            self.recovery.flight_dumps,
+            self.runs.total,
+            self.runs.failures,
+            self.runs.fuel_total,
+            self.runs.fuel_max,
+            self.runs.store_cells_peak,
+            self.invoke_latency.count,
+            self.invoke_latency.min_ns,
+            self.invoke_latency.max_ns,
+            self.invoke_latency.mean_ns,
+            self.invoke_latency.p50_ns,
+            self.invoke_latency.p99_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_is_valid_and_carries_percentiles() {
+        let metrics = EngineMetrics::default();
+        metrics.note_run(Duration::from_micros(10), true);
+        metrics.note_run(Duration::from_micros(20), false);
+        metrics.note_machine(100, 7);
+        metrics.note_machine(40, 9);
+        metrics.note_batch(3, 2);
+        let snap = metrics.snapshot(5);
+        assert_eq!(snap.runs.total, 2);
+        assert_eq!(snap.runs.failures, 1);
+        assert_eq!(snap.runs.fuel_total, 140);
+        assert_eq!(snap.runs.fuel_max, 100);
+        assert_eq!(snap.runs.store_cells_peak, 9);
+        assert_eq!(snap.pool.jobs, 3);
+        assert_eq!(snap.invoke_latency.count, 2);
+        assert!(snap.invoke_latency.p50_ns <= snap.invoke_latency.p99_ns);
+        assert!(snap.invoke_latency.p99_ns <= snap.invoke_latency.max_ns);
+        let json = snap.to_json();
+        units_trace::json::validate(&json).unwrap();
+        assert!(json.contains("\"p50_ns\"") && json.contains("\"p99_ns\""));
+        metrics.reset();
+        assert_eq!(metrics.snapshot(0), MetricsSnapshot::default());
+    }
+}

@@ -292,8 +292,30 @@ mod divergence {
     where
         F: Fn(Backend) -> Result<crate::Outcome, crate::Error>,
     {
-        let (compiled, compiled_events) = units_trace::capture(|| run(against));
-        let (reduced, reduced_events) = units_trace::capture(|| run(Backend::Reducer));
+        diagnose_divergence_between(against, Backend::Reducer, run)
+    }
+
+    /// [`diagnose_divergence_with`] generalized to any backend pair:
+    /// `left` plays the "compiled" role of the report, `right` the
+    /// "reduced" role (the field names keep their historical spelling —
+    /// read them as left/right). Pass `right = Backend::Reducer` to get
+    /// exactly [`diagnose_divergence_with`]; pass
+    /// `(Compiled, Bytecode)` to compare the two production backends
+    /// against each other. The Fig. 11 step attribution comes from the
+    /// right-hand stream, so it names reducer steps only when the right
+    /// backend is the reducer — for other pairs `diverging_step` is the
+    /// step count of whatever `step/…` events the right backend emitted
+    /// (none for the compiled backends, making it step 1).
+    pub fn diagnose_divergence_between<F>(
+        left: Backend,
+        right: Backend,
+        run: F,
+    ) -> DivergenceReport
+    where
+        F: Fn(Backend) -> Result<crate::Outcome, crate::Error>,
+    {
+        let (compiled, compiled_events) = units_trace::capture(|| run(left));
+        let (reduced, reduced_events) = units_trace::capture(|| run(right));
         let cp = prim_payloads(&compiled_events);
         let rp = prim_payloads(&reduced_events);
         let diverging_call = cp
@@ -324,7 +346,9 @@ mod divergence {
 }
 
 #[cfg(feature = "trace")]
-pub use divergence::{diagnose_divergence, diagnose_divergence_with, DivergenceReport};
+pub use divergence::{
+    diagnose_divergence, diagnose_divergence_between, diagnose_divergence_with, DivergenceReport,
+};
 
 #[cfg(test)]
 #[allow(deprecated)]

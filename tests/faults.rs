@@ -260,3 +260,44 @@ fn batch_worker_faults_are_isolated_and_deterministic() {
     // everywhere, whatever order its threads popped the queue.
     assert_eq!(verdicts, run_pool(), "schedules are scheduling-independent");
 }
+
+/// A seeded schedule that trips inside evaluation leaves a flight-
+/// recorder post-mortem on the engine (trace builds carry the ring):
+/// the dump names the trip site, ends at the failure, and every line
+/// is valid JSON.
+#[cfg(feature = "trace")]
+#[test]
+fn injected_fault_produces_a_flight_dump_naming_the_trip_site() {
+    faults::install_quiet_hook();
+    let (source, _) = program_for(Level::Untyped);
+    let engine = Engine::new();
+    let loaded = engine.load(source).unwrap();
+    assert_eq!(engine.last_flight_dump(), None, "no dump before any fault");
+
+    faults::arm(FaultPlane::seeded(11).trigger("compile/eval", 1));
+    let err = loaded.run_on(Backend::Compiled).expect_err("the fault must surface");
+    faults::disarm();
+    assert!(err.to_string().contains("injected fault at compile/eval"), "{err}");
+
+    let dump = engine.last_flight_dump().expect("the failure captured a post-mortem");
+    assert!(dump.reason.contains("injected fault at compile/eval"), "{}", dump.reason);
+    assert!(dump.events > 0, "the ring saw the run");
+    let mut lines = dump.json_lines.lines();
+    let meta = lines.next().expect("a meta line leads the dump");
+    assert!(meta.contains("\"flight\":\"dump\""), "{meta}");
+    for line in dump.json_lines.lines() {
+        units::trace::json::validate(line)
+            .unwrap_or_else(|e| panic!("bad dump line {e:?}: {line}"));
+    }
+    assert!(
+        dump.json_lines.contains("fault/fired") && dump.json_lines.contains("compile/eval"),
+        "the dump records the trip itself:\n{}",
+        dump.json_lines
+    );
+
+    // A later clean run does not overwrite the post-mortem with nothing:
+    // the last dump stays until the next machinery fault.
+    loaded.run_on(Backend::Compiled).unwrap();
+    assert!(engine.last_flight_dump().is_some());
+    assert_eq!(engine.metrics_snapshot().recovery.flight_dumps, 1);
+}

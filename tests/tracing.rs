@@ -167,6 +167,98 @@ fn divergence_report_names_the_first_diverging_step() {
     assert_eq!(clean.prim_calls.0, clean.prim_calls.1);
 }
 
+/// The same injected fault diagnosed across every backend pair: both
+/// production backends diverge from the broken reducer at the same
+/// Fig. 11 step, the step is stable under repeated diagnosis, and the
+/// two production backends agree with *each other*.
+#[cfg(feature = "trace")]
+#[test]
+fn divergence_step_is_stable_across_backend_pairs() {
+    let run = diverging_run(EVEN_ODD, 10_000, Some(0));
+
+    // Compiled vs broken reducer, and bytecode vs broken reducer: both
+    // lefts are clean, so both must part ways from the same broken
+    // right-hand stream at the same call and step.
+    let cr = units::diagnose_divergence_between(Backend::Compiled, Backend::Reducer, &run);
+    let br = units::diagnose_divergence_between(Backend::Bytecode, Backend::Reducer, &run);
+    let call = cr.diverging_call.expect("compiled/reducer diverge");
+    let step = cr.diverging_step.expect("the call lands in some step");
+    assert_eq!(br.diverging_call, Some(call), "bytecode sees the same diverging call");
+    assert_eq!(br.diverging_step, Some(step), "…at the same Fig. 11 step");
+
+    // Diagnosis is a pure replay: running it again names the same step.
+    let again = units::diagnose_divergence_between(Backend::Compiled, Backend::Reducer, &run);
+    assert_eq!(again.diverging_call, Some(call));
+    assert_eq!(again.diverging_step, Some(step));
+
+    // The production pair is untouched by the reducer-side fault.
+    let cb = units::diagnose_divergence_between(Backend::Compiled, Backend::Bytecode, &run);
+    assert_eq!(cb.diverging_call, None, "{cb}");
+    assert_eq!(cb.prim_calls.0, cb.prim_calls.1);
+
+    // And with no injection at all, every pair agrees.
+    let clean = diverging_run(EVEN_ODD, 10_000, None);
+    for (left, right) in [
+        (Backend::Compiled, Backend::Reducer),
+        (Backend::Bytecode, Backend::Reducer),
+        (Backend::Compiled, Backend::Bytecode),
+    ] {
+        let report = units::diagnose_divergence_between(left, right, &clean);
+        assert_eq!(report.diverging_call, None, "{left:?} vs {right:?}: {report}");
+    }
+}
+
+/// Adversarial payloads — control characters, quotes, backslashes,
+/// astral-plane text — survive the real emit → sink → JSON-line path:
+/// every line the zero-dep writer produces validates, and the escaped
+/// payload decodes back to the original bytes.
+#[cfg(feature = "trace")]
+#[test]
+fn adversarial_event_payloads_round_trip_through_the_sink() {
+    use units::trace::{json, Phase};
+    let payloads = [
+        "\u{0}\u{1}\u{8}\u{c}\n\r\t\u{1f}".to_string(),
+        "quote \" backslash \\ slash / done".to_string(),
+        "literal \\u0000 text (already escaped-looking)".to_string(),
+        "line\u{2028}and\u{2029}separators, \u{7f}\u{9b}".to_string(),
+        "astral 𝄞 and accented é".to_string(),
+    ];
+    let ((), events) = units::trace::capture(|| {
+        for p in &payloads {
+            units::trace::emit(Phase::Engine, "test/adversarial", None, || p.clone(), &[]);
+        }
+    });
+    assert_eq!(events.len(), payloads.len());
+    for (event, payload) in events.iter().zip(&payloads) {
+        assert_eq!(&event.payload, payload, "payload survives the session");
+        let line = event.to_json();
+        json::validate(&line).unwrap_or_else(|e| panic!("invalid event JSON {e:?}: {line}"));
+        let escaped = json::escape(payload);
+        assert_eq!(json::unescape(&escaped).as_deref(), Ok(payload.as_str()));
+    }
+}
+
+/// The span log behind `Metrics::chrome_trace_json` captures the
+/// pipeline phases of a real run, and the export is valid JSON in the
+/// Chrome `traceEvents` shape.
+#[cfg(feature = "trace")]
+#[test]
+fn chrome_trace_export_is_valid_and_names_the_eval_span() {
+    let metrics = Arc::new(units::trace::Metrics::new());
+    units::trace::install(
+        Rc::new(RefCell::new(units::trace::NullSink)),
+        Arc::clone(&metrics),
+    );
+    let engine = Engine::new();
+    engine.load(EVEN_ODD).unwrap().run_on(Backend::Compiled).unwrap();
+    units::trace::uninstall();
+    let doc = metrics.chrome_trace_json();
+    units::trace::json::validate(&doc).expect("chrome trace is valid JSON");
+    assert!(doc.contains("\"traceEvents\""), "{doc}");
+    assert!(doc.contains("\"name\":\"eval\""), "the eval phase span is present: {doc}");
+    assert!(!metrics.spans().is_empty());
+}
+
 /// The deprecated `Program` shim's differential harness surfaces the
 /// report on mismatch — pinned here until the shim is removed.
 #[cfg(feature = "trace")]
