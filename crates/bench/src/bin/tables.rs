@@ -101,7 +101,8 @@ impl Recorder {
     fn to_json(&self, quick: bool) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
-            "\"bench\":\"tables\",\"quick\":{quick},\"trace_compiled\":{},",
+            "\"bench\":\"tables\",\"quick\":{quick},\"host_parallelism\":{},\"trace_compiled\":{},",
+            host_parallelism(),
             units_trace::COMPILED
         ));
         out.push_str("\"records\":[");
@@ -126,6 +127,15 @@ impl Recorder {
         out.push('}');
         out
     }
+}
+
+/// What the machine can actually run in parallel. Recorded in the JSON
+/// header so the ci.sh scaling gate can tell "the pipeline failed to
+/// scale" apart from "the host has one core" — on a 1-core runner a
+/// wall-clock speedup is physically impossible and the gate must say so
+/// rather than fail or silently pass.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The engine's always-on metrics plane over a short warm session:
@@ -559,6 +569,84 @@ fn main() {
             "archive",
             count,
             vec![("load_check_us", t_load), ("load_run_us", t_run)],
+        );
+    }
+
+    header("parallel_scaling (B.9): threads vs. batch load / concurrent invoke");
+    println!(
+        "{:>17} {:>8} {:>14} {:>8}  (host parallelism: {})",
+        "series",
+        "threads",
+        "µs",
+        "speedup",
+        host_parallelism()
+    );
+    // Batch load: a fresh engine per repetition pays the full cold
+    // parse→check→resolve pipeline for every distinct source, spread
+    // over the worker pool. Sources are distinct (different depths), so
+    // nothing is answered from cache — this measures pipeline
+    // parallelism, not cache throughput.
+    let batch_sources: Vec<String> = (0..if quick { 6 } else { 16 })
+        .map(|i| units::pretty_expr(&even_odd_program(60 + i)))
+        .collect();
+    let batch_refs: Vec<&str> = batch_sources.iter().map(String::as_str).collect();
+    let mut batch_base = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let t = time_us(runs, || {
+            let engine = Engine::builder()
+                .strictness(Strictness::MzScheme)
+                .threads(threads)
+                .build();
+            for loaded in engine.load_batch(&batch_refs) {
+                loaded.unwrap();
+            }
+        });
+        if threads == 1 {
+            batch_base = t;
+        }
+        let speedup = batch_base / t;
+        println!("{:>17} {threads:>8} {t:>14.1} {speedup:>7.2}x", "batch_load");
+        rec.push(
+            "parallel_scaling",
+            "batch_load",
+            threads,
+            vec![("us", t), ("speedup", speedup)],
+        );
+    }
+    // Concurrent invoke: one shared engine, one cached artifact, a fixed
+    // total of invocations split across t threads. Invocation is
+    // read-only against the shared artifact, so this measures how much
+    // the engine's interior locking costs under contention.
+    let invoke_src = units::pretty_expr(&even_odd_program(100));
+    let invoke_total = if quick { 32usize } else { 128 };
+    let shared = session();
+    let warm = shared.load(&invoke_src).unwrap();
+    warm.run_on(Backend::Bytecode).unwrap(); // pay the one-time lowering
+    let mut invoke_base = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let per_thread = invoke_total / threads;
+        let t = time_us(runs, || {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let loaded = shared.load(&invoke_src).unwrap();
+                        for _ in 0..per_thread {
+                            loaded.run_on(Backend::Bytecode).unwrap();
+                        }
+                    });
+                }
+            });
+        });
+        if threads == 1 {
+            invoke_base = t;
+        }
+        let speedup = invoke_base / t;
+        println!("{:>17} {threads:>8} {t:>14.1} {speedup:>7.2}x", "concurrent_invoke");
+        rec.push(
+            "parallel_scaling",
+            "concurrent_invoke",
+            threads,
+            vec![("us", t), ("speedup", speedup)],
         );
     }
 

@@ -76,7 +76,7 @@ fn eval_inner(expr: &Expr, env: &Env, machine: &mut Machine) -> Result<Value, Ru
         Expr::Lit(lit) => Ok(match lit {
             units_kernel::Lit::Int(n) => Value::Int(*n),
             units_kernel::Lit::Bool(b) => Value::Bool(*b),
-            units_kernel::Lit::Str(s) => Value::Str(Rc::from(&**s)),
+            units_kernel::Lit::Str(s) => Value::Str(s.clone()),
             units_kernel::Lit::Void => Value::Void,
         }),
         Expr::Prim(op, _tys) => Ok(Value::Prim(*op)),

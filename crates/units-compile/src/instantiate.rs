@@ -67,7 +67,7 @@ pub fn invoke_unit(
 mod tests {
     use super::*;
     use crate::eval::evaluate_program;
-    use std::rc::Rc;
+    use std::sync::Arc;
     use units_syntax::parse_expr;
 
     fn run(src: &str) -> Result<Value, RuntimeError> {
@@ -254,7 +254,7 @@ mod tests {
         let v2 = evaluate_program(&e, &mut machine).unwrap();
         match (v1, v2) {
             (Value::Unit(u1), Value::Unit(u2)) => {
-                assert!(Rc::ptr_eq(
+                assert!(Arc::ptr_eq(
                     u1.atomic_source().unwrap(),
                     u2.atomic_source().unwrap()
                 ));

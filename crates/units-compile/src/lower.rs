@@ -32,11 +32,10 @@
 //!   with the tree-walker's exact error class.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use units_kernel::{Expr, Lit, Symbol, TypeDefn};
 use units_runtime::vm::{Chunk, Op, Proto, UnitProto};
-use units_runtime::Value;
 
 /// Compiles a (preferably resolved) expression to a chunk ready for
 /// [`units_runtime::execute`].
@@ -53,7 +52,7 @@ use units_runtime::Value;
 /// let v = execute(&chunk, &mut Machine::new()).unwrap();
 /// assert!(v.observably_eq(&Value::Int(42)));
 /// ```
-pub fn lower_program(expr: &Expr) -> Rc<Chunk> {
+pub fn lower_program(expr: &Expr) -> Arc<Chunk> {
     let mut lw = Lowerer::default();
     lw.chunk.entry = 0;
     lw.lower(expr, true);
@@ -87,7 +86,7 @@ pub fn lower_program(expr: &Expr) -> Rc<Chunk> {
     if units_trace::COMPILED {
         lw.chunk.profile = units_runtime::OpProfile::sized(lw.chunk.code.len());
     }
-    Rc::new(lw.chunk)
+    Arc::new(lw.chunk)
 }
 
 /// A segment whose entry point is reserved but not yet compiled.
@@ -138,21 +137,18 @@ impl Lowerer {
     /// Interns a string literal in the constant pool (deduplicated — the
     /// pool is small, so a linear scan beats hashing).
     fn pool_str(&mut self, s: &str) -> u32 {
-        let found = self.chunk.consts.iter().position(|v| match v {
-            Value::Str(existing) => &**existing == s,
-            _ => false,
-        });
+        let found = self.chunk.consts.iter().position(|existing| &**existing == s);
         match found {
             Some(i) => i as u32,
             None => {
-                self.chunk.consts.push(Value::str(s));
+                self.chunk.consts.push(Arc::from(s));
                 (self.chunk.consts.len() - 1) as u32
             }
         }
     }
 
     /// Reserves a λ prototype and queues its body segment.
-    fn add_proto(&mut self, lam: &Rc<units_kernel::Lambda>) -> u32 {
+    fn add_proto(&mut self, lam: &Arc<units_kernel::Lambda>) -> u32 {
         self.chunk.protos.push(Proto { lambda: lam.clone(), entry: u32::MAX });
         let i = self.chunk.protos.len() - 1;
         self.work.push_back(Work::Proto(i));
@@ -160,7 +156,7 @@ impl Lowerer {
     }
 
     /// Reserves a unit prototype and queues its definition/init segments.
-    fn add_unit(&mut self, u: &Rc<units_kernel::UnitExpr>) -> u32 {
+    fn add_unit(&mut self, u: &Arc<units_kernel::UnitExpr>) -> u32 {
         self.chunk.units.push(UnitProto {
             source: u.clone(),
             def_entries: vec![u32::MAX; u.vals.len()],
@@ -258,7 +254,7 @@ impl Lowerer {
                 for b in bindings {
                     self.lower(&b.expr, false);
                 }
-                let names: Rc<[Symbol]> = bindings.iter().map(|b| b.name.clone()).collect();
+                let names: Arc<[Symbol]> = bindings.iter().map(|b| b.name.clone()).collect();
                 self.chunk.frames.push(names);
                 self.emit(Op::Bind((self.chunk.frames.len() - 1) as u32));
                 self.lower(body, tail);
@@ -365,7 +361,7 @@ impl Lowerer {
             }
             Expr::Seal(e, sig) => {
                 self.lower(e, false);
-                self.chunk.sigs.push(Rc::new((**sig).clone()));
+                self.chunk.sigs.push(Arc::new((**sig).clone()));
                 self.emit(Op::Seal((self.chunk.sigs.len() - 1) as u32));
             }
             Expr::Loc(_) | Expr::CellRef(_) | Expr::Data(_) | Expr::Variant(_) => {
@@ -382,7 +378,7 @@ mod tests {
     use units_runtime::{disassemble, execute, Limits, Machine, RuntimeError, Value};
     use units_syntax::{parse_expr, parse_file};
 
-    fn chunk_for(src: &str) -> Rc<Chunk> {
+    fn chunk_for(src: &str) -> Arc<Chunk> {
         let e = parse_file(src)
             .or_else(|_| parse_expr(src))
             .unwrap_or_else(|err| panic!("parse: {err}"));

@@ -68,7 +68,7 @@ mod tests {
     use crate::{lower_program, resolve_program};
     use units_runtime::{execute, Machine};
 
-    fn compiled_run() -> std::rc::Rc<Chunk> {
+    fn compiled_run() -> std::sync::Arc<Chunk> {
         let program = units_syntax::parse_expr(
             "(invoke (unit (import) (export) (init (+ (* 6 7) 0))))",
         )

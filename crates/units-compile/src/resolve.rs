@@ -42,7 +42,7 @@
 //!   import cells, the `letrec` frame of internal definitions, and the
 //!   export-rebinding frame holding one slot per value definition.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use units_kernel::{
     Binding, CompoundExpr, Expr, InvokeExpr, Lambda, LetrecExpr, LexAddr, LinkClause, Symbol,
@@ -127,7 +127,7 @@ fn go(expr: &Expr, scope: &mut Scope) -> Expr {
             scope.push(lam.params.iter().map(|p| p.name.clone()).collect());
             let body = go(&lam.body, scope);
             scope.pop();
-            Expr::Lambda(Rc::new(Lambda {
+            Expr::Lambda(Arc::new(Lambda {
                 params: lam.params.clone(),
                 ret_ty: lam.ret_ty.clone(),
                 body,
@@ -158,7 +158,7 @@ fn go(expr: &Expr, scope: &mut Scope) -> Expr {
             let vals = resolve_vals(&lr.vals, scope);
             let body = go(&lr.body, scope);
             scope.pop();
-            Expr::Letrec(Rc::new(LetrecExpr { types: lr.types.clone(), vals, body }))
+            Expr::Letrec(Arc::new(LetrecExpr { types: lr.types.clone(), vals, body }))
         }
         Expr::Set(target, value) => Expr::Set(
             Box::new(go(target, scope)),
@@ -177,7 +177,7 @@ fn go(expr: &Expr, scope: &mut Scope) -> Expr {
             scope.pop();
             scope.pop();
             scope.pop();
-            Expr::Unit(Rc::new(UnitExpr {
+            Expr::Unit(Arc::new(UnitExpr {
                 imports: u.imports.clone(),
                 exports: u.exports.clone(),
                 types: u.types.clone(),
@@ -185,7 +185,7 @@ fn go(expr: &Expr, scope: &mut Scope) -> Expr {
                 init,
             }))
         }
-        Expr::Compound(c) => Expr::Compound(Rc::new(CompoundExpr {
+        Expr::Compound(c) => Expr::Compound(Arc::new(CompoundExpr {
             imports: c.imports.clone(),
             exports: c.exports.clone(),
             links: c
@@ -199,7 +199,7 @@ fn go(expr: &Expr, scope: &mut Scope) -> Expr {
                 })
                 .collect(),
         })),
-        Expr::Invoke(inv) => Expr::Invoke(Rc::new(InvokeExpr {
+        Expr::Invoke(inv) => Expr::Invoke(Arc::new(InvokeExpr {
             target: go(&inv.target, scope),
             ty_links: inv.ty_links.clone(),
             val_links: inv

@@ -310,7 +310,7 @@ mod tests {
 
     #[test]
     fn letrec_binds_in_definitions_and_body() {
-        let e = Expr::Letrec(std::rc::Rc::new(LetrecExpr {
+        let e = Expr::Letrec(std::sync::Arc::new(LetrecExpr {
             types: vec![],
             vals: vec![ValDefn {
                 name: "odd".into(),
@@ -324,7 +324,7 @@ mod tests {
 
     #[test]
     fn letrec_datatype_operations_are_bound() {
-        let e = Expr::Letrec(std::rc::Rc::new(LetrecExpr {
+        let e = Expr::Letrec(std::sync::Arc::new(LetrecExpr {
             types: vec![TypeDefn::Data(DataDefn {
                 name: "t".into(),
                 variants: vec![DataVariant {

@@ -15,7 +15,7 @@
 //! [`CaptureError`] that the checker converts into a diagnostic.
 
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::free::free_val_vars;
 use crate::sig::{Ports, Signature};
@@ -45,7 +45,7 @@ impl std::error::Error for CaptureError {}
 #[derive(Clone)]
 struct SubstVal {
     expr: Expr,
-    fvs: Rc<BTreeSet<Symbol>>,
+    fvs: Arc<BTreeSet<Symbol>>,
 }
 
 /// A prepared value substitution `[v̄/x̄]`.
@@ -72,7 +72,7 @@ impl ValSubst {
         let entries = map
             .iter()
             .map(|(k, v)| {
-                (k.clone(), SubstVal { expr: v.clone(), fvs: Rc::new(free_val_vars(v)) })
+                (k.clone(), SubstVal { expr: v.clone(), fvs: Arc::new(free_val_vars(v)) })
             })
             .collect();
         ValSubst { entries }
@@ -127,7 +127,7 @@ fn at_binder(
                 b.clone(),
                 SubstVal {
                     expr: Expr::Var(fresh.clone()),
-                    fvs: Rc::new(BTreeSet::from([fresh])),
+                    fvs: Arc::new(BTreeSet::from([fresh])),
                 },
             );
         }
@@ -170,7 +170,7 @@ fn go(expr: &Expr, map: &HashMap<Symbol, SubstVal>, gen: &mut NameGen) -> Expr {
                             ty: p.ty.clone(),
                         })
                         .collect();
-                    Expr::Lambda(Rc::new(Lambda {
+                    Expr::Lambda(Arc::new(Lambda {
                         params,
                         ret_ty: lam.ret_ty.clone(),
                         body: go(&lam.body, &live, gen),
@@ -235,7 +235,7 @@ fn go(expr: &Expr, map: &HashMap<Symbol, SubstVal>, gen: &mut NameGen) -> Expr {
                             body: go(&d.body, &live, gen),
                         })
                         .collect();
-                    Expr::Letrec(Rc::new(LetrecExpr { types, vals, body: go(&lr.body, &live, gen) }))
+                    Expr::Letrec(Arc::new(LetrecExpr { types, vals, body: go(&lr.body, &live, gen) }))
                 }
             }
         }
@@ -255,7 +255,7 @@ fn go(expr: &Expr, map: &HashMap<Symbol, SubstVal>, gen: &mut NameGen) -> Expr {
             // replacements.
             match at_binder(map, &binders, false, gen) {
                 None => expr.clone(),
-                Some((live, _)) => Expr::Unit(Rc::new(UnitExpr {
+                Some((live, _)) => Expr::Unit(Arc::new(UnitExpr {
                     imports: u.imports.clone(),
                     exports: u.exports.clone(),
                     types: u.types.clone(),
@@ -283,13 +283,13 @@ fn go(expr: &Expr, map: &HashMap<Symbol, SubstVal>, gen: &mut NameGen) -> Expr {
                     renames: l.renames.clone(),
                 })
                 .collect();
-            Expr::Compound(Rc::new(crate::term::CompoundExpr {
+            Expr::Compound(Arc::new(crate::term::CompoundExpr {
                 imports: c.imports.clone(),
                 exports: c.exports.clone(),
                 links,
             }))
         }
-        Expr::Invoke(inv) => Expr::Invoke(Rc::new(crate::term::InvokeExpr {
+        Expr::Invoke(inv) => Expr::Invoke(Arc::new(crate::term::InvokeExpr {
             target: go(&inv.target, map, gen),
             ty_links: inv.ty_links.clone(),
             val_links: inv
@@ -299,7 +299,7 @@ fn go(expr: &Expr, map: &HashMap<Symbol, SubstVal>, gen: &mut NameGen) -> Expr {
                 .collect(),
         })),
         Expr::Seal(e, sig) => Expr::Seal(Box::new(go(e, map, gen)), sig.clone()),
-        Expr::Variant(v) => Expr::Variant(Rc::new(VariantVal {
+        Expr::Variant(v) => Expr::Variant(Arc::new(VariantVal {
             ty_name: v.ty_name.clone(),
             instance: v.instance,
             tag: v.tag,
@@ -486,7 +486,7 @@ mod tests {
 
     #[test]
     fn letrec_shadowing_blocks_substitution_in_bodies() {
-        let e = Expr::Letrec(Rc::new(LetrecExpr {
+        let e = Expr::Letrec(Arc::new(LetrecExpr {
             types: vec![],
             vals: vec![ValDefn { name: "f".into(), ty: None, body: Expr::var("f") }],
             body: Expr::var("f"),

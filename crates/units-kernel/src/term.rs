@@ -17,7 +17,7 @@
 //! [`ValPort::ty`]: crate::sig::ValPort
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::kind::Kind;
 use crate::sig::{Ports, Signature};
@@ -32,7 +32,7 @@ pub enum Lit {
     /// A boolean.
     Bool(bool),
     /// An immutable string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// The sole value of type `void`.
     Void,
 }
@@ -636,7 +636,7 @@ pub enum Expr {
     /// monomorphic primitives).
     Prim(PrimOp, Vec<Ty>),
     /// A λ-abstraction.
-    Lambda(Rc<Lambda>),
+    Lambda(Arc<Lambda>),
     /// Application `e(e…)`.
     App(Box<Expr>, Vec<Expr>),
     /// Conditional.
@@ -646,7 +646,7 @@ pub enum Expr {
     /// Parallel `let`.
     Let(Vec<Binding>, Box<Expr>),
     /// Mutually recursive definitions.
-    Letrec(Rc<LetrecExpr>),
+    Letrec(Arc<LetrecExpr>),
     /// Assignment `x := e` to a definition-bound variable.
     ///
     /// The parser only ever produces a [`Expr::Var`] target; the
@@ -658,11 +658,11 @@ pub enum Expr {
     /// Tuple projection (0-based).
     Proj(usize, Box<Expr>),
     /// An atomic unit (a value: "an atomic unit expression … is a value").
-    Unit(Rc<UnitExpr>),
+    Unit(Arc<UnitExpr>),
     /// A linking expression (not a value: it evaluates to a unit).
-    Compound(Rc<CompoundExpr>),
+    Compound(Arc<CompoundExpr>),
     /// Unit invocation, possibly with dynamic links.
-    Invoke(Rc<InvokeExpr>),
+    Invoke(Arc<InvokeExpr>),
     /// Signature ascription (§5.2): restricts the view of a unit to the
     /// given (super)signature, hiding type information after linking.
     Seal(Box<Expr>, Box<Signature>),
@@ -676,9 +676,9 @@ pub enum Expr {
     /// initialized, MzScheme-style).
     CellRef(Loc),
     /// Machine-internal: a datatype operation value.
-    Data(Rc<DataOp>),
+    Data(Arc<DataOp>),
     /// Machine-internal: a constructed datatype value.
-    Variant(Rc<VariantVal>),
+    Variant(Arc<VariantVal>),
     /// Machine-internal: a variable occurrence annotated with the lexical
     /// address computed by the production backend's resolution pass
     /// (`units-compile`). It evaluates exactly like [`Expr::Var`] — the
@@ -707,7 +707,7 @@ impl Expr {
 
     /// A string literal.
     pub fn str(s: impl AsRef<str>) -> Expr {
-        Expr::Lit(Lit::Str(Rc::from(s.as_ref())))
+        Expr::Lit(Lit::Str(Arc::from(s.as_ref())))
     }
 
     /// The void literal.
@@ -717,12 +717,12 @@ impl Expr {
 
     /// A λ-abstraction.
     pub fn lambda(params: Vec<Param>, body: Expr) -> Expr {
-        Expr::Lambda(Rc::new(Lambda { params, ret_ty: None, body }))
+        Expr::Lambda(Arc::new(Lambda { params, ret_ty: None, body }))
     }
 
     /// A λ-abstraction with a declared result type.
     pub fn lambda_ret(params: Vec<Param>, ret_ty: Ty, body: Expr) -> Expr {
-        Expr::Lambda(Rc::new(Lambda { params, ret_ty: Some(ret_ty), body }))
+        Expr::Lambda(Arc::new(Lambda { params, ret_ty: Some(ret_ty), body }))
     }
 
     /// A thunk (nullary λ).
@@ -776,17 +776,17 @@ impl Expr {
 
     /// An atomic unit expression.
     pub fn unit(unit: UnitExpr) -> Expr {
-        Expr::Unit(Rc::new(unit))
+        Expr::Unit(Arc::new(unit))
     }
 
     /// A compound linking expression.
     pub fn compound(compound: CompoundExpr) -> Expr {
-        Expr::Compound(Rc::new(compound))
+        Expr::Compound(Arc::new(compound))
     }
 
     /// An invocation.
     pub fn invoke(invoke: InvokeExpr) -> Expr {
-        Expr::Invoke(Rc::new(invoke))
+        Expr::Invoke(Arc::new(invoke))
     }
 
     /// Invocation of a complete program (no links).

@@ -30,7 +30,7 @@ use units_runtime::RuntimeError;
 /// [`RuntimeError::NotAUnit`] for the first non-unit constituent.
 pub fn constituent_units(
     compound: &units_kernel::CompoundExpr,
-) -> Result<Vec<std::rc::Rc<UnitExpr>>, RuntimeError> {
+) -> Result<Vec<std::sync::Arc<UnitExpr>>, RuntimeError> {
     compound
         .links
         .iter()
@@ -58,7 +58,7 @@ pub fn constituent_units(
 ///   promised name.
 pub fn merge_compound(
     compound: &units_kernel::CompoundExpr,
-    units: &[std::rc::Rc<UnitExpr>],
+    units: &[std::sync::Arc<UnitExpr>],
     gen: &mut NameGen,
 ) -> Result<UnitExpr, RuntimeError> {
     debug_assert_eq!(units.len(), compound.links.len());
@@ -218,7 +218,7 @@ mod tests {
     use units_kernel::alpha_eq;
     use units_syntax::parse_expr;
 
-    fn compound_parts(src: &str) -> (units_kernel::CompoundExpr, Vec<std::rc::Rc<UnitExpr>>) {
+    fn compound_parts(src: &str) -> (units_kernel::CompoundExpr, Vec<std::sync::Arc<UnitExpr>>) {
         let compound = match parse_expr(src).unwrap() {
             Expr::Compound(c) => (*c).clone(),
             ref other => panic!("test source must parse to a compound, got {}", crate::render(other)),

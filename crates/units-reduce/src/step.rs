@@ -14,7 +14,7 @@
 //!   rules, with hash tables living in the store.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use units_kernel::{
     subst_vals, DataOp, DataRole, Expr, Lit, NameGen, PrimOp, Symbol, TypeDefn, VariantVal,
@@ -302,7 +302,7 @@ impl Reducer {
                 let units = crate::merge::constituent_units(&c)?;
                 self.last_redex = "step/compound";
                 let merged = merge_compound(&c, &units, &mut self.gen)?;
-                Ok(Expr::Unit(Rc::new(merged)))
+                Ok(Expr::Unit(Arc::new(merged)))
             }
             Expr::Invoke(inv) => self.reduce_invoke(&inv),
             Expr::Seal(e, sig) => {
@@ -321,7 +321,7 @@ impl Reducer {
                         }
                         let mut narrowed = (**u).clone();
                         narrowed.exports = sig.exports.clone();
-                        Ok(Expr::Unit(Rc::new(narrowed)))
+                        Ok(Expr::Unit(Arc::new(narrowed)))
                     }
                     ref other => Err(RuntimeError::NotAUnit {
                         rule: "seal",
@@ -356,7 +356,7 @@ impl Reducer {
                 for (tag, v) in d.variants.iter().enumerate() {
                     map.insert(
                         v.ctor.clone(),
-                        Expr::Data(Rc::new(DataOp {
+                        Expr::Data(Arc::new(DataOp {
                             ty_name: d.name.clone(),
                             instance,
                             role: DataRole::Construct(tag),
@@ -364,7 +364,7 @@ impl Reducer {
                     );
                     map.insert(
                         v.dtor.clone(),
-                        Expr::Data(Rc::new(DataOp {
+                        Expr::Data(Arc::new(DataOp {
                             ty_name: d.name.clone(),
                             instance,
                             role: DataRole::Deconstruct(tag),
@@ -373,7 +373,7 @@ impl Reducer {
                 }
                 map.insert(
                     d.predicate.clone(),
-                    Expr::Data(Rc::new(DataOp {
+                    Expr::Data(Arc::new(DataOp {
                         ty_name: d.name.clone(),
                         instance,
                         role: DataRole::Predicate,
@@ -422,7 +422,7 @@ impl Reducer {
             }
         }
         // [v̄/x̄](letrec defns in init)
-        let letrec = Expr::Letrec(Rc::new(units_kernel::LetrecExpr {
+        let letrec = Expr::Letrec(Arc::new(units_kernel::LetrecExpr {
             types: unit.types.clone(),
             vals: unit.vals.clone(),
             body: unit.init.clone(),
@@ -463,7 +463,7 @@ impl Reducer {
             return Err(RuntimeError::Arity { expected: 1, found: args.len() });
         };
         match op.role {
-            DataRole::Construct(tag) => Ok(Expr::Variant(Rc::new(VariantVal {
+            DataRole::Construct(tag) => Ok(Expr::Variant(Arc::new(VariantVal {
                 ty_name: op.ty_name.clone(),
                 instance: op.instance,
                 tag,
@@ -712,10 +712,10 @@ fn child_slot(parent: &mut Expr, idx: usize) -> &mut Expr {
         Expr::Let(bindings, _) => &mut bindings[idx].expr,
         Expr::Set(_, value) => value,
         Expr::Proj(_, e) => e,
-        Expr::Variant(v) => &mut Rc::make_mut(v).payload,
-        Expr::Compound(c) => &mut Rc::make_mut(c).links[idx].expr,
+        Expr::Variant(v) => &mut Arc::make_mut(v).payload,
+        Expr::Compound(c) => &mut Arc::make_mut(c).links[idx].expr,
         Expr::Invoke(inv) => {
-            let inv = Rc::make_mut(inv);
+            let inv = Arc::make_mut(inv);
             if idx == 0 {
                 &mut inv.target
             } else {

@@ -4,13 +4,14 @@
 //! source plus its captured lexical environment) or a linked compound of
 //! other unit values. "There exists a single copy of the definition and
 //! initialization code regardless of how many times the unit is linked or
-//! invoked" — instances share the [`AtomicUnit::source`] `Rc`; only the
+//! invoked" — instances share the [`AtomicUnit::source`] `Arc`; only the
 //! import/export *cells* created at invocation differ.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use units_kernel::{DataRole, LinkRenames, Ports, PrimOp, Symbol, UnitExpr};
 
@@ -36,7 +37,7 @@ pub fn filled_cell(value: Value) -> CellRef {
 pub struct Closure {
     /// The λ-abstraction (shared with the source AST — evaluating the same
     /// λ twice allocates no new code).
-    pub lambda: Rc<units_kernel::Lambda>,
+    pub lambda: Arc<units_kernel::Lambda>,
     /// The captured lexical environment.
     pub env: Env,
     /// The lowered body, when the closure was created by the bytecode VM
@@ -47,7 +48,7 @@ pub struct Closure {
 
 impl Closure {
     /// A tree-walker closure: source λ plus captured environment.
-    pub fn new(lambda: Rc<units_kernel::Lambda>, env: Env) -> Closure {
+    pub fn new(lambda: Arc<units_kernel::Lambda>, env: Env) -> Closure {
         Closure { lambda, env, code: None }
     }
 
@@ -87,7 +88,7 @@ pub struct VariantValue {
 #[derive(Debug, Clone)]
 pub struct AtomicUnit {
     /// The unit's source — one copy shared by every link and invocation.
-    pub source: Rc<UnitExpr>,
+    pub source: Arc<UnitExpr>,
     /// The lexical environment the unit expression was evaluated in.
     pub env: Env,
     /// Lowered definition/init segments, when the unit value was created
@@ -97,7 +98,7 @@ pub struct AtomicUnit {
 
 impl AtomicUnit {
     /// A tree-walker unit value: shared source plus captured environment.
-    pub fn new(source: Rc<UnitExpr>, env: Env) -> AtomicUnit {
+    pub fn new(source: Arc<UnitExpr>, env: Env) -> AtomicUnit {
         AtomicUnit { source, env, code: None }
     }
 }
@@ -169,7 +170,7 @@ impl UnitValue {
 
     /// The shared code behind this unit, if atomic — used by tests that
     /// pin the §4.1.6 code-sharing claim.
-    pub fn atomic_source(&self) -> Option<&Rc<UnitExpr>> {
+    pub fn atomic_source(&self) -> Option<&Arc<UnitExpr>> {
         match self {
             UnitValue::Atomic(a) => Some(&a.source),
             UnitValue::Restricted { inner, .. } => inner.atomic_source(),
@@ -186,7 +187,7 @@ pub enum Value {
     /// A boolean.
     Bool(bool),
     /// An immutable string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// The void value.
     Void,
     /// A tuple.
@@ -208,7 +209,7 @@ pub enum Value {
 impl Value {
     /// A new string value.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Rc::from(s.as_ref()))
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     /// A fresh empty hash table (the `makeStringHashTable()` of Fig. 1).

@@ -39,9 +39,10 @@
 //!   empty vector and the counting code is removed by constant folding
 //!   on [`units_trace::COMPILED`].
 
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 
 use units_kernel::{
     CompoundExpr, InvokeExpr, LetrecExpr, LexAddr, PrimOp, Signature, Symbol, UnitExpr,
@@ -223,7 +224,7 @@ impl Op {
 #[derive(Debug, Clone)]
 pub struct Proto {
     /// The shared source λ.
-    pub lambda: Rc<units_kernel::Lambda>,
+    pub lambda: Arc<units_kernel::Lambda>,
     /// Entry of the body segment.
     pub entry: u32,
 }
@@ -233,7 +234,7 @@ pub struct Proto {
 #[derive(Debug, Clone)]
 pub struct UnitProto {
     /// The shared unit source (interfaces, definition order).
-    pub source: Rc<UnitExpr>,
+    pub source: Arc<UnitExpr>,
     /// Entry of each definition-body segment, in definition order.
     pub def_entries: Vec<u32>,
     /// Entry of the init segment.
@@ -249,21 +250,21 @@ pub struct Chunk {
     /// The instruction stream (all segments, each ending in `Return`).
     pub code: Vec<Op>,
     /// Pooled literal constants (deduplicated strings).
-    pub consts: Vec<Value>,
+    pub consts: Vec<Arc<str>>,
     /// Binder-name lists for [`Op::Bind`] frames.
-    pub frames: Vec<Rc<[Symbol]>>,
+    pub frames: Vec<Arc<[Symbol]>>,
     /// λ prototypes for [`Op::MakeClosure`].
     pub protos: Vec<Proto>,
     /// Unit prototypes for [`Op::MakeUnit`] / [`Op::InvokeUnit`].
     pub units: Vec<UnitProto>,
     /// `letrec` descriptors for [`Op::BindRec`].
-    pub recs: Vec<Rc<LetrecExpr>>,
+    pub recs: Vec<Arc<LetrecExpr>>,
     /// Compound descriptors for [`Op::CheckLink`] / [`Op::MakeCompound`].
-    pub compounds: Vec<Rc<CompoundExpr>>,
+    pub compounds: Vec<Arc<CompoundExpr>>,
     /// Invoke descriptors (link names) for [`Op::Invoke`].
-    pub invokes: Vec<Rc<InvokeExpr>>,
+    pub invokes: Vec<Arc<InvokeExpr>>,
     /// Signatures for [`Op::Seal`].
-    pub sigs: Vec<Rc<Signature>>,
+    pub sigs: Vec<Arc<Signature>>,
     /// Entry of the program's top-level segment.
     pub entry: u32,
     /// Per-op execution counters (empty unless allocated by the
@@ -273,24 +274,37 @@ pub struct Chunk {
 
 /// The bytecode profiler's raw storage: one execution counter per op in
 /// the owning [`Chunk`], plus how much batched fuel the dispatch loop
-/// attributed to this chunk at flush points. Interior mutability
-/// (`Cell`) lets the dispatch loop count through the shared `Rc<Chunk>`
-/// without threading `&mut` through every activation.
+/// attributed to this chunk at flush points. Relaxed atomics let the
+/// dispatch loop count through the shared `Arc<Chunk>` without
+/// threading `&mut` through every activation — and let concurrent
+/// bytecode runs of one cached chunk count without tearing.
 ///
 /// A default-constructed profile is *disabled* (no counter storage);
 /// counting only happens when the lowerer allocated counters, which it
 /// does exactly when `units_trace::COMPILED` — so default builds pay
 /// nothing, matching the trace/faults gating story.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct OpProfile {
-    counts: Vec<Cell<u64>>,
-    fuel: Cell<u64>,
+    counts: Vec<AtomicU64>,
+    fuel: AtomicU64,
+}
+
+impl Clone for OpProfile {
+    fn clone(&self) -> OpProfile {
+        OpProfile {
+            counts: self.counts.iter().map(|c| AtomicU64::new(c.load(Relaxed))).collect(),
+            fuel: AtomicU64::new(self.fuel.load(Relaxed)),
+        }
+    }
 }
 
 impl OpProfile {
     /// A profile with one counter per op of a `len`-op chunk.
     pub fn sized(len: usize) -> OpProfile {
-        OpProfile { counts: vec![Cell::new(0); len], fuel: Cell::new(0) }
+        OpProfile {
+            counts: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            fuel: AtomicU64::new(0),
+        }
     }
 
     /// Whether this profile has counter storage.
@@ -302,7 +316,7 @@ impl OpProfile {
     #[inline]
     pub fn hit(&self, i: usize) {
         if let Some(c) = self.counts.get(i) {
-            c.set(c.get() + 1);
+            c.fetch_add(1, Relaxed);
         }
     }
 
@@ -310,36 +324,36 @@ impl OpProfile {
     #[inline]
     pub fn add_fuel(&self, n: u64) {
         if self.enabled() {
-            self.fuel.set(self.fuel.get() + n);
+            self.fuel.fetch_add(n, Relaxed);
         }
     }
 
     /// The execution count of op `i` (0 when disabled or out of range).
     pub fn count_at(&self, i: usize) -> u64 {
-        self.counts.get(i).map(Cell::get).unwrap_or(0)
+        self.counts.get(i).map(|c| c.load(Relaxed)).unwrap_or(0)
     }
 
     /// All per-op counts, in instruction order (empty when disabled).
     pub fn counts(&self) -> Vec<u64> {
-        self.counts.iter().map(Cell::get).collect()
+        self.counts.iter().map(|c| c.load(Relaxed)).collect()
     }
 
     /// Fuel attributed to this chunk at flush points so far.
     pub fn fuel(&self) -> u64 {
-        self.fuel.get()
+        self.fuel.load(Relaxed)
     }
 
     /// Total ops executed (the sum of all counters).
     pub fn total(&self) -> u64 {
-        self.counts.iter().map(Cell::get).sum()
+        self.counts.iter().map(|c| c.load(Relaxed)).sum()
     }
 
     /// Zeroes every counter, keeping the storage.
     pub fn reset(&self) {
         for c in &self.counts {
-            c.set(0);
+            c.store(0, Relaxed);
         }
-        self.fuel.set(0);
+        self.fuel.store(0, Relaxed);
     }
 }
 
@@ -348,7 +362,7 @@ impl OpProfile {
 #[derive(Debug, Clone)]
 pub struct VmCode {
     /// The owning chunk (shared — one copy of the code).
-    pub chunk: Rc<Chunk>,
+    pub chunk: Arc<Chunk>,
     /// Index into [`Chunk::protos`] (closures) or [`Chunk::units`]
     /// (atomic units).
     pub index: u32,
@@ -356,7 +370,7 @@ pub struct VmCode {
 
 /// A suspended caller: where to resume when the callee returns.
 struct Activation {
-    chunk: Rc<Chunk>,
+    chunk: Arc<Chunk>,
     ip: usize,
     env: Env,
 }
@@ -478,7 +492,7 @@ fn addressed<'a>(
 ///
 /// Any [`RuntimeError`] the program signals, including budget exhaustion
 /// from the machine's [`Limits`](crate::machine::Limits).
-pub fn execute(chunk: &Rc<Chunk>, machine: &mut Machine) -> Result<Value, RuntimeError> {
+pub fn execute(chunk: &Arc<Chunk>, machine: &mut Machine) -> Result<Value, RuntimeError> {
     units_trace::faults::trip("vm/dispatch")?;
     run(chunk.clone(), chunk.entry, Env::new(), machine)
 }
@@ -523,7 +537,7 @@ fn vm_invoke(
 /// an explicit activation stack; only nested invocations recurse in Rust
 /// (guarded by the machine's depth budget, like the tree-walker).
 fn run(
-    chunk: Rc<Chunk>,
+    chunk: Arc<Chunk>,
     entry: u32,
     env: Env,
     machine: &mut Machine,
@@ -535,7 +549,7 @@ fn run(
 }
 
 fn dispatch(
-    mut chunk: Rc<Chunk>,
+    mut chunk: Arc<Chunk>,
     entry: u32,
     mut env: Env,
     machine: &mut Machine,
@@ -581,7 +595,7 @@ fn dispatch(
             Op::Int(n) => stack.push(Value::Int(*n)),
             Op::Bool(b) => stack.push(Value::Bool(*b)),
             Op::Void => stack.push(Value::Void),
-            Op::Const(i) => stack.push(chunk.consts[*i as usize].clone()),
+            Op::Const(i) => stack.push(Value::Str(chunk.consts[*i as usize].clone())),
             Op::PrimVal(p) => stack.push(Value::Prim(*p)),
             Op::Load { depth, slot, name } => {
                 let v =
@@ -710,7 +724,7 @@ fn dispatch(
                             // Replace the running activation: constant
                             // space for tail recursion, like the
                             // tree-walker's trampoline.
-                            if !Rc::ptr_eq(&chunk, &code.chunk) {
+                            if !Arc::ptr_eq(&chunk, &code.chunk) {
                                 chunk = code.chunk.clone();
                             }
                             env = callee_env;
@@ -982,7 +996,7 @@ fn render(chunk: &Chunk, profiled: bool) -> String {
         let operands = match op {
             Op::Int(n) => format!("{n}"),
             Op::Bool(b) => format!("{b}"),
-            Op::Const(c) => format!("#{c} = {}", chunk.consts[*c as usize]),
+            Op::Const(c) => format!("#{c} = {:?}", chunk.consts[*c as usize]),
             Op::PrimVal(p) | Op::CallPrim { op: p, argc: 0 } => format!("{p}"),
             Op::CallPrim { op: p, argc } => format!("{p} argc={argc}"),
             Op::CallPrimImm { op: p, imm, rev: false } => format!("{p} _ {imm}"),
@@ -1046,7 +1060,7 @@ fn render(chunk: &Chunk, profiled: bool) -> String {
     if !chunk.consts.is_empty() {
         let _ = writeln!(out, "consts:");
         for (i, v) in chunk.consts.iter().enumerate() {
-            let _ = writeln!(out, "{i:>5}  {v}");
+            let _ = writeln!(out, "{i:>5}  {v:?}");
         }
     }
     out

@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use units_kernel::{DataRole, Ports, Signature, Symbol, TypeDefn, UnitExpr, ValDefn};
 
@@ -218,7 +219,7 @@ pub struct WiredUnit {
     /// order (the discipline `resolve_program` mirrors).
     pub env: Env,
     /// The shared unit source.
-    pub source: Rc<UnitExpr>,
+    pub source: Arc<UnitExpr>,
     /// The lowered segments, when the unit value came from the VM.
     pub code: Option<VmCode>,
     /// One cell per value definition, already redirected to the caller's

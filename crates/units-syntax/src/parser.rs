@@ -136,7 +136,7 @@ pub fn parse_file(src: &str) -> Result<Expr, ParseError> {
     if types.is_empty() && vals.is_empty() {
         Ok(body)
     } else {
-        Ok(Expr::Letrec(std::rc::Rc::new(LetrecExpr { types, vals, body })))
+        Ok(Expr::Letrec(std::sync::Arc::new(LetrecExpr { types, vals, body })))
     }
 }
 
@@ -524,7 +524,7 @@ fn expr(sx: &SExpr) -> Result<Expr, ParseError> {
                         }
                     }
                     let body = Expr::seq(body.iter().map(expr).collect::<Result<Vec<_>, _>>()?);
-                    Ok(Expr::Letrec(std::rc::Rc::new(LetrecExpr { types, vals, body })))
+                    Ok(Expr::Letrec(std::sync::Arc::new(LetrecExpr { types, vals, body })))
                 }
                 Some("if") => match &items[1..] {
                     [c, t, e] => Ok(Expr::if_(expr(c)?, expr(t)?, expr(e)?)),

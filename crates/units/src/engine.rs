@@ -9,11 +9,14 @@
 //! "one copy of the code regardless of how many times the unit is linked
 //! or invoked").
 //!
-//! Independent sources (top-level batches, [`Archive`] entries) are
-//! checked in parallel on a `std::thread` worker pool: checkers are pure
-//! and share only the process-wide interned symbols. The
-//! `UNITS_ENGINE_THREADS` environment variable pins the pool size (1
-//! forces fully sequential, deterministic loading).
+//! Independent sources (top-level batches, [`Archive`] entries) run the
+//! whole parse → check → resolve → lower pipeline in parallel on a
+//! `std::thread` worker pool: the `Arc`-backed kernel terms are `Send`,
+//! so workers admit finished artifacts directly into the shared cache —
+//! exactly once per program — and the engine itself is `Send + Sync`,
+//! so cached artifacts can also be *invoked* from many threads at once.
+//! The `UNITS_ENGINE_THREADS` environment variable pins the pool size
+//! (1 forces fully sequential, deterministic loading).
 //!
 //! Execution is governed by [`Limits`]: fuel, evaluation depth, and
 //! store-cell budgets all surface as [`Error::ResourceExhausted`] instead
@@ -54,26 +57,25 @@
 //! # Ok::<(), units::Error>(())
 //! ```
 
-use std::cell::{OnceCell, RefCell};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
-use std::sync::Mutex;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use units_check::{check_program, CheckError, CheckOptions, Level, Strictness};
+use units_check::{check_program, CheckOptions, Level, Strictness};
 use units_compile::{evaluate_program, lower_program, resolve_program, Archive, ChunkProfile};
 use units_kernel::{alpha_eq, alpha_hash, Expr, Ty};
 use units_reduce::Reducer;
 use units_runtime::{execute, Chunk, Limits, Machine, Resource};
-use units_syntax::{parse_file, ParseError};
+use units_syntax::parse_file;
 use units_trace::faults::FaultPlane;
 use units_trace::{recorder, FlightDump};
 
 use crate::error::Error;
-use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::metrics::{bump, EngineMetrics, MetricsSnapshot};
 use crate::observe::{observe_expr, observe_value};
 use crate::program::{Backend, Outcome};
 
@@ -91,12 +93,14 @@ struct Artifact {
     /// resolved form on the first bytecode run, then shared by every
     /// later run. Because the artifact itself is cached under both the
     /// raw-source and alpha-normalized keys, the chunk is too.
-    chunk: OnceCell<Rc<Chunk>>,
+    chunk: OnceLock<Arc<Chunk>>,
 }
 
 impl Artifact {
     /// The bytecode chunk, lowering (and caching) it on first use.
-    fn chunk(&self) -> Rc<Chunk> {
+    /// `OnceLock` makes concurrent first uses race benignly: one lowering
+    /// wins, every thread shares the winner.
+    fn chunk(&self) -> Arc<Chunk> {
         self.chunk
             .get_or_init(|| {
                 let _timer = units_trace::time("lower");
@@ -109,10 +113,10 @@ impl Artifact {
 #[derive(Debug, Default)]
 struct Cache {
     /// Exact-source fast path: hash of the raw text (plus options).
-    by_source: HashMap<u64, Rc<Artifact>>,
+    by_source: HashMap<u64, Arc<Artifact>>,
     /// Content path: alpha-normalized term hash (plus options), with the
     /// bucket confirmed by [`alpha_eq`] to rule out collisions.
-    by_term: HashMap<u64, Vec<Rc<Artifact>>>,
+    by_term: HashMap<u64, Vec<Arc<Artifact>>>,
 }
 
 /// Cache counters, for tests and dashboards.
@@ -286,7 +290,8 @@ impl EngineBuilder {
         self
     }
 
-    /// Arms a copy of `plane` inside every batch-checking worker job,
+    /// Arms a copy of `plane` inside every batch worker job — covering
+    /// the job's whole parse → check → resolve → lower pipeline —
     /// reseeded with `plane.seed() ^ job-index` so each job's fault
     /// schedule is deterministic regardless of which worker thread runs
     /// it. (The thread-local plane armed by
@@ -315,10 +320,10 @@ impl EngineBuilder {
             threads,
             policy: self.policy,
             worker_faults: self.worker_faults,
-            cache: RefCell::new(Cache::default()),
+            cache: Mutex::new(Cache::default()),
             metrics: EngineMetrics::default(),
-            recovery: RefCell::new(None),
-            flight: RefCell::new(None),
+            recovery: Mutex::new(None),
+            flight: Mutex::new(None),
         }
     }
 }
@@ -329,7 +334,12 @@ fn default_threads() -> usize {
 
 /// A session that checks, caches, and runs programs.
 ///
-/// See the [module documentation](self) for the full story.
+/// Engines are `Send + Sync`: the artifact cache, metrics plane, and
+/// recovery records all sit behind locks or atomics, and the `Arc`-backed
+/// kernel terms let one cached artifact serve loads and runs from any
+/// number of threads simultaneously (the §4.1.6 "one copy of the code",
+/// process-wide). See the [module documentation](self) for the full
+/// story.
 #[derive(Debug)]
 pub struct Engine {
     opts: CheckOptions,
@@ -339,42 +349,16 @@ pub struct Engine {
     threads: usize,
     policy: FallbackPolicy,
     worker_faults: Option<FaultPlane>,
-    cache: RefCell<Cache>,
+    cache: Mutex<Cache>,
     metrics: EngineMetrics,
-    recovery: RefCell<Option<Recovery>>,
-    flight: RefCell<Option<FlightDump>>,
+    recovery: Mutex<Option<Recovery>>,
+    flight: Mutex<Option<FlightDump>>,
 }
 
 impl Default for Engine {
     fn default() -> Engine {
         Engine::builder().build()
     }
-}
-
-/// What a worker can report back across the thread boundary. `Expr` is
-/// `Rc`-backed and deliberately not `Send`, so workers return only the
-/// check verdict; the main thread re-parses winners to materialize terms.
-enum BatchFailure {
-    Parse(ParseError),
-    Check(Vec<CheckError>),
-    /// The worker's check panicked; the payload crossed the thread
-    /// boundary as a rendered string.
-    Panic(String),
-}
-
-impl From<BatchFailure> for Error {
-    fn from(f: BatchFailure) -> Error {
-        match f {
-            BatchFailure::Parse(e) => Error::Parse(e),
-            BatchFailure::Check(errs) => Error::Check(errs),
-            BatchFailure::Panic(message) => Error::Internal { stage: "batch-check", message },
-        }
-    }
-}
-
-fn check_source(source: &str, opts: CheckOptions) -> Result<Option<Ty>, BatchFailure> {
-    let expr = parse_file(source).map_err(BatchFailure::Parse)?;
-    check_program(&expr, opts).map_err(BatchFailure::Check)
 }
 
 /// Renders a caught panic payload (`&str` and `String` are what `panic!`
@@ -442,20 +426,20 @@ impl Engine {
     /// attempt failed — `None` when the most recent run succeeded
     /// outright (or nothing has run yet).
     pub fn last_recovery(&self) -> Option<Recovery> {
-        self.recovery.borrow().clone()
+        self.recovery.lock().unwrap().clone()
     }
 
     /// Cache hit/miss counters and current entry count.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.metrics.source_hits.get() + self.metrics.term_hits.get(),
-            misses: self.metrics.misses.get(),
+            hits: self.metrics.source_hits.load(Relaxed) + self.metrics.term_hits.load(Relaxed),
+            misses: self.metrics.misses.load(Relaxed),
             entries: self.cache_entries(),
         }
     }
 
     fn cache_entries(&self) -> usize {
-        self.cache.borrow().by_term.values().map(Vec::len).sum()
+        self.cache.lock().unwrap().by_term.values().map(Vec::len).sum()
     }
 
     /// A structured snapshot of the engine's always-on metrics plane:
@@ -480,7 +464,7 @@ impl Engine {
     /// [`Error::ResourceExhausted`]). Always `None` without the `trace`
     /// feature — the recorder compiles to a no-op there.
     pub fn last_flight_dump(&self) -> Option<FlightDump> {
-        self.flight.borrow().clone()
+        self.flight.lock().unwrap().clone()
     }
 
     /// Captures a flight dump when `err` indicts the machinery rather
@@ -495,14 +479,14 @@ impl Engine {
             return;
         }
         let Some(dump) = recorder::dump(&err.to_string()) else { return };
-        self.metrics.flight_dumps.set(self.metrics.flight_dumps.get() + 1);
+        bump(&self.metrics.flight_dumps);
         units_trace::count("engine/flight_dumps", 1);
         if let Ok(path) = std::env::var("UNITS_FLIGHT_DUMP") {
             if !path.is_empty() {
                 let _ = std::fs::write(&path, &dump.json_lines);
             }
         }
-        *self.flight.borrow_mut() = Some(dump);
+        *self.flight.lock().unwrap() = Some(dump);
     }
 
     fn source_key(&self, source: &str) -> u64 {
@@ -524,35 +508,34 @@ impl Engine {
     /// One cache hit, attributed to its key kind: `source` for the
     /// raw-source fast path, else the α-invariant term index.
     fn record_hit(&self, source: bool) {
-        let cell =
-            if source { &self.metrics.source_hits } else { &self.metrics.term_hits };
-        cell.set(cell.get() + 1);
+        bump(if source { &self.metrics.source_hits } else { &self.metrics.term_hits });
         units_trace::count("engine/cache_hit", 1);
     }
 
     fn record_miss(&self) {
-        self.metrics.misses.set(self.metrics.misses.get() + 1);
+        bump(&self.metrics.misses);
         units_trace::count("engine/cache_miss", 1);
     }
 
     /// Drops `artifact` from both cache maps. A run that panicked says
     /// nothing about how far it got before dying, so the artifact it
     /// was running is invalidated rather than trusted on the next load.
-    fn evict(&self, artifact: &Rc<Artifact>) {
-        let mut cache = self.cache.borrow_mut();
-        cache.by_source.retain(|_, a| !Rc::ptr_eq(a, artifact));
+    fn evict(&self, artifact: &Arc<Artifact>) {
+        let mut cache = self.cache.lock().unwrap();
+        cache.by_source.retain(|_, a| !Arc::ptr_eq(a, artifact));
         for bucket in cache.by_term.values_mut() {
-            bucket.retain(|a| !Rc::ptr_eq(a, artifact));
+            bucket.retain(|a| !Arc::ptr_eq(a, artifact));
         }
         cache.by_term.retain(|_, bucket| !bucket.is_empty());
-        self.metrics.evictions.set(self.metrics.evictions.get() + 1);
+        drop(cache);
+        bump(&self.metrics.evictions);
         units_trace::count("engine/cache_evict", 1);
     }
 
     /// The cached artifact alpha-equal to `expr`, if any, registering the
     /// source key as a fast path for next time.
-    fn term_lookup(&self, skey: u64, tkey: u64, expr: &Expr) -> Option<Rc<Artifact>> {
-        let mut cache = self.cache.borrow_mut();
+    fn term_lookup(&self, skey: u64, tkey: u64, expr: &Expr) -> Option<Arc<Artifact>> {
+        let mut cache = self.cache.lock().unwrap();
         let found = cache
             .by_term
             .get(&tkey)?
@@ -564,26 +547,53 @@ impl Engine {
     }
 
     /// Checks and resolves `expr` from scratch, caching the artifact
-    /// under both keys. `ty` short-circuits checking when a worker
-    /// already produced the verdict.
-    fn admit(
-        &self,
-        skey: u64,
-        tkey: u64,
-        expr: Expr,
-        ty: Option<Option<Ty>>,
-    ) -> Result<Rc<Artifact>, Error> {
-        let ty = match ty {
-            Some(ty) => ty,
-            None => check_program(&expr, self.opts)?,
-        };
+    /// under both keys.
+    ///
+    /// Checking and resolution run outside the cache lock — they are the
+    /// expensive part and perfectly parallel. Under the lock the term
+    /// bucket is re-checked, so when two threads race on alpha-equal
+    /// programs exactly one artifact is admitted and the loser shares it
+    /// (counted as a term hit, because that is what it observed).
+    fn admit(&self, skey: u64, tkey: u64, expr: Expr) -> Result<Arc<Artifact>, Error> {
+        let ty = check_program(&expr, self.opts)?;
         let resolved = if self.resolve { Some(resolve_program(&expr)) } else { None };
-        let artifact = Rc::new(Artifact { expr, ty, resolved, chunk: OnceCell::new() });
-        let mut cache = self.cache.borrow_mut();
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(found) = cache
+            .by_term
+            .get(&tkey)
+            .and_then(|b| b.iter().find(|a| alpha_eq(&a.expr, &expr)).cloned())
+        {
+            cache.by_source.insert(skey, found.clone());
+            drop(cache);
+            self.record_hit(false);
+            return Ok(found);
+        }
+        let artifact = Arc::new(Artifact { expr, ty, resolved, chunk: OnceLock::new() });
         cache.by_source.insert(skey, artifact.clone());
         cache.by_term.entry(tkey).or_default().push(artifact.clone());
+        drop(cache);
         self.record_miss();
         Ok(artifact)
+    }
+
+    /// The un-guarded load pipeline: cache probes, then
+    /// parse → check → resolve → admit. Shared by [`Engine::load`] and
+    /// the batch workers — both run the *same* code, the only difference
+    /// is which unwind boundary and fault plane wraps it.
+    fn load_uncached(&self, source: &str) -> Result<Arc<Artifact>, Error> {
+        let skey = self.source_key(source);
+        if let Some(artifact) = self.cache.lock().unwrap().by_source.get(&skey).cloned() {
+            self.record_hit(true);
+            return Ok(artifact);
+        }
+        bump(&self.metrics.parses);
+        let expr = parse_file(source)?;
+        let tkey = self.term_key(&expr);
+        if let Some(artifact) = self.term_lookup(skey, tkey, &expr) {
+            self.record_hit(false);
+            return Ok(artifact);
+        }
+        self.admit(skey, tkey, expr)
     }
 
     /// Parses, checks, and resolves `source` — or retrieves the cached
@@ -598,18 +608,7 @@ impl Engine {
     pub fn load(&self, source: &str) -> Result<Loaded<'_>, Error> {
         recorder::ensure(recorder::DEFAULT_CAPACITY);
         let result = guard("load", || {
-            let skey = self.source_key(source);
-            if let Some(artifact) = self.cache.borrow().by_source.get(&skey).cloned() {
-                self.record_hit(true);
-                return Ok(Loaded { engine: self, artifact });
-            }
-            let expr = parse_file(source)?;
-            let tkey = self.term_key(&expr);
-            if let Some(artifact) = self.term_lookup(skey, tkey, &expr) {
-                self.record_hit(false);
-                return Ok(Loaded { engine: self, artifact });
-            }
-            let artifact = self.admit(skey, tkey, expr, None)?;
+            let artifact = self.load_uncached(source)?;
             Ok(Loaded { engine: self, artifact })
         });
         if let Err(err) = &result {
@@ -633,7 +632,7 @@ impl Engine {
                 self.record_hit(false);
                 return Ok(Loaded { engine: self, artifact });
             }
-            let artifact = self.admit(tkey, tkey, expr, None)?;
+            let artifact = self.admit(tkey, tkey, expr)?;
             Ok(Loaded { engine: self, artifact })
         });
         if let Err(err) = &result {
@@ -652,22 +651,34 @@ impl Engine {
         self.load(source)?.run()
     }
 
-    /// Loads many independent sources, checking cache misses in parallel
-    /// on the engine's worker pool. Results come back in input order, one
-    /// per source; artifacts land in the same cache as [`Engine::load`].
+    /// Loads many independent sources, running the full
+    /// parse → check → resolve (→ lower, on the bytecode backend)
+    /// pipeline for cache misses in parallel on the engine's worker
+    /// pool. Results come back in input order, one per source; workers
+    /// admit `Arc`-shared artifacts into the same cache as
+    /// [`Engine::load`], exactly once per distinct program — nothing is
+    /// parsed twice.
     ///
     /// With one thread (or one job) this degenerates to sequential
     /// [`Engine::load`] calls — the `UNITS_ENGINE_THREADS=1` determinism
     /// mode.
     pub fn load_batch(&self, sources: &[&str]) -> Vec<Result<Loaded<'_>, Error>> {
-        let jobs: Vec<(usize, String)> = sources
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| {
-                !self.cache.borrow().by_source.contains_key(&self.source_key(s))
-            })
-            .map(|(i, s)| (i, (*s).to_string()))
-            .collect();
+        recorder::ensure(recorder::DEFAULT_CAPACITY);
+        // One job per distinct uncached source; repeats and warm entries
+        // resolve as plain cache hits in the collection pass below.
+        let mut seen = HashSet::new();
+        let jobs: Vec<(usize, &str)> = {
+            let cache = self.cache.lock().unwrap();
+            sources
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    let key = self.source_key(s);
+                    seen.insert(key) && !cache.by_source.contains_key(&key)
+                })
+                .map(|(i, s)| (i, *s))
+                .collect()
+        };
         let workers = self.threads.min(jobs.len());
         if workers <= 1 {
             return sources.iter().map(|s| self.load(s)).collect();
@@ -676,11 +687,9 @@ impl Engine {
         units_trace::count("engine/pool_jobs", jobs.len() as u64);
         units_trace::count("engine/pool_queue_depth", jobs.len() as u64);
         units_trace::count("engine/pool_workers", workers as u64);
-        let opts = self.opts;
         let queue = Mutex::new(jobs);
-        let verdicts = Mutex::new(
-            (0..sources.len()).map(|_| None).collect::<Vec<_>>(),
-        );
+        let done: Mutex<HashMap<usize, Result<Arc<Artifact>, Error>>> =
+            Mutex::new(HashMap::new());
         let worker_faults = &self.worker_faults;
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -695,42 +704,38 @@ impl Engine {
                         );
                     }
                     // The unwind boundary lives *inside* the worker
-                    // loop: a panicking check fails one job, not the
-                    // pool (and never poisons the queue/verdict locks,
-                    // which are released while checking runs).
-                    let verdict = catch_unwind(AssertUnwindSafe(|| check_source(&src, opts)))
-                        .unwrap_or_else(|payload| {
-                            units_trace::count("engine/caught_panics", 1);
-                            Err(BatchFailure::Panic(panic_message(payload)))
-                        });
+                    // loop: a panicking pipeline fails one job, not the
+                    // pool (and never poisons the queue/result locks,
+                    // which are released while the pipeline runs).
+                    let result = guard("batch-load", || {
+                        let artifact = self.load_uncached(src)?;
+                        if self.backend == Backend::Bytecode {
+                            // Lower eagerly on the worker so the batch
+                            // hands back run-ready artifacts; the
+                            // `OnceLock` dedupes against any concurrent
+                            // run lowering the same chunk.
+                            let _ = artifact.chunk();
+                        }
+                        Ok(artifact)
+                    });
                     units_trace::faults::disarm();
-                    verdicts.lock().unwrap()[idx] = Some(verdict);
+                    done.lock().unwrap().insert(idx, result);
                 });
             }
         });
-        let verdicts = verdicts.into_inner().unwrap();
+        let mut done = done.into_inner().unwrap();
         sources
             .iter()
-            .zip(verdicts)
-            .map(|(source, verdict)| match verdict {
-                // Cached before the batch started: a plain (hitting) load.
+            .enumerate()
+            .map(|(i, source)| match done.remove(&i) {
+                Some(Ok(artifact)) => Ok(Loaded { engine: self, artifact }),
+                Some(Err(err)) => {
+                    self.flight_on_fault(&err);
+                    Err(err)
+                }
+                // A duplicate of some job, or cached before the batch
+                // started: a plain (hitting) load.
                 None => self.load(source),
-                Some(Err(failure)) => Err(failure.into()),
-                Some(Ok(ty)) => guard("load", || {
-                    // The worker checked; re-parse here to materialize the
-                    // (non-Send) term, then resolve and cache it.
-                    let skey = self.source_key(source);
-                    let expr = parse_file(source)?;
-                    let tkey = self.term_key(&expr);
-                    let artifact = match self.term_lookup(skey, tkey, &expr) {
-                        Some(found) => {
-                            self.record_hit(false);
-                            found
-                        }
-                        None => self.admit(skey, tkey, expr, Some(ty))?,
-                    };
-                    Ok(Loaded { engine: self, artifact })
-                }),
             })
             .collect()
     }
@@ -761,7 +766,7 @@ impl Engine {
 #[derive(Debug)]
 pub struct Loaded<'e> {
     engine: &'e Engine,
-    artifact: Rc<Artifact>,
+    artifact: Arc<Artifact>,
 }
 
 impl Loaded<'_> {
@@ -833,7 +838,7 @@ impl Loaded<'_> {
         // path so a failure below can produce a post-mortem.
         recorder::ensure(recorder::DEFAULT_CAPACITY);
         let start = Instant::now();
-        *self.engine.recovery.borrow_mut() = None;
+        *self.engine.recovery.lock().unwrap() = None;
         let result = match self.run_raw(backend, self.engine.limits) {
             Ok(outcome) => Ok(outcome),
             Err(err) => self.recover(backend, err),
@@ -942,14 +947,14 @@ impl Loaded<'_> {
                     recovery.retries += 1;
                     fuel = fuel.saturating_mul(policy.fuel_factor);
                     let m = &self.engine.metrics;
-                    m.fuel_retries.set(m.fuel_retries.get() + 1);
+                    crate::metrics::bump(&m.fuel_retries);
                     units_trace::count("engine/fuel_retries", 1);
                     let mut limits = self.engine.limits;
                     limits.fuel = Some(fuel);
                     match self.run_raw(backend, limits) {
                         Ok(outcome) => {
-                            m.recovered_runs.set(m.recovered_runs.get() + 1);
-                            *self.engine.recovery.borrow_mut() = Some(recovery);
+                            crate::metrics::bump(&m.recovered_runs);
+                            *self.engine.recovery.lock().unwrap() = Some(recovery);
                             return Ok(outcome);
                         }
                         Err(e) => {
@@ -974,7 +979,7 @@ impl Loaded<'_> {
             || err.as_resource_exhausted().is_some();
         if policy.reference_fallback && backend != Backend::Reducer && backend_fault {
             let m = &self.engine.metrics;
-            m.fallbacks.set(m.fallbacks.get() + 1);
+            crate::metrics::bump(&m.fallbacks);
             units_trace::count("engine/fallbacks", 1);
             // The fault plane stays suspended for the re-run: recovery
             // must not itself be a fault target.
@@ -982,14 +987,14 @@ impl Loaded<'_> {
                 self.run_raw(Backend::Reducer, self.engine.limits)
             });
             if let Ok(outcome) = fallback {
-                m.recovered_runs.set(m.recovered_runs.get() + 1);
+                crate::metrics::bump(&m.recovered_runs);
                 recovery.fell_back = true;
                 recovery.divergence = self.diagnose(&policy, backend);
-                *self.engine.recovery.borrow_mut() = Some(recovery);
+                *self.engine.recovery.lock().unwrap() = Some(recovery);
                 return Ok(outcome);
             }
         }
-        *self.engine.recovery.borrow_mut() = Some(recovery);
+        *self.engine.recovery.lock().unwrap() = Some(recovery);
         Err(err)
     }
 
@@ -1093,7 +1098,7 @@ mod tests {
         assert_eq!(loaded.run_on(Backend::Bytecode).unwrap().value, Observation::Int(144));
         let first = loaded.artifact.chunk();
         assert_eq!(loaded.run_on(Backend::Bytecode).unwrap().value, Observation::Int(144));
-        assert!(Rc::ptr_eq(&first, &loaded.artifact.chunk()), "chunk lowered once per artifact");
+        assert!(Arc::ptr_eq(&first, &loaded.artifact.chunk()), "chunk lowered once per artifact");
     }
 
     #[test]

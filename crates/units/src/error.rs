@@ -44,7 +44,7 @@ pub enum Error {
     /// isolation boundary — the session stays usable, the run does not.
     Internal {
         /// The pipeline stage that panicked (`"load"`, `"run"`,
-        /// `"batch-check"`, …).
+        /// `"batch-load"`, …).
         stage: &'static str,
         /// The panic payload, rendered.
         message: String,

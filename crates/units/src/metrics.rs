@@ -1,100 +1,114 @@
 //! The engine's always-on metrics plane.
 //!
 //! Unlike the event hooks in `units-trace` (feature-gated to no-ops),
-//! these are plain per-engine counters — a handful of `Cell` bumps and
-//! one `Instant` read per invoke — cheap enough to keep in every build,
-//! so `Engine::metrics_snapshot` reports cache behaviour, recoveries,
-//! worker-pool usage, fuel, store-cell high-water marks, and invoke
-//! latency percentiles whether or not the `trace` feature is compiled.
+//! these are plain per-engine counters — a handful of relaxed atomic
+//! bumps and one `Instant` read per invoke — cheap enough to keep in
+//! every build, so `Engine::metrics_snapshot` reports cache behaviour,
+//! recoveries, worker-pool usage, fuel, store-cell high-water marks, and
+//! invoke latency percentiles whether or not the `trace` feature is
+//! compiled.
+//!
+//! Engines are `Send + Sync` session handles shared across threads, so
+//! the counters are `AtomicU64` (relaxed ordering: they are statistics,
+//! not synchronization) and the latency histogram sits behind a `Mutex`
+//! taken once per run.
 //!
 //! Latency uses [`units_trace::DurationStats`] (the *types* in
 //! `units-trace` always compile): log₂-ns histogram buckets with
 //! derived p50/p99.
 
-use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use units_trace::DurationStats;
 
-/// Internal mutable storage, one per [`crate::Engine`]. Engines are
-/// single-threaded handles (`Rc`/`RefCell` inside), so plain `Cell`s
-/// suffice; worker threads report through the engine after joining.
+/// Internal mutable storage, one per [`crate::Engine`]. Worker threads
+/// and concurrent invokers bump these directly — no joining required.
 #[derive(Debug, Default)]
 pub(crate) struct EngineMetrics {
-    pub source_hits: Cell<u64>,
-    pub term_hits: Cell<u64>,
-    pub misses: Cell<u64>,
-    pub evictions: Cell<u64>,
-    pub pool_batches: Cell<u64>,
-    pub pool_jobs: Cell<u64>,
-    pub pool_peak_workers: Cell<u64>,
-    pub runs: Cell<u64>,
-    pub run_failures: Cell<u64>,
-    pub fuel_total: Cell<u64>,
-    pub fuel_max: Cell<u64>,
-    pub cells_peak: Cell<u64>,
-    pub fuel_retries: Cell<u64>,
-    pub fallbacks: Cell<u64>,
-    pub recovered_runs: Cell<u64>,
-    pub flight_dumps: Cell<u64>,
-    pub invoke_latency: RefCell<DurationStats>,
+    pub source_hits: AtomicU64,
+    pub term_hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub parses: AtomicU64,
+    pub pool_batches: AtomicU64,
+    pub pool_jobs: AtomicU64,
+    pub pool_peak_workers: AtomicU64,
+    pub runs: AtomicU64,
+    pub run_failures: AtomicU64,
+    pub fuel_total: AtomicU64,
+    pub fuel_max: AtomicU64,
+    pub cells_peak: AtomicU64,
+    pub fuel_retries: AtomicU64,
+    pub fallbacks: AtomicU64,
+    pub recovered_runs: AtomicU64,
+    pub flight_dumps: AtomicU64,
+    pub invoke_latency: Mutex<DurationStats>,
+}
+
+/// One relaxed increment — the idiom for every counter here.
+#[inline]
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Relaxed);
 }
 
 impl EngineMetrics {
     /// Records one completed run (including any recovery work).
     pub fn note_run(&self, latency: Duration, ok: bool) {
-        self.runs.set(self.runs.get() + 1);
+        bump(&self.runs);
         if !ok {
-            self.run_failures.set(self.run_failures.get() + 1);
+            bump(&self.run_failures);
         }
         let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.invoke_latency.borrow_mut().record_ns(ns);
+        self.invoke_latency.lock().unwrap().record_ns(ns);
     }
 
     /// Folds one machine's end-of-run resource usage in.
     pub fn note_machine(&self, fuel: u64, cells: u64) {
-        self.fuel_total.set(self.fuel_total.get() + fuel);
-        self.fuel_max.set(self.fuel_max.get().max(fuel));
-        self.cells_peak.set(self.cells_peak.get().max(cells));
+        self.fuel_total.fetch_add(fuel, Relaxed);
+        self.fuel_max.fetch_max(fuel, Relaxed);
+        self.cells_peak.fetch_max(cells, Relaxed);
     }
 
     /// Records one worker-pool batch of `jobs` jobs on `workers`
     /// threads.
     pub fn note_batch(&self, jobs: u64, workers: u64) {
-        self.pool_batches.set(self.pool_batches.get() + 1);
-        self.pool_jobs.set(self.pool_jobs.get() + jobs);
-        self.pool_peak_workers.set(self.pool_peak_workers.get().max(workers));
+        bump(&self.pool_batches);
+        self.pool_jobs.fetch_add(jobs, Relaxed);
+        self.pool_peak_workers.fetch_max(workers, Relaxed);
     }
 
     /// A structured copy of everything, with `entries` supplied by the
     /// cache (it owns the map).
     pub fn snapshot(&self, entries: usize) -> MetricsSnapshot {
-        let lat = self.invoke_latency.borrow();
+        let lat = self.invoke_latency.lock().unwrap();
         MetricsSnapshot {
             cache: CacheMetrics {
-                source_hits: self.source_hits.get(),
-                term_hits: self.term_hits.get(),
-                misses: self.misses.get(),
-                evictions: self.evictions.get(),
+                source_hits: self.source_hits.load(Relaxed),
+                term_hits: self.term_hits.load(Relaxed),
+                misses: self.misses.load(Relaxed),
+                evictions: self.evictions.load(Relaxed),
+                parses: self.parses.load(Relaxed),
                 entries,
             },
             pool: PoolMetrics {
-                batches: self.pool_batches.get(),
-                jobs: self.pool_jobs.get(),
-                peak_workers: self.pool_peak_workers.get(),
+                batches: self.pool_batches.load(Relaxed),
+                jobs: self.pool_jobs.load(Relaxed),
+                peak_workers: self.pool_peak_workers.load(Relaxed),
             },
             recovery: RecoveryMetrics {
-                fuel_retries: self.fuel_retries.get(),
-                reference_fallbacks: self.fallbacks.get(),
-                recovered_runs: self.recovered_runs.get(),
-                flight_dumps: self.flight_dumps.get(),
+                fuel_retries: self.fuel_retries.load(Relaxed),
+                reference_fallbacks: self.fallbacks.load(Relaxed),
+                recovered_runs: self.recovered_runs.load(Relaxed),
+                flight_dumps: self.flight_dumps.load(Relaxed),
             },
             runs: RunMetrics {
-                total: self.runs.get(),
-                failures: self.run_failures.get(),
-                fuel_total: self.fuel_total.get(),
-                fuel_max: self.fuel_max.get(),
-                store_cells_peak: self.cells_peak.get(),
+                total: self.runs.load(Relaxed),
+                failures: self.run_failures.load(Relaxed),
+                fuel_total: self.fuel_total.load(Relaxed),
+                fuel_max: self.fuel_max.load(Relaxed),
+                store_cells_peak: self.cells_peak.load(Relaxed),
             },
             invoke_latency: LatencyStats {
                 count: lat.count,
@@ -109,23 +123,28 @@ impl EngineMetrics {
 
     /// Zeroes every counter and the latency histogram.
     pub fn reset(&self) {
-        self.source_hits.set(0);
-        self.term_hits.set(0);
-        self.misses.set(0);
-        self.evictions.set(0);
-        self.pool_batches.set(0);
-        self.pool_jobs.set(0);
-        self.pool_peak_workers.set(0);
-        self.runs.set(0);
-        self.run_failures.set(0);
-        self.fuel_total.set(0);
-        self.fuel_max.set(0);
-        self.cells_peak.set(0);
-        self.fuel_retries.set(0);
-        self.fallbacks.set(0);
-        self.recovered_runs.set(0);
-        self.flight_dumps.set(0);
-        *self.invoke_latency.borrow_mut() = DurationStats::default();
+        for counter in [
+            &self.source_hits,
+            &self.term_hits,
+            &self.misses,
+            &self.evictions,
+            &self.parses,
+            &self.pool_batches,
+            &self.pool_jobs,
+            &self.pool_peak_workers,
+            &self.runs,
+            &self.run_failures,
+            &self.fuel_total,
+            &self.fuel_max,
+            &self.cells_peak,
+            &self.fuel_retries,
+            &self.fallbacks,
+            &self.recovered_runs,
+            &self.flight_dumps,
+        ] {
+            counter.store(0, Relaxed);
+        }
+        *self.invoke_latency.lock().unwrap() = DurationStats::default();
     }
 }
 
@@ -141,6 +160,10 @@ pub struct CacheMetrics {
     pub misses: u64,
     /// Artifacts evicted after a panic poisoned them.
     pub evictions: u64,
+    /// Source texts the engine actually parsed. Cache hits skip parsing
+    /// on the raw-source fast path, so this stays flat on warm loads —
+    /// the "winners are shared, not re-parsed" invariant, measured.
+    pub parses: u64,
     /// Artifacts currently cached.
     pub entries: usize,
 }
@@ -150,7 +173,8 @@ pub struct CacheMetrics {
 pub struct PoolMetrics {
     /// Parallel batches dispatched (sequential fallbacks not counted).
     pub batches: u64,
-    /// Jobs pushed through those batches.
+    /// Jobs pushed through those batches (deduplicated uncached
+    /// sources — each job runs the full parse→check→resolve pipeline).
     pub jobs: u64,
     /// Widest worker count used by any batch.
     pub peak_workers: u64,
@@ -224,7 +248,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"cache\":{{\"source_hits\":{},\"term_hits\":{},\"misses\":{},\
-             \"evictions\":{},\"entries\":{}}},\
+             \"evictions\":{},\"parses\":{},\"entries\":{}}},\
              \"pool\":{{\"batches\":{},\"jobs\":{},\"peak_workers\":{}}},\
              \"recovery\":{{\"fuel_retries\":{},\"reference_fallbacks\":{},\
              \"recovered_runs\":{},\"flight_dumps\":{}}},\
@@ -236,6 +260,7 @@ impl MetricsSnapshot {
             self.cache.term_hits,
             self.cache.misses,
             self.cache.evictions,
+            self.cache.parses,
             self.cache.entries,
             self.pool.batches,
             self.pool.jobs,
@@ -284,6 +309,7 @@ mod tests {
         let json = snap.to_json();
         units_trace::json::validate(&json).unwrap();
         assert!(json.contains("\"p50_ns\"") && json.contains("\"p99_ns\""));
+        assert!(json.contains("\"parses\""));
         metrics.reset();
         assert_eq!(metrics.snapshot(0), MetricsSnapshot::default());
     }

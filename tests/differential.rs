@@ -194,7 +194,7 @@ impl Gen {
             vals,
             init,
         };
-        (Expr::Unit(std::rc::Rc::new(unit.clone())), unit)
+        (Expr::Unit(std::sync::Arc::new(unit.clone())), unit)
     }
 
     /// `invoke` of either one unit or a two-unit compound, with all
@@ -252,7 +252,7 @@ impl Gen {
                 exports: Ports::new(),
                 links,
             };
-            (Expr::Compound(std::rc::Rc::new(compound)), compound_imports)
+            (Expr::Compound(std::sync::Arc::new(compound)), compound_imports)
         };
         let val_links = needed
             .iter()
@@ -260,7 +260,7 @@ impl Gen {
                 (name.as_str().into(), Expr::thunk(self.expr(1, vars)))
             })
             .collect();
-        Expr::Invoke(std::rc::Rc::new(InvokeExpr { target, ty_links: vec![], val_links }))
+        Expr::Invoke(std::sync::Arc::new(InvokeExpr { target, ty_links: vec![], val_links }))
     }
 }
 

@@ -232,6 +232,99 @@ fn parallel_batch_agrees_with_sequential_loading() {
     assert_eq!(after.hits, before.hits + 7);
 }
 
+/// The compile-time guarantee behind the whole parallel pipeline: the
+/// engine, its loaded handles, cached-artifact errors, and lowered
+/// chunks are all `Send + Sync`. This test "runs" at type-check time —
+/// remove an `Arc` anywhere on the artifact spine and it stops
+/// compiling.
+#[test]
+fn engine_artifacts_and_chunks_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<units::EngineBuilder>();
+    assert_send_sync::<units_runtime::Chunk>();
+    assert_send_sync::<Error>();
+    // `Send`/`Sync` are lifetime-independent, so `'static` stands in
+    // for every borrow of an engine.
+    assert_send_sync::<units::Loaded<'static>>();
+}
+
+/// One engine shared by reference across threads behaves exactly like a
+/// cold single-threaded engine: same outcomes, same per-thread trace
+/// streams, byte for byte. Trace capture is thread-local, so concurrent
+/// runs cannot interleave each other's events.
+#[test]
+fn shared_engine_runs_identically_across_threads() {
+    for backend in [Backend::Compiled, Backend::Reducer, Backend::Bytecode] {
+        let source = square_program(Level::Untyped);
+
+        let cold_engine = Engine::new();
+        let cold = cold_engine.load(source).unwrap();
+        let (cold_outcome, cold_events) =
+            units::trace::capture(|| cold.run_on(backend).unwrap());
+
+        let shared = Engine::new();
+        shared.load(source).unwrap(); // warm the cache once, deterministically
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let loaded = shared.load(source).unwrap();
+                        units::trace::capture(|| loaded.run_on(backend).unwrap())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (outcome, events) = handle.join().unwrap();
+                assert_eq!(outcome, cold_outcome, "{backend:?}: outcome drifted");
+                assert_eq!(events, cold_events, "{backend:?}: trace drifted");
+            }
+        });
+        let stats = shared.cache_stats();
+        assert_eq!((stats.misses, stats.entries), (1, 1), "{backend:?}");
+        assert_eq!(stats.hits, 4, "{backend:?}: every thread load is a hit");
+    }
+}
+
+/// Winners are shared, not re-parsed: the parse counter moves once per
+/// distinct source and stays flat across every warm path — sequential
+/// reload, parallel batch, and archive load alike.
+#[test]
+fn cache_hits_never_reparse() {
+    let engine = Engine::builder().threads(4).build();
+    let source = square_program(Level::Untyped);
+
+    engine.load(source).unwrap();
+    assert_eq!(engine.metrics_snapshot().cache.parses, 1);
+
+    // Sequential warm load: source-hash hit, no parse.
+    engine.load(source).unwrap();
+    // Parallel warm batch of duplicates: all answered from cache.
+    for result in engine.load_batch(&[source, source, source]) {
+        result.unwrap();
+    }
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.cache.parses, 1, "warm loads must never re-parse");
+    assert_eq!(snap.cache.misses, 1);
+    assert_eq!(snap.cache.source_hits, 4);
+
+    // A cold batch parses each distinct source exactly once, even with
+    // the same source repeated in the job list.
+    let sources = batch_sources();
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let mut doubled = refs.clone();
+    doubled.extend(refs.iter().copied());
+    for (i, result) in engine.load_batch(&doubled).into_iter().enumerate() {
+        if i % refs.len() != 5 {
+            result.unwrap();
+        }
+    }
+    let snap = engine.metrics_snapshot();
+    // 1 original + 8 batch sources parsed once each; the failing source
+    // (index 5) parses on each attempt because failures are not cached.
+    assert_eq!(snap.cache.parses, 1 + 8 + 1, "each winner parsed exactly once");
+}
+
 /// Archive entries load through the same batch path, keyed by name.
 #[test]
 fn archives_load_in_name_order() {

@@ -245,7 +245,7 @@ fn batch_worker_faults_are_isolated_and_deterministic() {
                 // internal error naming the batch stage — never as a
                 // dead thread or a poisoned lock.
                 assert!(
-                    message.contains("internal error in batch-check")
+                    message.contains("internal error in batch-load")
                         && message.contains("injected panic at"),
                     "job {i}: {message}"
                 );

@@ -480,7 +480,7 @@ fn sec53_sharing_limitation_two_symbol_instances() {
 
 #[test]
 fn compiled_code_shared_across_instances() {
-    use std::rc::Rc;
+    use std::sync::Arc;
     use units::{evaluate_program, Machine, Value};
     let unit_expr = parse_expr(
         "(unit (import) (export) (define f (lambda (n) (* n n))) (init (f 4)))",
@@ -497,7 +497,7 @@ fn compiled_code_shared_across_instances() {
         })
         .collect();
     for pair in sources.windows(2) {
-        assert!(Rc::ptr_eq(&pair[0], &pair[1]), "code must be shared");
+        assert!(Arc::ptr_eq(&pair[0], &pair[1]), "code must be shared");
     }
 }
 

@@ -94,6 +94,38 @@ fn pool_and_term_hits_show_up_in_the_snapshot() {
     assert_eq!(snap.cache.term_hits, 1, "whitespace changes hash to the same term");
 }
 
+/// Concurrent invocation on one shared engine: every run from every
+/// thread lands in the atomic counters — totals, failures, and the
+/// latency reservoir all account for exactly `threads × runs` events.
+#[test]
+fn concurrent_invocations_are_fully_accounted() {
+    const THREADS: usize = 4;
+    const RUNS_PER_THREAD: usize = 8;
+
+    let engine = Engine::new();
+    engine.load(EVEN_ODD).unwrap(); // one deterministic miss up front
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..RUNS_PER_THREAD {
+                    let loaded = engine.load(EVEN_ODD).unwrap();
+                    loaded.run_on(Backend::Bytecode).unwrap();
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * RUNS_PER_THREAD) as u64;
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.runs.total, total);
+    assert_eq!(snap.runs.failures, 0);
+    assert_eq!(snap.invoke_latency.count, total);
+    assert_eq!(snap.cache.misses, 1, "one artifact serves every thread");
+    assert_eq!(snap.cache.source_hits, total, "each thread load is a warm hit");
+    assert_eq!(snap.cache.parses, 1, "shared artifact is never re-parsed");
+    assert!(snap.runs.fuel_total >= total, "every run burned machine steps");
+}
+
 /// With `--features trace` the lowered chunk carries per-op counters: a
 /// bytecode run populates them, the profiled listing annotates them,
 /// and `ChunkProfile` aggregates by mnemonic.

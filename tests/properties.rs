@@ -258,7 +258,7 @@ fn alpha_eq_respects_bound_renaming() {
     let mut rng = SplitMix64::seed_from_u64(0x51B1);
     for case in 0..256 {
         let body = arb_expr(&mut rng, 4);
-        let original = Expr::Lambda(std::rc::Rc::new(Lambda {
+        let original = Expr::Lambda(std::sync::Arc::new(Lambda {
             params: vec![Param::untyped("a")],
             ret_ty: None,
             body: body.clone(),
@@ -270,7 +270,7 @@ fn alpha_eq_respects_bound_renaming() {
             &std::collections::HashMap::from([(Symbol::new("a"), Expr::var("zq1"))]),
             &mut gen,
         );
-        let renamed = Expr::Lambda(std::rc::Rc::new(Lambda {
+        let renamed = Expr::Lambda(std::sync::Arc::new(Lambda {
             params: vec![Param::untyped("zq1")],
             ret_ty: None,
             body: renamed_body,
