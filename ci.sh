@@ -14,6 +14,81 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Unit service smoke test: boot the release unitsd on a throwaway
+# socket and drive the wire protocol end to end from a second-parser
+# client (python speaks the 4-byte-length-prefixed JSON frames from
+# scratch, so the rust Client cannot mask a framing bug): two tenants,
+# load, invoke, hot swap, per-request budgets, admission denial,
+# stats, shutdown. The richer concurrency/chaos coverage lives in
+# crates/units-serve/tests and runs in the cargo test sweeps.
+if command -v python3 >/dev/null 2>&1; then
+    ./target/release/unitsd --socket .ci-unitsd.sock --level untyped --fuel 1000000 &
+    UNITSD_PID=$!
+    python3 - <<'SMOKE'
+import json, os, socket, struct, time
+
+def connect():
+    deadline = time.time() + 30
+    while True:
+        try:
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            s.connect('.ci-unitsd.sock')
+            return s
+        except OSError:
+            assert time.time() < deadline, 'unitsd never came up'
+            time.sleep(0.05)
+
+def call(s, obj):
+    body = json.dumps(obj).encode()
+    s.sendall(struct.pack('>I', len(body)) + body)
+    data = b''
+    while len(data) < 4:
+        chunk = s.recv(4 - len(data))
+        assert chunk, 'server hung up'
+        data += chunk
+    (n,) = struct.unpack('>I', data)
+    data = b''
+    while len(data) < n:
+        chunk = s.recv(n - len(data))
+        assert chunk, 'server hung up mid-frame'
+        data += chunk
+    return json.loads(data)
+
+square = '(unit (import) (export) (init (lambda (n) (* n n))))'
+cube = '(unit (import) (export) (init (lambda (n) (* n (* n n)))))'
+
+a, b = connect(), connect()
+assert call(a, {'op': 'hello', 'tenant': 'a'})['ok']
+assert call(b, {'op': 'hello', 'tenant': 'b'})['ok']
+
+# Private namespaces: both tenants own the name `f`.
+assert call(a, {'op': 'load', 'name': 'f', 'source': square})['version'] == 1
+assert call(b, {'op': 'load', 'name': 'f', 'source': cube})['version'] == 1
+assert call(a, {'op': 'invoke', 'name': 'f', 'arg': 6})['value'] == '36'
+assert call(b, {'op': 'invoke', 'name': 'f', 'arg': 6})['value'] == '216'
+
+# Hot swap on tenant a only.
+swap = call(a, {'op': 'swap', 'name': 'f', 'source': cube})
+assert swap['ok'] and swap['version'] == 2, swap
+assert call(a, {'op': 'invoke', 'name': 'f', 'arg': 2})['value'] == '8'
+
+# Admission control: over-asking the daemon cap is a typed refusal.
+denied = call(a, {'op': 'invoke', 'name': 'f', 'arg': 2, 'fuel': 10000000})
+assert denied == dict(denied, ok=False, kind='admission-denied',
+                      requested=10000000, cap=1000000), denied
+# Under the cap the same request is served.
+ok = call(a, {'op': 'invoke', 'name': 'f', 'arg': 2, 'fuel': 1000})
+assert ok['ok'] and ok['value'] == '8', ok
+
+stats = call(b, {'op': 'stats'})['tenants']
+assert stats['a']['rejected'] == 1 and stats['b']['ok'] == 1, stats
+assert call(b, {'op': 'shutdown'})['stopping']
+print('unitsd smoke: 2 tenants, swap, admission, stats, shutdown OK')
+SMOKE
+    wait "$UNITSD_PID"
+    test ! -e .ci-unitsd.sock
+fi
+
 # With tracing compiled in.
 cargo build --release --features trace
 cargo test -q --features trace
@@ -46,6 +121,9 @@ grep -q repeat_invoke BENCH_trace.json
 grep -q invoke_bytecode BENCH_trace.json
 # The B.9 parallel-scaling series (threads vs. batch load / invoke).
 grep -q parallel_scaling BENCH_trace.json
+# The B.10 unit-service throughput series (requests/sec, p50/p99).
+grep -q unit_service BENCH_trace.json
+grep -q '"req_per_s"' BENCH_trace.json
 grep -q '"host_parallelism"' BENCH_trace.json
 grep -q '"engine_metrics"' BENCH_trace.json
 grep -q '"p50_ns"' BENCH_trace.json
@@ -118,6 +196,28 @@ else:
         "pathological serialization even for a narrow host")
     print(f"B.9 scaling gate: SKIPPED >=1.5x assertion (host parallelism {host} < 4); "
           f"sanity floor held at {speedup:.2f}x")
+
+# B.10 unit-service gate: the requests/sec series must cover 1, 2, and
+# 4 concurrent tenants with sane latency percentiles. Absolute
+# throughput is host-dependent and tenant scaling is physically
+# impossible on a narrow host, so the gate checks shape, not speed:
+# every point positive, p50 <= p99, and the 4-tenant point not
+# collapsed to a crawl relative to 1 tenant.
+b10 = {
+    r['size']: r
+    for r in default['records']
+    if r['experiment'] == 'unit_service' and r['series'] == 'throughput'
+}
+assert {'1', '2', '4'} <= b10.keys(), sorted(b10)
+for size, r in b10.items():
+    assert r['req_per_s'] > 0, (size, r)
+    assert 0 <= r['p50_us'] <= r['p99_us'], (size, r)
+collapse = b10['4']['req_per_s'] / b10['1']['req_per_s']
+assert collapse >= 0.2, (
+    f"B.10: 4-tenant throughput is {collapse:.2f}x of 1-tenant -- "
+    "tenancy bookkeeping is serializing the service into the ground")
+print(f"B.10 service gate: {b10['1']['req_per_s']:.0f} req/s at 1 tenant, "
+      f"{collapse:.2f}x relative at 4 tenants, p99 {b10['4']['p99_us']:.0f}us")
 GATE
 fi
 rm -f BENCH_trace.json CHROME_trace.json .ci-bench-trace.tmp
@@ -133,9 +233,12 @@ cargo test -q --features trace --test differential
 # Fault plane: the fixed-seed chaos harness (tests/faults.rs sweeps 240
 # seeded schedules, including the bytecode VM's vm/dispatch site and
 # its fallback path) must pass with injection compiled in, both with
-# and without the tracing layer, and stay clippy-clean.
+# and without the tracing layer, and stay clippy-clean. The service
+# chaos pass (one tenant under an armed plane, bystanders unaffected)
+# rides in the same sweep; name it as its own gate.
 cargo test -q --features faults
 cargo test -q --features "trace faults"
+cargo test -q -p units-serve --features faults --test chaos
 cargo clippy --workspace --all-targets --features faults -- -D warnings
 cargo clippy --workspace --all-targets --features "trace faults" -- -D warnings
 

@@ -54,7 +54,7 @@ fn session() -> Engine {
 /// warm-up run (the warm-up pays the lazy chunk lowering for the
 /// bytecode backend — §4.1.6's one-copy-of-the-code invariant means
 /// that cost is per-program, not per-run).
-fn time_backend(runs: u32, loaded: &units::Loaded<'_>, backend: Backend) -> f64 {
+fn time_backend(runs: u32, loaded: &units::Loaded, backend: Backend) -> f64 {
     loaded.run_on(backend).unwrap();
     time_us(runs, || {
         loaded.run_on(backend).unwrap();
@@ -647,6 +647,68 @@ fn main() {
             "concurrent_invoke",
             threads,
             vec![("us", t), ("speedup", speedup)],
+        );
+    }
+
+    header("unit_service (B.10): in-process Service requests/sec");
+    // The service path adds tenancy bookkeeping, admission control, and
+    // per-argument term composition on top of a bare `run_on`; this
+    // series prices that stack and how it holds up under tenant
+    // concurrency. In-process on purpose: the socket would only add
+    // constant framing cost, and B.10 tracks the service core.
+    println!(
+        "{:>12} {:>8} {:>12} {:>10} {:>10}",
+        "series", "tenants", "req/s", "p50 µs", "p99 µs"
+    );
+    let request_total = if quick { 64usize } else { 512 };
+    for tenants in [1usize, 2, 4] {
+        let service = units_serve::Service::builder()
+            .level(Level::Untyped)
+            .caps(units::Limits::none().fuel(1_000_000))
+            .build();
+        let square = "(unit (import) (export) (init (lambda (n) (* n n))))";
+        for t in 0..tenants {
+            let tenant = service.tenant(&format!("tenant-{t}"));
+            tenant.load_plugin("f", square, None).unwrap();
+            tenant.invoke("f", Some(1)).unwrap(); // warm the caches
+        }
+        let per_tenant = request_total / tenants;
+        let start = Instant::now();
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..tenants)
+                .map(|t| {
+                    let tenant = service.tenant(&format!("tenant-{t}"));
+                    scope.spawn(move || {
+                        let mut micros = Vec::with_capacity(per_tenant);
+                        for i in 0..per_tenant {
+                            let arg = (i % 50) as i64;
+                            let begin = Instant::now();
+                            let outcome = tenant.invoke("f", Some(arg)).unwrap();
+                            micros.push(begin.elapsed().as_micros() as u64);
+                            assert_eq!(
+                                outcome.value,
+                                units::Observation::Int(arg * arg),
+                                "tenant-{t} request {i}"
+                            );
+                        }
+                        micros
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let wall = start.elapsed().as_secs_f64();
+        latencies.sort_unstable();
+        let total = latencies.len();
+        let req_per_s = total as f64 / wall;
+        let p50 = latencies[total / 2] as f64;
+        let p99 = latencies[(total * 99 / 100).min(total - 1)] as f64;
+        println!("{:>12} {tenants:>8} {req_per_s:>12.0} {p50:>10.1} {p99:>10.1}", "throughput");
+        rec.push(
+            "unit_service",
+            "throughput",
+            tenants,
+            vec![("req_per_s", req_per_s), ("p50_us", p50), ("p99_us", p99)],
         );
     }
 

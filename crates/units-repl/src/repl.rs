@@ -477,7 +477,7 @@ impl Repl {
         units::trace::install(sink, Arc::clone(&self.metrics));
     }
 
-    fn load(&self, source: &str) -> Result<Loaded<'_>, units::Error> {
+    fn load(&self, source: &str) -> Result<Loaded, units::Error> {
         self.engine.load(source)
     }
 

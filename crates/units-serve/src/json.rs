@@ -1,0 +1,368 @@
+//! A minimal JSON value — parser and printer — for the wire protocol.
+//!
+//! [`units_trace::json`] ships an escaper and a validator but no tree
+//! parser, because the tracing layer only ever *writes* JSON. The
+//! service has to *read* requests off a socket, so this module adds the
+//! missing half: a recursive-descent parser into a small [`Json`]
+//! enum, plus the inverse printer. String escaping is delegated to
+//! `units_trace::json::{escape, unescape}` so both layers agree on the
+//! grammar.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use units_trace::json::{escape, unescape};
+
+/// A parsed JSON value.
+///
+/// Numbers are split into [`Json::Int`] and [`Json::Float`]: the
+/// protocol itself only uses integers (versions, limits, arguments),
+/// but stats payloads may carry derived averages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer number.
+    Int(i64),
+    /// A non-integer number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` keeps rendering deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// The value at `key`, when this is an object that has one.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string at `key`, when present.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer at `key`, when present.
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        match self.get(key)? {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean at `key`, when present.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders this value as compact JSON text.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Float(x) => {
+                // `{}` on an integral f64 prints no decimal point, which
+                // would reparse as Int; force one so round-trips hold.
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Json::Str(s) => f.write_str(&escape(s)),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", escape(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Why a parse failed: byte offset and a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseJsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseJsonError {}
+
+/// Parses exactly one JSON value; trailing non-whitespace is an error.
+pub fn parse(src: &str) -> Result<Json, ParseJsonError> {
+    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("trailing data after the value"));
+    }
+    Ok(value)
+}
+
+/// Nesting deeper than this is refused — the parser reads attacker-
+/// controlled socket bytes and must not blow the stack.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseJsonError {
+        ParseJsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.src.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseJsonError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> bool {
+        if self.src[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseJsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("value nested too deeply"));
+        }
+        match self.src.get(self.pos) {
+            Some(b'n') if self.keyword("null") => Ok(Json::Null),
+            Some(b't') if self.keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.keyword("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseJsonError> {
+        let start = self.pos;
+        self.pos += 1; // the opening quote
+        loop {
+            match self.src.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 2; // the escape introducer and its payload byte
+                    if self.pos > self.src.len() {
+                        return Err(self.err("unterminated escape"));
+                    }
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        let literal = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| ParseJsonError { offset: start, message: "invalid UTF-8".to_string() })?;
+        unescape(literal)
+            .map_err(|e| ParseJsonError { offset: start + e.offset, message: e.message })
+    }
+
+    fn number(&mut self) -> Result<Json, ParseJsonError> {
+        let start = self.pos;
+        let _ = self.eat(b'-');
+        while matches!(self.src.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.eat(b'.') {
+            float = true;
+            while matches!(self.src.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.src.get(self.pos), Some(b'e') | Some(b'E')) {
+            float = true;
+            self.pos += 1;
+            if !self.eat(b'+') {
+                let _ = self.eat(b'-');
+            }
+            while matches!(self.src.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits are ASCII");
+        if float {
+            text.parse().map(Json::Float).map_err(|_| self.err("bad number"))
+        } else {
+            text.parse().map(Json::Int).map_err(|_| self.err("bad integer"))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseJsonError> {
+        self.pos += 1; // `[`
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseJsonError> {
+        self.pos += 1; // `{`
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.src.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(map));
+            }
+            self.expect(b',')?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_protocol_shapes() {
+        let cases = [
+            r#"{"op":"hello","tenant":"a"}"#,
+            r#"{"arg":7,"fuel":1000,"name":"sq","op":"invoke"}"#,
+            r#"{"items":[1,-2,true,null,"x\n\"y\""],"nested":{"k":[{}]}}"#,
+            "[1.5,2.0,-0.25]",
+        ];
+        for src in cases {
+            let value = parse(src).unwrap();
+            assert_eq!(value.render(), src, "canonical text must round-trip");
+            assert_eq!(parse(&value.render()).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn accessors_pick_typed_fields() {
+        let v = parse(r#"{"op":"invoke","arg":7,"deep":{"x":1},"on":true}"#).unwrap();
+        assert_eq!(v.get_str("op"), Some("invoke"));
+        assert_eq!(v.get_int("arg"), Some(7));
+        assert_eq!(v.get_bool("on"), Some(true));
+        assert_eq!(v.get_str("arg"), None, "wrong type reads as absent");
+        assert_eq!(v.get("deep").and_then(|d| d.get_int("x")), Some(1));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"unterminated", "{'a':1}"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&deep).is_err(), "over-deep nesting is refused");
+    }
+
+    #[test]
+    fn integral_floats_stay_floats_across_a_round_trip() {
+        let v = Json::Float(2.0);
+        assert_eq!(v.render(), "2.0");
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+}

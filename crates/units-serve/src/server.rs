@@ -1,0 +1,248 @@
+//! The socket front end: `unitsd`'s accept loop and per-connection
+//! request handling.
+//!
+//! The server listens on a Unix-domain socket and spawns one thread
+//! per connection. A connection speaks the [`crate::proto`] frame
+//! protocol: it must `hello` first to bind itself to a tenant, then
+//! issues loads, swaps, invokes, and runs against that tenant's slice
+//! of the shared [`Service`]. All state lives in the service, so any
+//! number of connections may serve one tenant concurrently, and two
+//! tenants on two connections cannot observe each other beyond the
+//! shared engine's caches.
+//!
+//! `shutdown` flips a flag and pokes the listener with a throwaway
+//! connection so the blocking `accept` wakes up and the loop exits.
+
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use units::{Limits, Outcome};
+
+use crate::json::Json;
+use crate::proto::{error_response, ok_response, read_frame, write_frame, Request};
+use crate::service::{Service, Tenant, TenantSnapshot};
+
+/// A bound-but-not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: UnixListener,
+    path: PathBuf,
+    service: Service,
+    stopping: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `path` (removing any stale socket file first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(path: impl AsRef<Path>, service: Service) -> io::Result<Server> {
+        let path = path.as_ref().to_path_buf();
+        // A previous unclean exit leaves the socket file behind; a
+        // fresh bind on the same path must not fail for that.
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Ok(Server { listener, path, service, stopping: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The socket path this server is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Accepts connections until a client sends `shutdown`. Each
+    /// connection gets its own thread; the threads are detached — a
+    /// connection mid-request when shutdown lands finishes that
+    /// request, and the process exiting reaps the rest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures other than the shutdown wake-up.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let service = self.service.clone();
+            let stopping = self.stopping.clone();
+            let wake_path = self.path.clone();
+            std::thread::spawn(move || {
+                let _ = serve_connection(stream, &service, &stopping, &wake_path);
+            });
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+}
+
+/// Drives one connection to completion (EOF, I/O error, or shutdown).
+fn serve_connection(
+    mut stream: UnixStream,
+    service: &Service,
+    stopping: &AtomicBool,
+    wake_path: &Path,
+) -> io::Result<()> {
+    let mut tenant: Option<Tenant> = None;
+    while let Some(frame) = read_frame(&mut stream)? {
+        let request = match Request::from_json(&frame) {
+            Ok(request) => request,
+            Err(message) => {
+                write_frame(&mut stream, &error_response("bad-request", &message))?;
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Hello { tenant: name } => {
+                let bound = service.tenant(&name);
+                let reply = ok_response([("tenant", Json::str(bound.name()))]);
+                tenant = Some(bound);
+                reply
+            }
+            Request::Stats => stats_response(service),
+            Request::Shutdown => {
+                write_frame(&mut stream, &ok_response([("stopping", Json::Bool(true))]))?;
+                stopping.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it notices the flag.
+                let _ = UnixStream::connect(wake_path);
+                return Ok(());
+            }
+            tenant_op => match &tenant {
+                None => error_response("no-tenant", "send `hello` before tenant operations"),
+                Some(tenant) => dispatch_tenant_op(tenant, tenant_op),
+            },
+        };
+        write_frame(&mut stream, &response)?;
+    }
+    Ok(())
+}
+
+/// Executes one tenant-scoped request and renders the response.
+fn dispatch_tenant_op(tenant: &Tenant, request: Request) -> Json {
+    let published = |result: Result<crate::service::PublishInfo, crate::service::ServeError>| {
+        match result {
+            Ok(info) => ok_response([
+                ("name", Json::str(info.name)),
+                ("version", Json::Int(info.version as i64)),
+                ("evicted", Json::Bool(info.evicted)),
+            ]),
+            Err(e) => serve_error_response(&e),
+        }
+    };
+    match request {
+        Request::Load { name, source, sig } => {
+            published(tenant.load_plugin(&name, &source, sig.as_deref()))
+        }
+        Request::Swap { name, source, sig } => {
+            published(tenant.swap_plugin(&name, &source, sig.as_deref()))
+        }
+        Request::Invoke { name, arg, limits } => {
+            outcome_response(tenant.invoke_with(&name, arg, limits))
+        }
+        Request::Run { source, limits } => outcome_response(tenant.run(&source, limits)),
+        // `hello`, `stats`, and `shutdown` are handled by the caller.
+        Request::Hello { .. } | Request::Stats | Request::Shutdown => {
+            error_response("bad-request", "not a tenant operation")
+        }
+    }
+}
+
+fn outcome_response(result: Result<Outcome, crate::service::ServeError>) -> Json {
+    match result {
+        Ok(outcome) => ok_response([
+            ("value", Json::str(outcome.value.to_string())),
+            ("output", Json::Arr(outcome.output.into_iter().map(Json::Str).collect())),
+        ]),
+        Err(e) => serve_error_response(&e),
+    }
+}
+
+/// Renders a [`crate::service::ServeError`] with its typed `kind` and,
+/// for admission refusals, the structured resource fields a client
+/// needs to retry under the cap.
+fn serve_error_response(e: &crate::service::ServeError) -> Json {
+    let mut response = error_response(e.kind(), &e.to_string());
+    if let crate::service::ServeError::AdmissionDenied { resource, requested, cap, .. } = e {
+        if let Json::Obj(map) = &mut response {
+            map.insert("resource".to_string(), Json::str(resource.to_string()));
+            map.insert("requested".to_string(), Json::Int(*requested as i64));
+            map.insert("cap".to_string(), Json::Int(*cap as i64));
+        }
+    }
+    response
+}
+
+fn stats_response(service: &Service) -> Json {
+    let tenants: std::collections::BTreeMap<String, Json> = service
+        .stats()
+        .into_iter()
+        .map(|(name, snap)| (name, snapshot_json(&snap)))
+        .collect();
+    ok_response([("tenants", Json::Obj(tenants))])
+}
+
+fn snapshot_json(snap: &TenantSnapshot) -> Json {
+    Json::obj([
+        ("requests", Json::Int(snap.requests as i64)),
+        ("ok", Json::Int(snap.ok as i64)),
+        ("failed", Json::Int(snap.failed as i64)),
+        ("rejected", Json::Int(snap.rejected as i64)),
+        ("total_micros", Json::Int(snap.total_micros as i64)),
+    ])
+}
+
+/// A blocking client for the frame protocol — what the integration
+/// tests, the CI smoke test, and embedders poking a live `unitsd` use.
+#[derive(Debug)]
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a server socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client { stream: UnixStream::connect(path)? })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// I/O or framing errors; a server that hangs up mid-exchange
+    /// surfaces as `UnexpectedEof`.
+    pub fn call(&mut self, request: &Request) -> io::Result<Json> {
+        write_frame(&mut self.stream, &request.to_json())?;
+        read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server hung up"))
+    }
+
+    /// `hello` — binds this connection to `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn hello(&mut self, tenant: &str) -> io::Result<Json> {
+        self.call(&Request::Hello { tenant: tenant.to_string() })
+    }
+
+    /// `invoke` with an argument and no per-request budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn invoke(&mut self, name: &str, arg: i64) -> io::Result<Json> {
+        self.call(&Request::Invoke {
+            name: name.to_string(),
+            arg: Some(arg),
+            limits: Limits::none(),
+        })
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end smoke test of the `unitsd` binary: spawn the daemon on
+//! a fresh socket, drive the whole protocol from two concurrent
+//! tenant connections, hot-swap a plug-in, and shut the server down.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use units_serve::proto::Request;
+use units_serve::Client;
+use units::Limits;
+
+const SQUARE: &str = "(unit (import) (export) (init (lambda (n) (* n n))))";
+const CUBE: &str = "(unit (import) (export) (init (lambda (n) (* n (* n n)))))";
+
+/// A running daemon that is killed (and its socket removed) on drop,
+/// so a failing assertion never leaks a process.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn start(tag: &str, extra_args: &[&str]) -> Daemon {
+        let socket = std::env::temp_dir()
+            .join(format!("unitsd-test-{}-{tag}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(env!("CARGO_BIN_EXE_unitsd"))
+            .arg("--socket")
+            .arg(&socket)
+            .args(extra_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("unitsd must start");
+        // Readiness: the socket file appears once the daemon binds.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !socket.exists() {
+            assert!(Instant::now() < deadline, "unitsd never bound {}", socket.display());
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Daemon { child, socket }
+    }
+
+    fn connect(&self) -> Client {
+        Client::connect(&self.socket).expect("connect to unitsd")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+#[test]
+fn the_daemon_serves_two_tenants_loads_swaps_and_shuts_down() {
+    let mut daemon = Daemon::start("smoke", &["--level", "untyped", "--fuel", "1000000"]);
+
+    // Two tenants on two concurrent connections.
+    let mut alice = daemon.connect();
+    let mut bob = daemon.connect();
+    assert_eq!(alice.hello("alice").unwrap().get_str("tenant"), Some("alice"));
+    assert_eq!(bob.hello("bob").unwrap().get_str("tenant"), Some("bob"));
+
+    let load = |name: &str, source: &str| Request::Load {
+        name: name.to_string(),
+        source: source.to_string(),
+        sig: None,
+    };
+    let reply = alice.call(&load("f", SQUARE)).unwrap();
+    assert_eq!(reply.get_bool("ok"), Some(true), "{reply}");
+    assert_eq!(reply.get_int("version"), Some(1));
+    let reply = bob.call(&load("f", CUBE)).unwrap();
+    assert_eq!(reply.get_bool("ok"), Some(true), "{reply}");
+
+    // Concurrent invokes from both tenants: same plug-in name, private
+    // namespaces, different answers.
+    let handles: Vec<_> = [("alice", 36i64), ("bob", 216i64)]
+        .into_iter()
+        .map(|(tenant, expected)| {
+            let mut client = daemon.connect();
+            std::thread::spawn(move || {
+                client.hello(tenant).unwrap();
+                for _ in 0..5 {
+                    let reply = client.invoke("f", 6).unwrap();
+                    assert_eq!(reply.get_bool("ok"), Some(true), "{tenant}: {reply}");
+                    assert_eq!(reply.get_str("value"), Some(expected.to_string().as_str()));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // Hot swap on alice's connection; bob's plug-in is untouched.
+    let reply = alice
+        .call(&Request::Swap { name: "f".to_string(), source: CUBE.to_string(), sig: None })
+        .unwrap();
+    assert_eq!(reply.get_bool("ok"), Some(true), "{reply}");
+    assert_eq!(reply.get_int("version"), Some(2));
+    assert_eq!(alice.invoke("f", 2).unwrap().get_str("value"), Some("8"));
+    assert_eq!(bob.invoke("f", 2).unwrap().get_str("value"), Some("8"));
+
+    // Typed protocol errors, not hangups.
+    let reply = alice
+        .call(&Request::Invoke { name: "ghost".to_string(), arg: None, limits: Limits::none() })
+        .unwrap();
+    assert_eq!(reply.get_bool("ok"), Some(false));
+    assert_eq!(reply.get_str("kind"), Some("plugin-missing"));
+
+    // Stats cover both tenants.
+    let reply = alice.call(&Request::Stats).unwrap();
+    let tenants = reply.get("tenants").expect("stats carries tenants");
+    assert!(tenants.get("alice").is_some() && tenants.get("bob").is_some(), "{reply}");
+
+    // Shutdown: acknowledged, then the process exits on its own.
+    let reply = alice.call(&Request::Shutdown).unwrap();
+    assert_eq!(reply.get_bool("ok"), Some(true));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match daemon.child.try_wait().unwrap() {
+            Some(status) => {
+                assert!(status.success(), "unitsd exited with {status}");
+                break;
+            }
+            None => {
+                assert!(Instant::now() < deadline, "unitsd never exited after shutdown");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[test]
+fn per_tenant_caps_reach_the_wire_as_admission_denials() {
+    let daemon = Daemon::start("caps", &["--level", "untyped", "--fuel", "1000"]);
+    let mut client = daemon.connect();
+    client.hello("tight").unwrap();
+    client
+        .call(&Request::Load {
+            name: "f".to_string(),
+            source: SQUARE.to_string(),
+            sig: None,
+        })
+        .unwrap();
+
+    // Over-asking the daemon-wide cap is refused with the structured
+    // admission fields.
+    let reply = client
+        .call(&Request::Invoke {
+            name: "f".to_string(),
+            arg: Some(3),
+            limits: Limits::none().fuel(1_000_000),
+        })
+        .unwrap();
+    assert_eq!(reply.get_bool("ok"), Some(false), "{reply}");
+    assert_eq!(reply.get_str("kind"), Some("admission-denied"));
+    assert_eq!(reply.get_int("requested"), Some(1_000_000));
+    assert_eq!(reply.get_int("cap"), Some(1_000));
+
+    // Within the cap, the request is served.
+    let reply = client.invoke("f", 3).unwrap();
+    assert_eq!(reply.get_str("value"), Some("9"), "{reply}");
+}
+
+#[test]
+fn tenant_operations_before_hello_are_refused() {
+    let daemon = Daemon::start("nohello", &["--level", "untyped"]);
+    let mut client = daemon.connect();
+    let reply = client.invoke("f", 1).unwrap();
+    assert_eq!(reply.get_bool("ok"), Some(false));
+    assert_eq!(reply.get_str("kind"), Some("no-tenant"));
+}

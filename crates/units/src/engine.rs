@@ -18,9 +18,25 @@
 //! The `UNITS_ENGINE_THREADS` environment variable pins the pool size
 //! (1 forces fully sequential, deterministic loading).
 //!
+//! # Owned handles
+//!
+//! [`Engine`] is a cheap, cloneable handle onto a shared session: clones
+//! share one cache, one metrics plane, one policy. [`Loaded`] — what
+//! [`Engine::load`] hands back — is *owned*: it holds the artifact by
+//! `Arc` and the session by `Weak` reference, so it can be stored in a
+//! struct, sent to another thread, or held across a cache eviction
+//! without borrowing the engine. Running a `Loaded` whose engine has
+//! been dropped fails with [`Error::SessionClosed`]; everything that
+//! needs only the artifact (its type, its term, its disassembly) still
+//! works. This is the shape a long-lived server needs: handles that
+//! survive swaps, move across worker threads, and keep serving in-flight
+//! requests on the artifact they captured.
+//!
 //! Execution is governed by [`Limits`]: fuel, evaluation depth, and
 //! store-cell budgets all surface as [`Error::ResourceExhausted`] instead
-//! of a panic or a stack overflow.
+//! of a panic or a stack overflow. [`Loaded::run_with`] overrides the
+//! session budgets for one run — per-request admission control for a
+//! multi-tenant caller.
 //!
 //! # The fault plane
 //!
@@ -62,7 +78,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
 use units_check::{check_program, CheckOptions, Level, Strictness};
@@ -77,7 +93,7 @@ use units_trace::{recorder, FlightDump};
 use crate::error::Error;
 use crate::metrics::{bump, EngineMetrics, MetricsSnapshot};
 use crate::observe::{observe_expr, observe_value};
-use crate::program::{Backend, Outcome};
+use crate::outcome::{Backend, Outcome};
 
 /// A checked (and, for the production backend, slot-resolved) program,
 /// shared by every load that produced it.
@@ -229,8 +245,8 @@ pub struct EngineBuilder {
 impl Default for EngineBuilder {
     fn default() -> EngineBuilder {
         EngineBuilder {
-            // UNITd, like `Program::parse`: the facade checks statically
-            // only when a typed level is asked for.
+            // UNITd: the facade checks statically only when a typed
+            // level is asked for.
             level: Level::Untyped,
             strictness: Strictness::default(),
             backend: Backend::default(),
@@ -313,17 +329,19 @@ impl EngineBuilder {
             _ => self.threads.unwrap_or_else(default_threads),
         };
         Engine {
-            opts: CheckOptions { level: self.level, strictness: self.strictness },
-            backend: self.backend,
-            limits: self.limits,
-            resolve: self.resolve.unwrap_or(true),
-            threads,
-            policy: self.policy,
-            worker_faults: self.worker_faults,
-            cache: Mutex::new(Cache::default()),
-            metrics: EngineMetrics::default(),
-            recovery: Mutex::new(None),
-            flight: Mutex::new(None),
+            inner: Arc::new(EngineInner {
+                opts: CheckOptions { level: self.level, strictness: self.strictness },
+                backend: self.backend,
+                limits: self.limits,
+                resolve: self.resolve.unwrap_or(true),
+                threads,
+                policy: self.policy,
+                worker_faults: self.worker_faults,
+                cache: Mutex::new(Cache::default()),
+                metrics: EngineMetrics::default(),
+                recovery: Mutex::new(None),
+                flight: Mutex::new(None),
+            }),
         }
     }
 }
@@ -334,14 +352,23 @@ fn default_threads() -> usize {
 
 /// A session that checks, caches, and runs programs.
 ///
-/// Engines are `Send + Sync`: the artifact cache, metrics plane, and
-/// recovery records all sit behind locks or atomics, and the `Arc`-backed
-/// kernel terms let one cached artifact serve loads and runs from any
-/// number of threads simultaneously (the §4.1.6 "one copy of the code",
-/// process-wide). See the [module documentation](self) for the full
-/// story.
-#[derive(Debug)]
+/// An `Engine` is a cheap handle onto shared session state: cloning it
+/// clones an `Arc`, and every clone sees the same artifact cache,
+/// metrics plane, recovery record, and policy. Engines are
+/// `Send + Sync`: the cache, metrics, and recovery records all sit
+/// behind locks or atomics, and the `Arc`-backed kernel terms let one
+/// cached artifact serve loads and runs from any number of threads
+/// simultaneously (the §4.1.6 "one copy of the code", process-wide).
+/// See the [module documentation](self) for the full story.
+#[derive(Debug, Clone)]
 pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+/// The shared state behind every [`Engine`] clone and (weakly) behind
+/// every [`Loaded`] handle.
+#[derive(Debug)]
+struct EngineInner {
     opts: CheckOptions,
     backend: Backend,
     limits: Limits,
@@ -399,47 +426,44 @@ impl Engine {
 
     /// The level programs are checked at.
     pub fn level(&self) -> Level {
-        self.opts.level
+        self.inner.opts.level
     }
 
     /// The default backend [`Loaded::run`] uses.
     pub fn backend(&self) -> Backend {
-        self.backend
+        self.inner.backend
     }
 
     /// The resource budgets every run is governed by.
     pub fn limits(&self) -> Limits {
-        self.limits
+        self.inner.limits
     }
 
     /// The checking worker-pool size.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.inner.threads
     }
 
     /// The failure-handling policy every run is governed by.
     pub fn fallback_policy(&self) -> FallbackPolicy {
-        self.policy
+        self.inner.policy
     }
 
     /// The [`Recovery`] record of the most recent run whose primary
     /// attempt failed — `None` when the most recent run succeeded
     /// outright (or nothing has run yet).
     pub fn last_recovery(&self) -> Option<Recovery> {
-        self.recovery.lock().unwrap().clone()
+        self.inner.recovery.lock().unwrap().clone()
     }
 
     /// Cache hit/miss counters and current entry count.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.metrics.source_hits.load(Relaxed) + self.metrics.term_hits.load(Relaxed),
-            misses: self.metrics.misses.load(Relaxed),
-            entries: self.cache_entries(),
+            hits: self.inner.metrics.source_hits.load(Relaxed)
+                + self.inner.metrics.term_hits.load(Relaxed),
+            misses: self.inner.metrics.misses.load(Relaxed),
+            entries: self.inner.cache_entries(),
         }
-    }
-
-    fn cache_entries(&self) -> usize {
-        self.cache.lock().unwrap().by_term.values().map(Vec::len).sum()
     }
 
     /// A structured snapshot of the engine's always-on metrics plane:
@@ -449,14 +473,14 @@ impl Engine {
     /// log₂-ns histogram buckets). Available in every build — only the
     /// flight-dump count needs the `trace` feature to be nonzero.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.cache_entries())
+        self.inner.metrics.snapshot(self.inner.cache_entries())
     }
 
     /// Zeroes the metrics plane. Cache contents, recovery records, and
     /// flight dumps are untouched — this resets the counters, not the
     /// session.
     pub fn metrics_reset(&self) {
-        self.metrics.reset();
+        self.inner.metrics.reset();
     }
 
     /// The most recent flight-recorder post-mortem this engine captured
@@ -464,9 +488,222 @@ impl Engine {
     /// [`Error::ResourceExhausted`]). Always `None` without the `trace`
     /// feature — the recorder compiles to a no-op there.
     pub fn last_flight_dump(&self) -> Option<FlightDump> {
-        self.flight.lock().unwrap().clone()
+        self.inner.flight.lock().unwrap().clone()
     }
 
+    /// Drops a loaded program's artifact from the session cache, so the
+    /// next load of the same source checks and resolves from scratch.
+    /// Returns whether anything was actually removed (a second eviction
+    /// of the same handle, or of one the engine already evicted after a
+    /// panic, is a no-op).
+    ///
+    /// The handle itself — and every clone of it — keeps working: it
+    /// owns the artifact by `Arc`, so in-flight runs finish on the copy
+    /// they captured. This is the primitive a hot-swapping server uses
+    /// to retire a replaced plug-in.
+    pub fn evict(&self, loaded: &Loaded) -> bool {
+        self.inner.evict_artifact(&loaded.artifact)
+    }
+
+    /// Wraps an artifact in an owned handle tied (weakly) to this session.
+    fn handle(&self, artifact: Arc<Artifact>) -> Loaded {
+        Loaded { engine: Arc::downgrade(&self.inner), artifact }
+    }
+
+    /// Parses, checks, and resolves `source` — or retrieves the cached
+    /// artifact if an identical (or alpha-equal) program was loaded
+    /// before under the same options.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] or [`Error::Check`]; never a runtime error
+    /// (nothing is evaluated yet). A panic inside parsing, checking, or
+    /// resolution is caught here and surfaces as [`Error::Internal`].
+    pub fn load(&self, source: &str) -> Result<Loaded, Error> {
+        recorder::ensure(recorder::DEFAULT_CAPACITY);
+        let result = guard("load", || self.inner.load_uncached(source));
+        match result {
+            Ok(artifact) => Ok(self.handle(artifact)),
+            Err(err) => {
+                self.inner.flight_on_fault(&err);
+                Err(err)
+            }
+        }
+    }
+
+    /// Wraps an already-built expression (no parsing; still checked,
+    /// resolved, and cached by term).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Check`] when the expression does not check.
+    pub fn load_expr(&self, expr: Expr) -> Result<Loaded, Error> {
+        recorder::ensure(recorder::DEFAULT_CAPACITY);
+        let inner = &self.inner;
+        let result = guard("load", || {
+            // No source text, so key the source map by the term hash too.
+            let tkey = inner.term_key(&expr);
+            if let Some(artifact) = inner.term_lookup(tkey, tkey, &expr) {
+                inner.record_hit(false);
+                return Ok(artifact);
+            }
+            inner.admit(tkey, tkey, expr)
+        });
+        match result {
+            Ok(artifact) => Ok(self.handle(artifact)),
+            Err(err) => {
+                inner.flight_on_fault(&err);
+                Err(err)
+            }
+        }
+    }
+
+    /// [`load`](Engine::load) followed by [`Loaded::run`]: the one-call
+    /// parse → check → evaluate pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Any load or runtime error.
+    pub fn invoke(&self, source: &str) -> Result<Outcome, Error> {
+        self.load(source)?.run()
+    }
+
+    /// Loads many independent sources, running the full
+    /// parse → check → resolve (→ lower, on the bytecode backend)
+    /// pipeline for cache misses in parallel on the engine's worker
+    /// pool. Accepts anything iterable over string-like items — a
+    /// `&[&str]`, a `Vec<String>`, an iterator of `String`s — and
+    /// returns one `Result<Loaded, Error>` per source, in input order;
+    /// workers admit `Arc`-shared artifacts into the same cache as
+    /// [`Engine::load`], exactly once per distinct program — nothing is
+    /// parsed twice.
+    ///
+    /// With one thread (or one job) this degenerates to sequential
+    /// [`Engine::load`] calls — the `UNITS_ENGINE_THREADS=1` determinism
+    /// mode.
+    ///
+    /// ```
+    /// use units::{Engine, Observation};
+    ///
+    /// let engine = Engine::new();
+    /// let sources: Vec<String> = (1..=3)
+    ///     .map(|n| format!("(invoke (unit (import) (export) (init {n})))"))
+    ///     .collect();
+    /// // One result per source, in input order.
+    /// let results: Vec<Result<units::Loaded, units::Error>> =
+    ///     engine.load_batch(&sources);
+    /// assert_eq!(results.len(), 3);
+    /// assert_eq!(results[2].as_ref().unwrap().run()?.value, Observation::Int(3));
+    /// # Ok::<(), units::Error>(())
+    /// ```
+    pub fn load_batch<I>(&self, sources: I) -> Vec<Result<Loaded, Error>>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let owned: Vec<I::Item> = sources.into_iter().collect();
+        let refs: Vec<&str> = owned.iter().map(AsRef::as_ref).collect();
+        self.load_batch_refs(&refs)
+    }
+
+    /// The monomorphic batch pipeline behind [`Engine::load_batch`].
+    fn load_batch_refs(&self, sources: &[&str]) -> Vec<Result<Loaded, Error>> {
+        recorder::ensure(recorder::DEFAULT_CAPACITY);
+        let inner = &self.inner;
+        // One job per distinct uncached source; repeats and warm entries
+        // resolve as plain cache hits in the collection pass below.
+        let mut seen = HashSet::new();
+        let jobs: Vec<(usize, &str)> = {
+            let cache = inner.cache.lock().unwrap();
+            sources
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    let key = inner.source_key(s);
+                    seen.insert(key) && !cache.by_source.contains_key(&key)
+                })
+                .map(|(i, s)| (i, *s))
+                .collect()
+        };
+        let workers = inner.threads.min(jobs.len());
+        if workers <= 1 {
+            return sources.iter().map(|s| self.load(s)).collect();
+        }
+        inner.metrics.note_batch(jobs.len() as u64, workers as u64);
+        units_trace::count("engine/pool_jobs", jobs.len() as u64);
+        units_trace::count("engine/pool_queue_depth", jobs.len() as u64);
+        units_trace::count("engine/pool_workers", workers as u64);
+        let queue = Mutex::new(jobs);
+        let done: Mutex<HashMap<usize, Result<Arc<Artifact>, Error>>> =
+            Mutex::new(HashMap::new());
+        let worker_faults = &inner.worker_faults;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some((idx, src)) = queue.lock().unwrap().pop() else { break };
+                    if let Some(plane) = worker_faults {
+                        // Reseed per job, not per worker: the schedule
+                        // each source sees is then a function of the
+                        // job alone, not of thread scheduling.
+                        units_trace::faults::arm(
+                            plane.clone().reseeded(plane.seed() ^ (idx as u64 + 1)),
+                        );
+                    }
+                    // The unwind boundary lives *inside* the worker
+                    // loop: a panicking pipeline fails one job, not the
+                    // pool (and never poisons the queue/result locks,
+                    // which are released while the pipeline runs).
+                    let result = guard("batch-load", || {
+                        let artifact = inner.load_uncached(src)?;
+                        if inner.backend == Backend::Bytecode {
+                            // Lower eagerly on the worker so the batch
+                            // hands back run-ready artifacts; the
+                            // `OnceLock` dedupes against any concurrent
+                            // run lowering the same chunk.
+                            let _ = artifact.chunk();
+                        }
+                        Ok(artifact)
+                    });
+                    units_trace::faults::disarm();
+                    done.lock().unwrap().insert(idx, result);
+                });
+            }
+        });
+        let mut done = done.into_inner().unwrap();
+        sources
+            .iter()
+            .enumerate()
+            .map(|(i, source)| match done.remove(&i) {
+                Some(Ok(artifact)) => Ok(self.handle(artifact)),
+                Some(Err(err)) => {
+                    inner.flight_on_fault(&err);
+                    Err(err)
+                }
+                // A duplicate of some job, or cached before the batch
+                // started: a plain (hitting) load.
+                None => self.load(source),
+            })
+            .collect()
+    }
+
+    /// Loads every entry of an [`Archive`] (in name order) through
+    /// [`Engine::load_batch`]. Returns `(name, result)` pairs — one per
+    /// archive entry, in the archive's name order.
+    pub fn load_archive(&self, archive: &Archive) -> Vec<(String, Result<Loaded, Error>)> {
+        // `names()` comes from the archive's own key set, so every
+        // lookup succeeds; `filter_map` keeps the name/source pairing
+        // aligned without an `expect` on that invariant.
+        let (names, sources): (Vec<&str>, Vec<&str>) = archive
+            .names()
+            .into_iter()
+            .filter_map(|n| archive.get(n).map(|s| (n, s)))
+            .unzip();
+        let loaded = self.load_batch_refs(&sources);
+        names.into_iter().map(String::from).zip(loaded).collect()
+    }
+}
+
+impl EngineInner {
     /// Captures a flight dump when `err` indicts the machinery rather
     /// than the program (the same classification recovery uses), naming
     /// the failure in the dump's reason line. Set `UNITS_FLIGHT_DUMP=
@@ -487,6 +724,10 @@ impl Engine {
             }
         }
         *self.flight.lock().unwrap() = Some(dump);
+    }
+
+    fn cache_entries(&self) -> usize {
+        self.cache.lock().unwrap().by_term.values().map(Vec::len).sum()
     }
 
     fn source_key(&self, source: &str) -> u64 {
@@ -519,17 +760,24 @@ impl Engine {
 
     /// Drops `artifact` from both cache maps. A run that panicked says
     /// nothing about how far it got before dying, so the artifact it
-    /// was running is invalidated rather than trusted on the next load.
-    fn evict(&self, artifact: &Arc<Artifact>) {
+    /// was running is invalidated rather than trusted on the next load;
+    /// a server retiring a swapped-out plug-in uses the same path.
+    /// Returns whether anything was removed.
+    fn evict_artifact(&self, artifact: &Arc<Artifact>) -> bool {
         let mut cache = self.cache.lock().unwrap();
+        let before: usize = cache.by_term.values().map(Vec::len).sum();
         cache.by_source.retain(|_, a| !Arc::ptr_eq(a, artifact));
         for bucket in cache.by_term.values_mut() {
             bucket.retain(|a| !Arc::ptr_eq(a, artifact));
         }
         cache.by_term.retain(|_, bucket| !bucket.is_empty());
+        let removed = cache.by_term.values().map(Vec::len).sum::<usize>() < before;
         drop(cache);
-        bump(&self.metrics.evictions);
-        units_trace::count("engine/cache_evict", 1);
+        if removed {
+            bump(&self.metrics.evictions);
+            units_trace::count("engine/cache_evict", 1);
+        }
+        removed
     }
 
     /// The cached artifact alpha-equal to `expr`, if any, registering the
@@ -596,180 +844,225 @@ impl Engine {
         self.admit(skey, tkey, expr)
     }
 
-    /// Parses, checks, and resolves `source` — or retrieves the cached
-    /// artifact if an identical (or alpha-equal) program was loaded
-    /// before under the same options.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::Parse`] or [`Error::Check`]; never a runtime error
-    /// (nothing is evaluated yet). A panic inside parsing, checking, or
-    /// resolution is caught here and surfaces as [`Error::Internal`].
-    pub fn load(&self, source: &str) -> Result<Loaded<'_>, Error> {
+    /// One governed run of `artifact`: unwind boundary, recovery policy,
+    /// latency accounting. `limits` is the budget for this run — the
+    /// session default from [`Loaded::run_on`], or a per-request
+    /// override from [`Loaded::run_with`].
+    fn run_artifact(
+        &self,
+        artifact: &Arc<Artifact>,
+        backend: Backend,
+        limits: Limits,
+    ) -> Result<Outcome, Error> {
+        // Trace builds keep a flight-recorder ring rolling on the run
+        // path so a failure below can produce a post-mortem.
         recorder::ensure(recorder::DEFAULT_CAPACITY);
-        let result = guard("load", || {
-            let artifact = self.load_uncached(source)?;
-            Ok(Loaded { engine: self, artifact })
-        });
-        if let Err(err) = &result {
-            self.flight_on_fault(err);
-        }
-        result
-    }
-
-    /// Wraps an already-built expression (no parsing; still checked,
-    /// resolved, and cached by term).
-    ///
-    /// # Errors
-    ///
-    /// [`Error::Check`] when the expression does not check.
-    pub fn load_expr(&self, expr: Expr) -> Result<Loaded<'_>, Error> {
-        recorder::ensure(recorder::DEFAULT_CAPACITY);
-        let result = guard("load", || {
-            // No source text, so key the source map by the term hash too.
-            let tkey = self.term_key(&expr);
-            if let Some(artifact) = self.term_lookup(tkey, tkey, &expr) {
-                self.record_hit(false);
-                return Ok(Loaded { engine: self, artifact });
-            }
-            let artifact = self.admit(tkey, tkey, expr)?;
-            Ok(Loaded { engine: self, artifact })
-        });
-        if let Err(err) = &result {
-            self.flight_on_fault(err);
-        }
-        result
-    }
-
-    /// [`load`](Engine::load) followed by [`Loaded::run`]: the one-call
-    /// parse → check → evaluate pipeline.
-    ///
-    /// # Errors
-    ///
-    /// Any load or runtime error.
-    pub fn invoke(&self, source: &str) -> Result<Outcome, Error> {
-        self.load(source)?.run()
-    }
-
-    /// Loads many independent sources, running the full
-    /// parse → check → resolve (→ lower, on the bytecode backend)
-    /// pipeline for cache misses in parallel on the engine's worker
-    /// pool. Results come back in input order, one per source; workers
-    /// admit `Arc`-shared artifacts into the same cache as
-    /// [`Engine::load`], exactly once per distinct program — nothing is
-    /// parsed twice.
-    ///
-    /// With one thread (or one job) this degenerates to sequential
-    /// [`Engine::load`] calls — the `UNITS_ENGINE_THREADS=1` determinism
-    /// mode.
-    pub fn load_batch(&self, sources: &[&str]) -> Vec<Result<Loaded<'_>, Error>> {
-        recorder::ensure(recorder::DEFAULT_CAPACITY);
-        // One job per distinct uncached source; repeats and warm entries
-        // resolve as plain cache hits in the collection pass below.
-        let mut seen = HashSet::new();
-        let jobs: Vec<(usize, &str)> = {
-            let cache = self.cache.lock().unwrap();
-            sources
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| {
-                    let key = self.source_key(s);
-                    seen.insert(key) && !cache.by_source.contains_key(&key)
-                })
-                .map(|(i, s)| (i, *s))
-                .collect()
+        let start = Instant::now();
+        *self.recovery.lock().unwrap() = None;
+        let result = match self.run_raw(artifact, backend, limits) {
+            Ok(outcome) => Ok(outcome),
+            Err(err) => self.recover(artifact, backend, limits, err),
         };
-        let workers = self.threads.min(jobs.len());
-        if workers <= 1 {
-            return sources.iter().map(|s| self.load(s)).collect();
-        }
-        self.metrics.note_batch(jobs.len() as u64, workers as u64);
-        units_trace::count("engine/pool_jobs", jobs.len() as u64);
-        units_trace::count("engine/pool_queue_depth", jobs.len() as u64);
-        units_trace::count("engine/pool_workers", workers as u64);
-        let queue = Mutex::new(jobs);
-        let done: Mutex<HashMap<usize, Result<Arc<Artifact>, Error>>> =
-            Mutex::new(HashMap::new());
-        let worker_faults = &self.worker_faults;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let Some((idx, src)) = queue.lock().unwrap().pop() else { break };
-                    if let Some(plane) = worker_faults {
-                        // Reseed per job, not per worker: the schedule
-                        // each source sees is then a function of the
-                        // job alone, not of thread scheduling.
-                        units_trace::faults::arm(
-                            plane.clone().reseeded(plane.seed() ^ (idx as u64 + 1)),
-                        );
-                    }
-                    // The unwind boundary lives *inside* the worker
-                    // loop: a panicking pipeline fails one job, not the
-                    // pool (and never poisons the queue/result locks,
-                    // which are released while the pipeline runs).
-                    let result = guard("batch-load", || {
-                        let artifact = self.load_uncached(src)?;
-                        if self.backend == Backend::Bytecode {
-                            // Lower eagerly on the worker so the batch
-                            // hands back run-ready artifacts; the
-                            // `OnceLock` dedupes against any concurrent
-                            // run lowering the same chunk.
-                            let _ = artifact.chunk();
-                        }
-                        Ok(artifact)
-                    });
-                    units_trace::faults::disarm();
-                    done.lock().unwrap().insert(idx, result);
-                });
-            }
-        });
-        let mut done = done.into_inner().unwrap();
-        sources
-            .iter()
-            .enumerate()
-            .map(|(i, source)| match done.remove(&i) {
-                Some(Ok(artifact)) => Ok(Loaded { engine: self, artifact }),
-                Some(Err(err)) => {
-                    self.flight_on_fault(&err);
-                    Err(err)
-                }
-                // A duplicate of some job, or cached before the batch
-                // started: a plain (hitting) load.
-                None => self.load(source),
-            })
-            .collect()
+        // Latency covers the whole journey, recovery included — that is
+        // what a caller of `run_on` actually waited.
+        self.metrics.note_run(start.elapsed(), result.is_ok());
+        result
     }
 
-    /// Loads every entry of an [`Archive`] (in name order) through
-    /// [`Engine::load_batch`]. Returns `(name, result)` pairs.
-    pub fn load_archive<'e>(
-        &'e self,
-        archive: &Archive,
-    ) -> Vec<(String, Result<Loaded<'e>, Error>)> {
-        // `names()` comes from the archive's own key set, so every
-        // lookup succeeds; `filter_map` keeps the name/source pairing
-        // aligned without an `expect` on that invariant.
-        let (names, sources): (Vec<&str>, Vec<&str>) = archive
-            .names()
-            .into_iter()
-            .filter_map(|n| archive.get(n).map(|s| (n, s)))
-            .unzip();
-        let loaded = self.load_batch(&sources);
-        names.into_iter().map(String::from).zip(loaded).collect()
+    /// One un-recovered run: the three backends behind the unwind boundary.
+    fn run_raw(
+        &self,
+        artifact: &Arc<Artifact>,
+        backend: Backend,
+        limits: Limits,
+    ) -> Result<Outcome, Error> {
+        guard("run", || match backend {
+            Backend::Compiled => {
+                let _timer = units_trace::time("eval");
+                let mut machine = Machine::with_limits(limits);
+                let expr = artifact.resolved.as_ref().unwrap_or(&artifact.expr);
+                // Account fuel and cells before `?` so even failed runs
+                // (e.g. budget exhaustion) land in the metrics plane.
+                let value = evaluate_program(expr, &mut machine);
+                self.note_machine(&machine);
+                let value = value?;
+                Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
+            }
+            Backend::Bytecode => {
+                let chunk = artifact.chunk();
+                let _timer = units_trace::time("eval");
+                let mut machine = Machine::with_limits(limits);
+                let value = execute(&chunk, &mut machine);
+                self.note_machine(&machine);
+                let value = value?;
+                Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
+            }
+            Backend::Reducer => {
+                let mut reducer = Reducer::with_limits(limits);
+                let value = reducer.reduce_to_value(&artifact.expr);
+                self.note_machine(&reducer.machine);
+                let value = value?;
+                Ok(Outcome { value: observe_expr(&value), output: reducer.machine.take_output() })
+            }
+        })
+    }
+
+    /// Folds one finished machine's fuel and store-cell usage into the
+    /// engine metrics (and the legacy trace counter).
+    fn note_machine(&self, machine: &Machine) {
+        units_trace::count("engine/fuel_used", machine.steps_taken());
+        self.metrics.note_machine(machine.steps_taken(), machine.cells_allocated());
+    }
+
+    /// The failure path of [`run_artifact`](EngineInner::run_artifact):
+    /// evict the artifact after a panic, then apply the engine's
+    /// [`FallbackPolicy`] — bounded fuel-escalation re-runs when fuel
+    /// ran out, then a clean reference-reducer re-run for
+    /// compiled-backend faults — recording the journey for
+    /// [`Engine::last_recovery`]. `limits` is the budget the failed run
+    /// was governed by; retries and fallbacks stay within it (except
+    /// for the deliberate fuel escalation).
+    fn recover(
+        &self,
+        artifact: &Arc<Artifact>,
+        backend: Backend,
+        limits: Limits,
+        mut err: Error,
+    ) -> Result<Outcome, Error> {
+        if err.as_internal().is_some() {
+            self.evict_artifact(artifact);
+        }
+        // Post-mortem first, while the ring still ends at the failure:
+        // the retries below will append their own (re-run) events.
+        self.flight_on_fault(&err);
+        let policy = self.policy;
+        let mut recovery =
+            Recovery { failure: err.to_string(), retries: 0, fell_back: false, divergence: None };
+        // Escalating fuel cures a program that merely outgrew its
+        // budget; a genuinely diverging one fails again, still typed.
+        if policy.fuel_retries > 0 {
+            if let Some((Resource::Fuel, limit)) = err.as_resource_exhausted() {
+                let mut fuel = limit;
+                while recovery.retries < policy.fuel_retries {
+                    recovery.retries += 1;
+                    fuel = fuel.saturating_mul(policy.fuel_factor);
+                    crate::metrics::bump(&self.metrics.fuel_retries);
+                    units_trace::count("engine/fuel_retries", 1);
+                    let mut escalated = limits;
+                    escalated.fuel = Some(fuel);
+                    match self.run_raw(artifact, backend, escalated) {
+                        Ok(outcome) => {
+                            crate::metrics::bump(&self.metrics.recovered_runs);
+                            *self.recovery.lock().unwrap() = Some(recovery);
+                            return Ok(outcome);
+                        }
+                        Err(e) => {
+                            let still_fuel =
+                                matches!(e.as_resource_exhausted(), Some((Resource::Fuel, _)));
+                            err = e;
+                            recovery.failure = err.to_string();
+                            if !still_fuel {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Graceful degradation, only for failures that indict the
+        // backend (caught panic, injected fault, exhausted budget) —
+        // a program's own deterministic error is its answer, and
+        // re-running could not change it.
+        let backend_fault = err.as_internal().is_some()
+            || err.is_injected()
+            || err.as_resource_exhausted().is_some();
+        if policy.reference_fallback && backend != Backend::Reducer && backend_fault {
+            crate::metrics::bump(&self.metrics.fallbacks);
+            units_trace::count("engine/fallbacks", 1);
+            // The fault plane stays suspended for the re-run: recovery
+            // must not itself be a fault target.
+            let fallback = units_trace::faults::pause(|| {
+                self.run_raw(artifact, Backend::Reducer, limits)
+            });
+            if let Ok(outcome) = fallback {
+                crate::metrics::bump(&self.metrics.recovered_runs);
+                recovery.fell_back = true;
+                recovery.divergence = self.diagnose(artifact, &policy, backend, limits);
+                *self.recovery.lock().unwrap() = Some(recovery);
+                return Ok(outcome);
+            }
+        }
+        *self.recovery.lock().unwrap() = Some(recovery);
+        Err(err)
+    }
+
+    /// Re-runs the program differentially and renders where the
+    /// backends part ways — the "report both verdicts" half of a
+    /// fallback. `None` when the policy does not ask for it or the
+    /// build lacks the `trace` feature (event capture is how the
+    /// backends are compared).
+    #[cfg_attr(not(feature = "trace"), allow(clippy::unused_self))]
+    fn diagnose(
+        &self,
+        artifact: &Arc<Artifact>,
+        policy: &FallbackPolicy,
+        backend: Backend,
+        limits: Limits,
+    ) -> Option<String> {
+        #[cfg(feature = "trace")]
+        if policy.diagnose {
+            let report = units_trace::faults::pause(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    crate::observe::diagnose_divergence_with(backend, |b| {
+                        self.run_raw(artifact, b, limits)
+                    })
+                    .to_string()
+                }))
+            });
+            return Some(report.unwrap_or_else(|payload| {
+                format!("diagnosis itself panicked: {}", panic_message(payload))
+            }));
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (artifact, policy, backend, limits);
+        None
     }
 }
 
-/// A checked, cached program, ready to run under the engine's limits.
+/// A checked, cached program — an owned, thread-safe handle, ready to
+/// run under the engine's limits.
 ///
-/// Produced by [`Engine::load`]; borrowing the engine keeps the cache
-/// alive and lets `run` pick up the session's backend and budgets.
-#[derive(Debug)]
-pub struct Loaded<'e> {
-    engine: &'e Engine,
+/// Produced by [`Engine::load`]. The handle owns the artifact
+/// (`Arc`-shared with the session cache and every other load of the
+/// same program) and holds the session by `Weak` reference, so it can
+/// be cloned, stored, and sent across threads freely; it neither keeps
+/// the engine alive nor borrows it. Running a handle whose engine has
+/// been dropped fails with [`Error::SessionClosed`]; methods that only
+/// inspect the artifact keep working forever.
+#[derive(Debug, Clone)]
+pub struct Loaded {
+    engine: Weak<EngineInner>,
     artifact: Arc<Artifact>,
 }
 
-impl Loaded<'_> {
+/// The pre-0.3 spelling of [`Loaded`], when the handle borrowed its
+/// engine for `'e`. The handle is owned now; the lifetime parameter is
+/// accepted and ignored.
+#[deprecated(since = "0.3.0", note = "`Loaded` is owned now; drop the lifetime parameter")]
+pub type LoadedRef<'e> = Loaded;
+
+impl Loaded {
+    /// The live session behind this handle, or [`Error::SessionClosed`].
+    fn session(&self) -> Result<Arc<EngineInner>, Error> {
+        self.engine.upgrade().ok_or(Error::SessionClosed)
+    }
+
+    /// Whether the engine behind this handle is still alive. Artifact
+    /// inspection works either way; running needs a live session.
+    pub fn session_alive(&self) -> bool {
+        self.engine.strong_count() > 0
+    }
+
     /// The program's type at typed levels (`None` at UNITd).
     pub fn ty(&self) -> Option<&Ty> {
         self.artifact.ty.as_ref()
@@ -812,9 +1105,13 @@ impl Loaded<'_> {
     /// # Errors
     ///
     /// Any runtime error; budget exhaustion surfaces as
-    /// [`Error::ResourceExhausted`].
+    /// [`Error::ResourceExhausted`], and a dropped engine as
+    /// [`Error::SessionClosed`].
     pub fn run(&self) -> Result<Outcome, Error> {
-        self.run_on(self.engine.backend)
+        let inner = self.session()?;
+        let backend = inner.backend;
+        let limits = inner.limits;
+        inner.run_artifact(&self.artifact, backend, limits)
     }
 
     /// Runs on a specific backend under the engine's [`Limits`].
@@ -834,19 +1131,23 @@ impl Loaded<'_> {
     ///
     /// As for [`Loaded::run`].
     pub fn run_on(&self, backend: Backend) -> Result<Outcome, Error> {
-        // Trace builds keep a flight-recorder ring rolling on the run
-        // path so a failure below can produce a post-mortem.
-        recorder::ensure(recorder::DEFAULT_CAPACITY);
-        let start = Instant::now();
-        *self.engine.recovery.lock().unwrap() = None;
-        let result = match self.run_raw(backend, self.engine.limits) {
-            Ok(outcome) => Ok(outcome),
-            Err(err) => self.recover(backend, err),
-        };
-        // Latency covers the whole journey, recovery included — that is
-        // what a caller of `run_on` actually waited.
-        self.engine.metrics.note_run(start.elapsed(), result.is_ok());
-        result
+        let inner = self.session()?;
+        let limits = inner.limits;
+        inner.run_artifact(&self.artifact, backend, limits)
+    }
+
+    /// Runs on a specific backend under *these* [`Limits`] instead of
+    /// the session defaults — the per-request budget override a
+    /// multi-tenant server applies after admission control. The full
+    /// recovery machinery (fuel retries, reference fallback) operates
+    /// relative to the given limits.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Loaded::run`].
+    pub fn run_with(&self, backend: Backend, limits: Limits) -> Result<Outcome, Error> {
+        let inner = self.session()?;
+        inner.run_artifact(&self.artifact, backend, limits)
     }
 
     /// Runs on *all three* backends and asserts they agree — the
@@ -880,148 +1181,6 @@ impl Loaded<'_> {
             }
         }
         compiled
-    }
-
-    /// One un-recovered run: the three backends behind the unwind boundary.
-    fn run_raw(&self, backend: Backend, limits: Limits) -> Result<Outcome, Error> {
-        guard("run", || match backend {
-            Backend::Compiled => {
-                let _timer = units_trace::time("eval");
-                let mut machine = Machine::with_limits(limits);
-                let expr = self.artifact.resolved.as_ref().unwrap_or(&self.artifact.expr);
-                // Account fuel and cells before `?` so even failed runs
-                // (e.g. budget exhaustion) land in the metrics plane.
-                let value = evaluate_program(expr, &mut machine);
-                self.note_machine(&machine);
-                let value = value?;
-                Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
-            }
-            Backend::Bytecode => {
-                let chunk = self.artifact.chunk();
-                let _timer = units_trace::time("eval");
-                let mut machine = Machine::with_limits(limits);
-                let value = execute(&chunk, &mut machine);
-                self.note_machine(&machine);
-                let value = value?;
-                Ok(Outcome { value: observe_value(&value), output: machine.take_output() })
-            }
-            Backend::Reducer => {
-                let mut reducer = Reducer::with_limits(limits);
-                let value = reducer.reduce_to_value(&self.artifact.expr);
-                self.note_machine(&reducer.machine);
-                let value = value?;
-                Ok(Outcome { value: observe_expr(&value), output: reducer.machine.take_output() })
-            }
-        })
-    }
-
-    /// Folds one finished machine's fuel and store-cell usage into the
-    /// engine metrics (and the legacy trace counter).
-    fn note_machine(&self, machine: &Machine) {
-        units_trace::count("engine/fuel_used", machine.steps_taken());
-        self.engine.metrics.note_machine(machine.steps_taken(), machine.cells_allocated());
-    }
-
-    /// The failure path of [`run_on`](Loaded::run_on): evict the
-    /// artifact after a panic, then apply the engine's
-    /// [`FallbackPolicy`] — bounded fuel-escalation re-runs when fuel
-    /// ran out, then a clean reference-reducer re-run for
-    /// compiled-backend faults — recording the journey for
-    /// [`Engine::last_recovery`].
-    fn recover(&self, backend: Backend, mut err: Error) -> Result<Outcome, Error> {
-        if err.as_internal().is_some() {
-            self.engine.evict(&self.artifact);
-        }
-        // Post-mortem first, while the ring still ends at the failure:
-        // the retries below will append their own (re-run) events.
-        self.engine.flight_on_fault(&err);
-        let policy = self.engine.policy;
-        let mut recovery =
-            Recovery { failure: err.to_string(), retries: 0, fell_back: false, divergence: None };
-        // Escalating fuel cures a program that merely outgrew its
-        // budget; a genuinely diverging one fails again, still typed.
-        if policy.fuel_retries > 0 {
-            if let Some((Resource::Fuel, limit)) = err.as_resource_exhausted() {
-                let mut fuel = limit;
-                while recovery.retries < policy.fuel_retries {
-                    recovery.retries += 1;
-                    fuel = fuel.saturating_mul(policy.fuel_factor);
-                    let m = &self.engine.metrics;
-                    crate::metrics::bump(&m.fuel_retries);
-                    units_trace::count("engine/fuel_retries", 1);
-                    let mut limits = self.engine.limits;
-                    limits.fuel = Some(fuel);
-                    match self.run_raw(backend, limits) {
-                        Ok(outcome) => {
-                            crate::metrics::bump(&m.recovered_runs);
-                            *self.engine.recovery.lock().unwrap() = Some(recovery);
-                            return Ok(outcome);
-                        }
-                        Err(e) => {
-                            let still_fuel =
-                                matches!(e.as_resource_exhausted(), Some((Resource::Fuel, _)));
-                            err = e;
-                            recovery.failure = err.to_string();
-                            if !still_fuel {
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        // Graceful degradation, only for failures that indict the
-        // backend (caught panic, injected fault, exhausted budget) —
-        // a program's own deterministic error is its answer, and
-        // re-running could not change it.
-        let backend_fault = err.as_internal().is_some()
-            || err.is_injected()
-            || err.as_resource_exhausted().is_some();
-        if policy.reference_fallback && backend != Backend::Reducer && backend_fault {
-            let m = &self.engine.metrics;
-            crate::metrics::bump(&m.fallbacks);
-            units_trace::count("engine/fallbacks", 1);
-            // The fault plane stays suspended for the re-run: recovery
-            // must not itself be a fault target.
-            let fallback = units_trace::faults::pause(|| {
-                self.run_raw(Backend::Reducer, self.engine.limits)
-            });
-            if let Ok(outcome) = fallback {
-                crate::metrics::bump(&m.recovered_runs);
-                recovery.fell_back = true;
-                recovery.divergence = self.diagnose(&policy, backend);
-                *self.engine.recovery.lock().unwrap() = Some(recovery);
-                return Ok(outcome);
-            }
-        }
-        *self.engine.recovery.lock().unwrap() = Some(recovery);
-        Err(err)
-    }
-
-    /// Re-runs the program differentially and renders where the
-    /// backends part ways — the "report both verdicts" half of a
-    /// fallback. `None` when the policy does not ask for it or the
-    /// build lacks the `trace` feature (event capture is how the
-    /// backends are compared).
-    #[cfg_attr(not(feature = "trace"), allow(clippy::unused_self))]
-    fn diagnose(&self, policy: &FallbackPolicy, backend: Backend) -> Option<String> {
-        #[cfg(feature = "trace")]
-        if policy.diagnose {
-            let report = units_trace::faults::pause(|| {
-                catch_unwind(AssertUnwindSafe(|| {
-                    crate::observe::diagnose_divergence_with(backend, |b| {
-                        self.run_raw(b, self.engine.limits)
-                    })
-                    .to_string()
-                }))
-            });
-            return Some(report.unwrap_or_else(|payload| {
-                format!("diagnosis itself panicked: {}", panic_message(payload))
-            }));
-        }
-        #[cfg(not(feature = "trace"))]
-        let _ = (policy, backend);
-        None
     }
 }
 
@@ -1070,6 +1229,60 @@ mod tests {
     fn check_errors_surface_before_running() {
         let err = Engine::new().invoke("(+ nope 1)").unwrap_err();
         assert!(err.as_check().is_some());
+    }
+
+    #[test]
+    fn engine_clones_share_one_session() {
+        let engine = Engine::new();
+        let clone = engine.clone();
+        engine.invoke(SQUARE).unwrap();
+        clone.invoke(SQUARE).unwrap();
+        // The second invoke hit the cache the first one populated.
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn handles_outlive_the_engine_but_cannot_run() {
+        let engine = Engine::new();
+        let loaded = engine.load(SQUARE).unwrap();
+        assert!(loaded.session_alive());
+        drop(engine);
+        assert!(!loaded.session_alive());
+        // Artifact inspection still works; running does not.
+        assert!(loaded.ty().is_none());
+        assert!(matches!(loaded.run(), Err(Error::SessionClosed)));
+        assert!(matches!(loaded.run_on(Backend::Reducer), Err(Error::SessionClosed)));
+    }
+
+    #[test]
+    fn run_with_overrides_the_session_limits_per_run() {
+        let engine = Engine::builder()
+            .strictness(Strictness::MzScheme)
+            .limits(Limits::none().fuel(1_000_000))
+            .build();
+        let loaded = engine
+            .load("(letrec ((define loop (lambda () (loop)))) (loop))")
+            .unwrap();
+        let err = loaded.run_with(Backend::Compiled, Limits::none().fuel(500)).unwrap_err();
+        assert_eq!(err.as_resource_exhausted(), Some((Resource::Fuel, 500)));
+        // The session default is untouched.
+        assert_eq!(engine.limits().fuel, Some(1_000_000));
+    }
+
+    #[test]
+    fn explicit_eviction_keeps_handles_usable() {
+        let engine = Engine::new();
+        let loaded = engine.load(SQUARE).unwrap();
+        assert_eq!(engine.cache_stats().entries, 1);
+        assert!(engine.evict(&loaded), "first eviction removes the artifact");
+        assert!(!engine.evict(&loaded), "second eviction is a no-op");
+        assert_eq!(engine.cache_stats().entries, 0);
+        // The handle still owns the artifact and still runs.
+        assert_eq!(loaded.run().unwrap().value, Observation::Int(144));
+        // A fresh load re-admits (a miss, not a hit).
+        engine.load(SQUARE).unwrap();
+        assert_eq!(engine.cache_stats().misses, 2);
     }
 
     #[test]
@@ -1232,6 +1445,22 @@ mod tests {
         assert_eq!(results[0].as_ref().unwrap().run().unwrap().value, Observation::Int(1));
         assert!(results[1].as_ref().err().and_then(|e| e.as_check()).is_some());
         assert_eq!(results[2].as_ref().unwrap().run().unwrap().value, Observation::Int(3));
+    }
+
+    #[test]
+    fn load_batch_accepts_owned_strings() {
+        let engine = Engine::builder().threads(2).build();
+        let sources: Vec<String> = (1..=4)
+            .map(|n| format!("(invoke (unit (import) (export) (init {n})))"))
+            .collect();
+        // By reference and by value: both iterator shapes work.
+        let by_ref = engine.load_batch(&sources);
+        assert_eq!(by_ref.len(), 4);
+        let by_val = engine.load_batch(sources);
+        for (n, result) in by_val.iter().enumerate() {
+            let outcome = result.as_ref().unwrap().run().unwrap();
+            assert_eq!(outcome.value, Observation::Int(n as i64 + 1));
+        }
     }
 
     #[test]

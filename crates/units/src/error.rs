@@ -40,6 +40,11 @@ pub enum Error {
         /// The configured limit.
         limit: u64,
     },
+    /// A [`Loaded`](crate::Loaded) handle outlived its
+    /// [`Engine`](crate::Engine): the handle owns the artifact, but the
+    /// session that holds the cache, limits, and fallback policy is
+    /// gone, so there is nothing to run on.
+    SessionClosed,
     /// A panic escaped a pipeline stage and was caught at the engine's
     /// isolation boundary — the session stays usable, the run does not.
     Internal {
@@ -68,6 +73,9 @@ impl fmt::Display for Error {
             Error::ResourceExhausted { resource, limit } => {
                 write!(f, "evaluation exceeded its {resource} budget of {limit}")
             }
+            Error::SessionClosed => {
+                write!(f, "engine session closed: the Engine behind this handle was dropped")
+            }
             Error::Internal { stage, message } => {
                 write!(f, "internal error in {stage}: {message}")
             }
@@ -83,7 +91,9 @@ impl std::error::Error for Error {
             Error::Runtime(e) => Some(e),
             Error::Artifact(e) => Some(e),
             Error::Dynlink(e) => Some(e),
-            Error::ResourceExhausted { .. } | Error::Internal { .. } => None,
+            Error::ResourceExhausted { .. } | Error::SessionClosed | Error::Internal { .. } => {
+                None
+            }
         }
     }
 }

@@ -56,11 +56,13 @@ mod engine;
 mod error;
 mod metrics;
 mod observe;
-mod program;
+mod outcome;
 pub mod stdlib;
 pub mod typed_stdlib;
 
 pub use engine::{CacheStats, Engine, EngineBuilder, FallbackPolicy, Loaded, Recovery};
+#[allow(deprecated)]
+pub use engine::LoadedRef;
 pub use error::Error;
 pub use metrics::{
     CacheMetrics, LatencyStats, MetricsSnapshot, PoolMetrics, RecoveryMetrics, RunMetrics,
@@ -70,9 +72,7 @@ pub use observe::{observe_expr, observe_value, Observation};
 pub use observe::{
     diagnose_divergence, diagnose_divergence_between, diagnose_divergence_with, DivergenceReport,
 };
-pub use program::{Backend, Outcome};
-#[allow(deprecated)]
-pub use program::Program;
+pub use outcome::{Backend, Outcome};
 
 /// The tracing substrate, re-exported so downstream users can install
 /// sinks and read metrics without naming the `units-trace` crate. With
@@ -90,8 +90,8 @@ pub use units_compile::{
 };
 pub use units_trace::FlightDump;
 pub use units_kernel::{
-    alpha_eq, free_val_vars, Depend, Expr, Kind, Ports, Signature, Symbol, Ty, TyPort, UnitExpr,
-    ValPort,
+    alpha_eq, free_val_vars, Depend, Expr, InvokeExpr, Kind, Ports, Signature, Symbol, Ty,
+    TyPort, UnitExpr, ValPort,
 };
 pub use units_reduce::{merge_compound, Reducer, Step};
 pub use units_runtime::{Limits, Machine, Resource, RuntimeError, UnitValue, Value};

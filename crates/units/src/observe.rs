@@ -175,7 +175,7 @@ mod divergence {
 
     use units_trace::Event;
 
-    use crate::program::Backend;
+    use crate::outcome::Backend;
 
     /// Where (and whether) the two backends' primitive-call streams
     /// diverge, as reported by [`diagnose_divergence`].
@@ -275,9 +275,8 @@ mod divergence {
     /// compiled tree-walker or the bytecode VM) vs the Fig. 11
     /// reference reducer — with event capture on and reports where
     /// their primitive-call streams first disagree. `run` is whatever
-    /// executes the program on a given backend: [`Loaded::run_on`]
-    /// closed over a loaded artifact, or the deprecated
-    /// [`Program::run_on`].
+    /// executes the program on a given backend — typically
+    /// [`Loaded::run_on`] closed over a loaded artifact.
     ///
     /// The streams are comparable because the backends render every
     /// primitive application with the same
@@ -287,7 +286,6 @@ mod divergence {
     /// says so.
     ///
     /// [`Loaded::run_on`]: crate::Loaded::run_on
-    /// [`Program::run_on`]: crate::Program::run_on
     pub fn diagnose_divergence_with<F>(against: Backend, run: F) -> DivergenceReport
     where
         F: Fn(Backend) -> Result<crate::Outcome, crate::Error>,
@@ -335,13 +333,13 @@ mod divergence {
         }
     }
 
-    /// [`diagnose_divergence_with`] over the deprecated [`Program`]
-    /// shim, kept so existing callers keep compiling.
+    /// [`diagnose_divergence_with`] over a loaded artifact: compares
+    /// the compiled tree-walker against the Fig. 11 reference reducer
+    /// under the handle's session limits and recovery policy.
     ///
-    /// [`Program`]: crate::Program
-    #[allow(deprecated)]
-    pub fn diagnose_divergence(program: &crate::Program) -> DivergenceReport {
-        diagnose_divergence_with(Backend::Compiled, |backend| program.run_on(backend))
+    /// [`Loaded`]: crate::Loaded
+    pub fn diagnose_divergence(loaded: &crate::Loaded) -> DivergenceReport {
+        diagnose_divergence_with(Backend::Compiled, |backend| loaded.run_on(backend))
     }
 }
 
@@ -351,7 +349,6 @@ pub use divergence::{
 };
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::rc::Rc;

@@ -1,0 +1,31 @@
+//! What runs a program, and what running one produces.
+//!
+//! [`Backend`] selects one of the three evaluators; [`Outcome`] is the
+//! observable result every one of them returns. Both are small value
+//! types shared by the [`Engine`](crate::Engine) session API and the
+//! `units-serve` request loop.
+
+use crate::observe::Observation;
+
+/// Which evaluator runs a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The cells-based production evaluator (§4.1.6).
+    #[default]
+    Compiled,
+    /// The substitution-based reference reducer (Fig. 11).
+    Reducer,
+    /// The flat-bytecode dispatch-loop VM: the resolved form lowered to
+    /// a stack ISA over interned symbols (see `units_compile::lower` and
+    /// `units_runtime::vm`).
+    Bytecode,
+}
+
+/// The result of running a program: what it computed and what it printed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// The observable part of the final value.
+    pub value: Observation,
+    /// Everything `display` wrote, in order.
+    pub output: Vec<String>,
+}

@@ -244,9 +244,50 @@ fn engine_artifacts_and_chunks_are_send_and_sync() {
     assert_send_sync::<units::EngineBuilder>();
     assert_send_sync::<units_runtime::Chunk>();
     assert_send_sync::<Error>();
-    // `Send`/`Sync` are lifetime-independent, so `'static` stands in
-    // for every borrow of an engine.
-    assert_send_sync::<units::Loaded<'static>>();
+    assert_send_sync::<units::Loaded>();
+}
+
+/// The owned-handle contract: a `Loaded` can cross threads and outlive
+/// its engine, degrading to `Error::SessionClosed` only when asked to
+/// run — artifact inspection is always available.
+#[test]
+fn owned_handles_cross_threads_and_survive_the_engine() {
+    let engine = Engine::new();
+    let source = square_program(Level::Untyped);
+    let loaded = engine.load(source).unwrap();
+
+    // Move a clone into another thread and run it there while the
+    // original keeps working here.
+    let handle = loaded.clone();
+    let remote = std::thread::spawn(move || handle.run().unwrap().value);
+    assert_eq!(loaded.run().unwrap().value, Observation::Int(144));
+    assert_eq!(remote.join().unwrap(), Observation::Int(144));
+
+    // Drop the engine: the handle still owns the artifact, but the
+    // session — limits, cache, policy — is gone.
+    drop(engine);
+    assert!(!loaded.session_alive());
+    assert!(loaded.ty().is_none(), "artifact inspection outlives the session");
+    assert!(!loaded.disassemble().is_empty(), "disassembly outlives the session");
+    assert!(matches!(loaded.run(), Err(Error::SessionClosed)));
+}
+
+/// `run_with` applies per-request limits without touching the session
+/// defaults — the admission-control hook a multi-tenant server uses.
+#[test]
+fn per_request_limits_override_session_limits() {
+    let engine = Engine::builder()
+        .strictness(Strictness::MzScheme)
+        .limits(Limits::none().fuel(1_000_000))
+        .build();
+    let loaded = engine
+        .load("(letrec ((define loop (lambda (n) (if (= n 0) 7 (loop (- n 1)))))) (loop 2000))")
+        .unwrap();
+    // Tight per-request budget: typed exhaustion naming that budget.
+    let err = loaded.run_with(Backend::Compiled, Limits::none().fuel(100)).unwrap_err();
+    assert_eq!(err.as_resource_exhausted(), Some((Resource::Fuel, 100)));
+    // The same handle under the (generous) session limits succeeds.
+    assert_eq!(loaded.run().unwrap().value, Observation::Int(7));
 }
 
 /// One engine shared by reference across threads behaves exactly like a

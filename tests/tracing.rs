@@ -259,20 +259,19 @@ fn chrome_trace_export_is_valid_and_names_the_eval_span() {
     assert!(!metrics.spans().is_empty());
 }
 
-/// The deprecated `Program` shim's differential harness surfaces the
-/// report on mismatch — pinned here until the shim is removed.
+/// `diagnose_divergence` over an owned handle compares the compiled
+/// backend against the reference reducer and reports agreement when the
+/// backends agree (the divergence-finding half is covered by the
+/// injected-divergence tests elsewhere in this file).
 #[cfg(feature = "trace")]
 #[test]
-#[allow(deprecated)]
-fn run_differential_panics_with_the_report_on_divergence() {
-    let program = units::Program::parse("(invoke (unit (import) (export) (init (+ 20 22))))")
-        .unwrap()
-        .with_injected_divergence(0);
-    let panic =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| program.run_differential()));
-    let message = *panic.unwrap_err().downcast::<String>().unwrap();
-    assert!(message.contains("divergence report"), "missing report: {message}");
-    assert!(message.contains("first diverging prim call"), "missing call: {message}");
+fn diagnose_divergence_works_on_loaded_handles() {
+    let engine = units::Engine::new();
+    let loaded =
+        engine.load("(invoke (unit (import) (export) (init (+ 20 22))))").unwrap();
+    let report = units::diagnose_divergence(&loaded);
+    assert!(report.diverging_call.is_none(), "backends agree: {report}");
+    assert_eq!(report.prim_calls.0, report.prim_calls.1);
 }
 
 /// Every JSON line the `JsonLinesSink` writes parses, and the metrics
