@@ -89,6 +89,91 @@ SMOKE
     test ! -e .ci-unitsd.sock
 fi
 
+# Persistent-store gates. (1) Cross-process warm start: a second daemon
+# process over the same --cache-dir must answer the same `run` from
+# disk — the engine reports zero parses. (2) Corrupt-cache smoke: flip
+# one byte of the on-disk entry; the next process must quarantine it,
+# recompile, and still answer correctly.
+if command -v python3 >/dev/null 2>&1; then
+    cat > .ci-store-gate.py <<'GATECLIENT'
+import glob, json, socket, struct, sys, time
+
+mode = sys.argv[1]
+
+if mode == 'flip':
+    [path] = glob.glob('.ci-store-cache/*.unit')
+    data = bytearray(open(path, 'rb').read())
+    data[len(data) // 2] ^= 0x01
+    open(path, 'wb').write(data)
+    print('store gate: flipped one byte of', path)
+    sys.exit(0)
+
+def connect():
+    deadline = time.time() + 30
+    while True:
+        try:
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            s.connect('.ci-unitsd.sock')
+            return s
+        except OSError:
+            assert time.time() < deadline, 'unitsd never came up'
+            time.sleep(0.05)
+
+def call(s, obj):
+    body = json.dumps(obj).encode()
+    s.sendall(struct.pack('>I', len(body)) + body)
+    data = b''
+    while len(data) < 4:
+        chunk = s.recv(4 - len(data))
+        assert chunk, 'server hung up'
+        data += chunk
+    (n,) = struct.unpack('>I', data)
+    data = b''
+    while len(data) < n:
+        chunk = s.recv(n - len(data))
+        assert chunk, 'server hung up mid-frame'
+        data += chunk
+    return json.loads(data)
+
+program = '(invoke (unit (import) (export) (init (* 21 2))))'
+s = connect()
+assert call(s, {'op': 'hello', 'tenant': 'ci'})['ok']
+reply = call(s, {'op': 'run', 'source': program})
+assert reply['ok'] and reply['value'] == '42', reply
+if mode != 'cold':
+    engine = call(s, {'op': 'stats'})['engine']
+    if mode == 'warm':
+        assert engine['cache']['parses'] == 0, engine
+        assert engine['store']['hits'] == 1, engine
+        print('store gate: cross-process warm start, zero re-parses')
+    else:
+        assert engine['store']['corrupt'] >= 1, engine
+        assert engine['cache']['parses'] == 1, engine
+        print('store gate: corrupt entry quarantined, recompiled correctly')
+assert call(s, {'op': 'shutdown'})['stopping']
+GATECLIENT
+    rm -rf .ci-store-cache
+    ./target/release/unitsd --socket .ci-unitsd.sock --level untyped --cache-dir .ci-store-cache &
+    UNITSD_PID=$!
+    python3 .ci-store-gate.py cold
+    wait "$UNITSD_PID"
+    ./target/release/unitsd --socket .ci-unitsd.sock --level untyped --cache-dir .ci-store-cache &
+    UNITSD_PID=$!
+    python3 .ci-store-gate.py warm
+    wait "$UNITSD_PID"
+    python3 .ci-store-gate.py flip
+    ./target/release/unitsd --socket .ci-unitsd.sock --level untyped --cache-dir .ci-store-cache &
+    UNITSD_PID=$!
+    python3 .ci-store-gate.py corrupt
+    wait "$UNITSD_PID"
+    test ! -e .ci-unitsd.sock
+    # The bad entry was moved aside, not deleted: the quarantine holds
+    # evidence and the recompile rewrote a fresh entry next to it.
+    test -n "$(ls .ci-store-cache/corrupt)"
+    test -n "$(ls .ci-store-cache/*.unit)"
+    rm -rf .ci-store-cache .ci-store-gate.py
+fi
+
 # With tracing compiled in.
 cargo build --release --features trace
 cargo test -q --features trace

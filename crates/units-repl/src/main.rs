@@ -11,6 +11,7 @@
 //!       --trace <N>        print the first N reduction steps (reducer)
 //!       --diagram          print the program's box diagram (Fig. 1 style)
 //!       --fuel <N>         bound evaluation to N machine steps
+//!       --cache-dir <DIR>  persistent artifact cache shared across runs
 //! ```
 //!
 //! With no file and no `--expr`, reads the program from standard input —
@@ -36,6 +37,7 @@ struct Options {
     diagram: bool,
     trace: Option<usize>,
     fuel: Option<u64>,
+    cache_dir: Option<String>,
 }
 
 /// One engine per process: the session that checks, caches, and runs.
@@ -47,12 +49,16 @@ fn engine_for(opts: &Options) -> Engine {
     if let Some(fuel) = opts.fuel {
         builder = builder.limits(Limits::none().fuel(fuel));
     }
+    if let Some(dir) = &opts.cache_dir {
+        builder = builder.cache_dir(dir);
+    }
     builder.build()
 }
 
 fn usage() -> &'static str {
     "usage: units-repl [-e EXPR] [-i] [-l d|c|e] [-b compiled|reducer|bytecode] \
-     [--mzscheme] [--check-only] [--diagram] [--trace N] [--fuel N] [FILE]"
+     [--mzscheme] [--check-only] [--diagram] [--trace N] [--fuel N] \
+     [--cache-dir DIR] [FILE]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Options, String> {
         diagram: false,
         trace: None,
         fuel: None,
+        cache_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -101,6 +108,9 @@ fn parse_args() -> Result<Options, String> {
             "--fuel" => {
                 let n = args.next().ok_or("--fuel needs a count")?;
                 opts.fuel = Some(n.parse().map_err(|_| format!("bad count {n:?}"))?);
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(args.next().ok_or("--cache-dir needs a directory")?);
             }
             "-h" | "--help" => {
                 println!("{}", usage());

@@ -26,6 +26,11 @@ OPTIONS:
     --depth N         default per-tenant depth cap [default: none]
     --cells N         default per-tenant store-cell cap [default: none]
     --threads N       checking worker-pool size [default: auto]
+    --cache-dir PATH  persistent artifact cache directory; a restarted
+                      daemon over the same directory warm-starts without
+                      re-parsing [default: in-memory only]
+    --idle-timeout N  close connections idle for N seconds, counted in
+                      stats [default: wait forever]
     --help            print this text
 ";
 
@@ -35,6 +40,8 @@ struct Config {
     backend: Backend,
     caps: Limits,
     threads: Option<usize>,
+    cache_dir: Option<String>,
+    idle_timeout: Option<std::time::Duration>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Config>, String> {
@@ -44,6 +51,8 @@ fn parse_args(args: &[String]) -> Result<Option<Config>, String> {
         backend: Backend::Compiled,
         caps: Limits::none(),
         threads: None,
+        cache_dir: None,
+        idle_timeout: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -82,6 +91,16 @@ fn parse_args(args: &[String]) -> Result<Option<Config>, String> {
                 config.threads =
                     Some(value.parse().map_err(|_| "--threads needs an integer".to_string())?);
             }
+            "--cache-dir" => config.cache_dir = Some(value.clone()),
+            "--idle-timeout" => {
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| "--idle-timeout needs a whole number of seconds".to_string())?;
+                if secs == 0 {
+                    return Err("--idle-timeout must be at least 1 second".to_string());
+                }
+                config.idle_timeout = Some(std::time::Duration::from_secs(secs));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -108,10 +127,13 @@ fn main() -> ExitCode {
     if let Some(threads) = config.threads {
         builder = builder.threads(threads);
     }
+    if let Some(dir) = &config.cache_dir {
+        builder = builder.cache_dir(dir);
+    }
     let service = builder.build();
 
     let server = match Server::bind(&config.socket, service) {
-        Ok(server) => server,
+        Ok(server) => server.idle_timeout(config.idle_timeout),
         Err(e) => {
             eprintln!("unitsd: cannot bind {}: {e}", config.socket);
             return ExitCode::FAILURE;

@@ -16,12 +16,13 @@
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use units::{Limits, Outcome};
 
-use crate::json::Json;
+use crate::json::{self, Json};
 use crate::proto::{error_response, ok_response, read_frame, write_frame, Request};
 use crate::service::{Service, Tenant, TenantSnapshot};
 
@@ -32,6 +33,8 @@ pub struct Server {
     path: PathBuf,
     service: Service,
     stopping: Arc<AtomicBool>,
+    idle_timeout: Option<Duration>,
+    idle_timeouts: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -46,12 +49,28 @@ impl Server {
         // fresh bind on the same path must not fail for that.
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
-        Ok(Server { listener, path, service, stopping: Arc::new(AtomicBool::new(false)) })
+        Ok(Server {
+            listener,
+            path,
+            service,
+            stopping: Arc::new(AtomicBool::new(false)),
+            idle_timeout: None,
+            idle_timeouts: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// The socket path this server is bound to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Closes connections that sit idle (no complete request) for
+    /// `timeout`. A timed-out connection is closed cleanly — no error,
+    /// no half-written frame — and counted in the `stats` response's
+    /// `idle_timeouts` field. `None` (the default) waits forever.
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Server {
+        self.idle_timeout = timeout.filter(|t| !t.is_zero());
+        self
     }
 
     /// Accepts connections until a client sends `shutdown`. Each
@@ -71,8 +90,11 @@ impl Server {
             let service = self.service.clone();
             let stopping = self.stopping.clone();
             let wake_path = self.path.clone();
+            let idle_timeout = self.idle_timeout;
+            let idle_timeouts = self.idle_timeouts.clone();
             std::thread::spawn(move || {
-                let _ = serve_connection(stream, &service, &stopping, &wake_path);
+                let conn = Connection { idle_timeout, idle_timeouts };
+                let _ = conn.serve(stream, &service, &stopping, &wake_path);
             });
         }
         let _ = std::fs::remove_file(&self.path);
@@ -80,45 +102,80 @@ impl Server {
     }
 }
 
-/// Drives one connection to completion (EOF, I/O error, or shutdown).
-fn serve_connection(
-    mut stream: UnixStream,
-    service: &Service,
-    stopping: &AtomicBool,
-    wake_path: &Path,
-) -> io::Result<()> {
-    let mut tenant: Option<Tenant> = None;
-    while let Some(frame) = read_frame(&mut stream)? {
-        let request = match Request::from_json(&frame) {
-            Ok(request) => request,
-            Err(message) => {
-                write_frame(&mut stream, &error_response("bad-request", &message))?;
-                continue;
-            }
-        };
-        let response = match request {
-            Request::Hello { tenant: name } => {
-                let bound = service.tenant(&name);
-                let reply = ok_response([("tenant", Json::str(bound.name()))]);
-                tenant = Some(bound);
-                reply
-            }
-            Request::Stats => stats_response(service),
-            Request::Shutdown => {
-                write_frame(&mut stream, &ok_response([("stopping", Json::Bool(true))]))?;
-                stopping.store(true, Ordering::SeqCst);
-                // Wake the accept loop so it notices the flag.
-                let _ = UnixStream::connect(wake_path);
-                return Ok(());
-            }
-            tenant_op => match &tenant {
-                None => error_response("no-tenant", "send `hello` before tenant operations"),
-                Some(tenant) => dispatch_tenant_op(tenant, tenant_op),
-            },
-        };
-        write_frame(&mut stream, &response)?;
+/// Per-connection server state: the idle policy and the shared counter
+/// it reports into.
+struct Connection {
+    idle_timeout: Option<Duration>,
+    idle_timeouts: Arc<AtomicU64>,
+}
+
+impl Connection {
+    /// Drives one connection to completion (EOF, idle timeout, I/O
+    /// error, or shutdown).
+    fn serve(
+        &self,
+        mut stream: UnixStream,
+        service: &Service,
+        stopping: &AtomicBool,
+        wake_path: &Path,
+    ) -> io::Result<()> {
+        // A zero timeout is rejected by set_read_timeout, but the
+        // builder already filtered it out.
+        stream.set_read_timeout(self.idle_timeout)?;
+        let mut tenant: Option<Tenant> = None;
+        loop {
+            let frame = match read_frame(&mut stream) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return Ok(()), // clean EOF
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // The client sat idle past the deadline: count it and
+                    // close cleanly, without an error frame the (absent)
+                    // client would never read anyway.
+                    self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                    units_trace::count("serve/idle_timeouts", 1);
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
+            let request = match Request::from_json(&frame) {
+                Ok(request) => request,
+                Err(message) => {
+                    write_frame(&mut stream, &error_response("bad-request", &message))?;
+                    continue;
+                }
+            };
+            let response = match request {
+                Request::Hello { tenant: name } => {
+                    let bound = service.tenant(&name);
+                    let reply = ok_response([("tenant", Json::str(bound.name()))]);
+                    tenant = Some(bound);
+                    reply
+                }
+                Request::Stats => {
+                    stats_response(service, self.idle_timeouts.load(Ordering::Relaxed))
+                }
+                Request::Shutdown => {
+                    write_frame(&mut stream, &ok_response([("stopping", Json::Bool(true))]))?;
+                    stopping.store(true, Ordering::SeqCst);
+                    // Wake the accept loop so it notices the flag.
+                    let _ = UnixStream::connect(wake_path);
+                    return Ok(());
+                }
+                tenant_op => match &tenant {
+                    None => {
+                        error_response("no-tenant", "send `hello` before tenant operations")
+                    }
+                    Some(tenant) => dispatch_tenant_op(tenant, tenant_op),
+                },
+            };
+            write_frame(&mut stream, &response)?;
+        }
     }
-    Ok(())
 }
 
 /// Executes one tenant-scoped request and renders the response.
@@ -176,13 +233,23 @@ fn serve_error_response(e: &crate::service::ServeError) -> Json {
     response
 }
 
-fn stats_response(service: &Service) -> Json {
+fn stats_response(service: &Service, idle_timeouts: u64) -> Json {
     let tenants: std::collections::BTreeMap<String, Json> = service
         .stats()
         .into_iter()
         .map(|(name, snap)| (name, snapshot_json(&snap)))
         .collect();
-    ok_response([("tenants", Json::Obj(tenants))])
+    // The engine renders its own snapshot (cache, store, recovery, runs)
+    // as JSON; re-parse it into the response tree so `stats` carries one
+    // coherent object. The snapshot JSON is validated by the engine's
+    // own tests, so the fallback arm is for belt and braces.
+    let engine = json::parse(&service.engine().metrics_snapshot().to_json())
+        .unwrap_or(Json::Null);
+    ok_response([
+        ("tenants", Json::Obj(tenants)),
+        ("engine", engine),
+        ("idle_timeouts", Json::Int(idle_timeouts as i64)),
+    ])
 }
 
 fn snapshot_json(snap: &TenantSnapshot) -> Json {

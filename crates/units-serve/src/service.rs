@@ -132,6 +132,7 @@ pub struct ServiceBuilder {
     backend: Backend,
     caps: Limits,
     threads: Option<usize>,
+    cache_dir: Option<std::path::PathBuf>,
 }
 
 impl ServiceBuilder {
@@ -161,6 +162,15 @@ impl ServiceBuilder {
         self
     }
 
+    /// Points the engine at a persistent on-disk artifact cache
+    /// (`units::EngineBuilder::cache_dir`): a restarted daemon over the
+    /// same directory warm-starts without re-parsing. Store failures
+    /// degrade to in-memory-only operation, never to request errors.
+    pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> ServiceBuilder {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Builds the service and its engine session.
     ///
     /// The engine runs with [`FallbackPolicy::none`]: the default
@@ -174,6 +184,9 @@ impl ServiceBuilder {
             .on_failure(FallbackPolicy::none());
         if let Some(threads) = self.threads {
             engine = engine.threads(threads);
+        }
+        if let Some(dir) = self.cache_dir {
+            engine = engine.cache_dir(dir);
         }
         Service {
             inner: Arc::new(ServiceInner {

@@ -43,7 +43,19 @@ impl Daemon {
     }
 
     fn connect(&self) -> Client {
-        Client::connect(&self.socket).expect("connect to unitsd")
+        // The socket file appears after bind(2) but fractionally before
+        // listen(2); on a loaded host a connect in that window is
+        // refused, so retry under a deadline.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match Client::connect(&self.socket) {
+                Ok(client) => return client,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("connect to unitsd: {e}"),
+            }
+        }
     }
 }
 
@@ -165,6 +177,79 @@ fn per_tenant_caps_reach_the_wire_as_admission_denials() {
     // Within the cap, the request is served.
     let reply = client.invoke("f", 3).unwrap();
     assert_eq!(reply.get_str("value"), Some("9"), "{reply}");
+}
+
+#[test]
+fn idle_connections_are_closed_cleanly_and_counted() {
+    let daemon = Daemon::start("idle", &["--level", "untyped", "--idle-timeout", "1"]);
+
+    // This connection goes idle past the deadline: the server closes
+    // it — our next call sees a clean hangup, not a protocol error.
+    let mut idler = daemon.connect();
+    idler.hello("idler").unwrap();
+    std::thread::sleep(Duration::from_millis(1800));
+    let err = idler.call(&Request::Stats).unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::ConnectionReset
+        ),
+        "expected a clean close, got {err}"
+    );
+
+    // A fresh, active connection still works, and stats count the kill.
+    let mut live = daemon.connect();
+    live.hello("live").unwrap();
+    let reply = live.call(&Request::Stats).unwrap();
+    assert_eq!(reply.get_bool("ok"), Some(true), "{reply}");
+    assert_eq!(reply.get_int("idle_timeouts"), Some(1), "{reply}");
+    // The stats response also carries the engine's metrics plane.
+    let engine = reply.get("engine").expect("stats carries engine metrics");
+    assert!(engine.get("cache").is_some() && engine.get("store").is_some(), "{reply}");
+}
+
+#[test]
+fn warm_started_daemon_serves_runs_without_reparsing() {
+    let cache_dir = std::env::temp_dir()
+        .join(format!("unitsd-test-{}-cache", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let dir_arg = cache_dir.to_str().unwrap().to_string();
+    let run = |source: &str| Request::Run {
+        source: source.to_string(),
+        limits: Limits::none(),
+    };
+    let program = "(invoke (unit (import) (export) (init (* 21 2))))";
+
+    // First daemon process: a cold run populates the store.
+    {
+        let mut daemon =
+            Daemon::start("warm1", &["--level", "untyped", "--cache-dir", &dir_arg]);
+        let mut client = daemon.connect();
+        client.hello("t").unwrap();
+        let reply = client.call(&run(program)).unwrap();
+        assert_eq!(reply.get_str("value"), Some("42"), "{reply}");
+        client.call(&Request::Shutdown).unwrap();
+        let _ = daemon.child.wait();
+    }
+
+    // Second daemon process over the same directory: the same run is
+    // answered from disk — the engine reports zero parses.
+    let mut daemon = Daemon::start("warm2", &["--level", "untyped", "--cache-dir", &dir_arg]);
+    let mut client = daemon.connect();
+    client.hello("t").unwrap();
+    let reply = client.call(&run(program)).unwrap();
+    assert_eq!(reply.get_str("value"), Some("42"), "{reply}");
+    let stats = client.call(&Request::Stats).unwrap();
+    let engine = stats.get("engine").expect("stats carries engine metrics");
+    let cache = engine.get("cache").expect("engine metrics carry cache");
+    assert_eq!(cache.get_int("parses"), Some(0), "warm daemon re-parsed: {stats}");
+    let store = engine.get("store").expect("engine metrics carry store");
+    assert_eq!(store.get_int("hits"), Some(1), "{stats}");
+    client.call(&Request::Shutdown).unwrap();
+    let _ = daemon.child.wait();
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
 #[test]

@@ -29,6 +29,8 @@
 //! | `compile/dynlink`     | §3.4 `Archive::load`                        |
 //! | `compile/artifact`    | §2 artifact publish/load                    |
 //! | `vm/dispatch`         | bytecode VM chunk entry / unit invocation   |
+//! | `store/read`          | persistent-store entry read (transient I/O) |
+//! | `store/write`         | between temp-file write and atomic rename   |
 //!
 //! # Feature gating
 //!

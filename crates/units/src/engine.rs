@@ -77,6 +77,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
@@ -86,6 +87,7 @@ use units_compile::{evaluate_program, lower_program, resolve_program, Archive, C
 use units_kernel::{alpha_eq, alpha_hash, Expr, Ty};
 use units_reduce::Reducer;
 use units_runtime::{execute, Chunk, Limits, Machine, Resource};
+use units_store::{Lookup, Store};
 use units_syntax::parse_file;
 use units_trace::faults::FaultPlane;
 use units_trace::{recorder, FlightDump};
@@ -240,6 +242,7 @@ pub struct EngineBuilder {
     threads: Option<usize>,
     policy: FallbackPolicy,
     worker_faults: Option<FaultPlane>,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Default for EngineBuilder {
@@ -255,6 +258,7 @@ impl Default for EngineBuilder {
             threads: None,
             policy: FallbackPolicy::none(),
             worker_faults: None,
+            cache_dir: None,
         }
     }
 }
@@ -319,6 +323,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Points the engine at a persistent on-disk artifact cache
+    /// (`units_store::Store`). Loads that miss the in-memory cache probe
+    /// the directory before parsing; fresh admissions are written back
+    /// through, so a later engine — including one in a different
+    /// process — warm-starts with zero re-parses. Every store failure
+    /// (unusable directory, corrupt entry, contended write lock) degrades
+    /// to the in-memory-only behaviour of an engine built without this
+    /// call; it never surfaces as an [`Error`].
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> EngineBuilder {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Engine {
         let threads = match std::env::var("UNITS_ENGINE_THREADS")
@@ -328,15 +345,54 @@ impl EngineBuilder {
             Some(n) if n >= 1 => n,
             _ => self.threads.unwrap_or_else(default_threads),
         };
+        let opts = CheckOptions { level: self.level, strictness: self.strictness };
+        let resolve = self.resolve.unwrap_or(true);
+        let store = self.cache_dir.as_ref().and_then(|dir| {
+            // The fingerprint binds on-disk entries to this engine
+            // configuration — the same ingredients `source_key` folds in,
+            // minus the source itself. (`DefaultHasher::new` is keyless
+            // and deterministic, so fingerprints agree across processes
+            // of the same build; cross-build skew is caught by the
+            // store's version stamp.)
+            let mut h = DefaultHasher::new();
+            opts.hash(&mut h);
+            resolve.hash(&mut h);
+            match Store::open(dir, h.finish()) {
+                Ok(store) => {
+                    if !store.writable() {
+                        units_trace::emit(
+                            units_trace::Phase::Engine,
+                            "engine/store_readonly",
+                            None,
+                            || format!("{}: write lock held elsewhere", dir.display()),
+                            &[],
+                        );
+                    }
+                    Some(store)
+                }
+                Err(e) => {
+                    // Unusable directory: warn and run in-memory-only.
+                    units_trace::emit(
+                        units_trace::Phase::Engine,
+                        "engine/store_unavailable",
+                        None,
+                        || format!("{}: {e}", dir.display()),
+                        &[("engine/store_unavailable", 1)],
+                    );
+                    None
+                }
+            }
+        });
         Engine {
             inner: Arc::new(EngineInner {
-                opts: CheckOptions { level: self.level, strictness: self.strictness },
+                opts,
                 backend: self.backend,
                 limits: self.limits,
-                resolve: self.resolve.unwrap_or(true),
+                resolve,
                 threads,
                 policy: self.policy,
                 worker_faults: self.worker_faults,
+                store,
                 cache: Mutex::new(Cache::default()),
                 metrics: EngineMetrics::default(),
                 recovery: Mutex::new(None),
@@ -376,6 +432,9 @@ struct EngineInner {
     threads: usize,
     policy: FallbackPolicy,
     worker_faults: Option<FaultPlane>,
+    /// The persistent artifact store, when the builder was given a
+    /// `cache_dir` and the directory was usable.
+    store: Option<Store>,
     cache: Mutex<Cache>,
     metrics: EngineMetrics,
     recovery: Mutex<Option<Recovery>>,
@@ -547,7 +606,7 @@ impl Engine {
                 inner.record_hit(false);
                 return Ok(artifact);
             }
-            inner.admit(tkey, tkey, expr)
+            inner.admit(tkey, tkey, expr, None)
         });
         match result {
             Ok(artifact) => Ok(self.handle(artifact)),
@@ -720,7 +779,19 @@ impl EngineInner {
         units_trace::count("engine/flight_dumps", 1);
         if let Ok(path) = std::env::var("UNITS_FLIGHT_DUMP") {
             if !path.is_empty() {
-                let _ = std::fs::write(&path, &dump.json_lines);
+                if let Err(e) = std::fs::write(&path, &dump.json_lines) {
+                    // Best-effort, but never silent: a post-mortem that
+                    // failed to land on disk is itself an observable
+                    // event (the in-memory dump below still survives).
+                    bump(&self.metrics.flight_dump_failures);
+                    units_trace::emit(
+                        units_trace::Phase::Engine,
+                        "engine/flight_dump_failed",
+                        None,
+                        || format!("{path}: {e}"),
+                        &[("engine/flight_dump_failures", 1)],
+                    );
+                }
             }
         }
         *self.flight.lock().unwrap() = Some(dump);
@@ -802,7 +873,13 @@ impl EngineInner {
     /// bucket is re-checked, so when two threads race on alpha-equal
     /// programs exactly one artifact is admitted and the loser shares it
     /// (counted as a term hit, because that is what it observed).
-    fn admit(&self, skey: u64, tkey: u64, expr: Expr) -> Result<Arc<Artifact>, Error> {
+    fn admit(
+        &self,
+        skey: u64,
+        tkey: u64,
+        expr: Expr,
+        source: Option<&str>,
+    ) -> Result<Arc<Artifact>, Error> {
         let ty = check_program(&expr, self.opts)?;
         let resolved = if self.resolve { Some(resolve_program(&expr)) } else { None };
         let mut cache = self.cache.lock().unwrap();
@@ -821,7 +898,89 @@ impl EngineInner {
         cache.by_term.entry(tkey).or_default().push(artifact.clone());
         drop(cache);
         self.record_miss();
+        self.store_write(skey, source, &artifact);
         Ok(artifact)
+    }
+
+    /// Inserts an artifact rebuilt from a verified store entry, racing
+    /// fairly against concurrent in-memory admissions of the same term
+    /// (the loser shares the winner, exactly like [`EngineInner::admit`]).
+    fn admit_prebuilt(&self, skey: u64, tkey: u64, artifact: Artifact) -> Arc<Artifact> {
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(found) = cache
+            .by_term
+            .get(&tkey)
+            .and_then(|b| b.iter().find(|a| alpha_eq(&a.expr, &artifact.expr)).cloned())
+        {
+            cache.by_source.insert(skey, found.clone());
+            drop(cache);
+            self.record_hit(false);
+            return found;
+        }
+        let artifact = Arc::new(artifact);
+        cache.by_source.insert(skey, artifact.clone());
+        cache.by_term.entry(tkey).or_default().push(artifact.clone());
+        artifact
+    }
+
+    /// Probes the persistent store for `source`, admitting a verified
+    /// entry into the in-memory cache. `None` on any miss — including
+    /// corruption, which is quarantined and counted but never an error.
+    fn store_probe(&self, skey: u64, source: &str) -> Option<Arc<Artifact>> {
+        let store = self.store.as_ref()?;
+        match store.read(skey, source) {
+            Lookup::Hit(entry) => {
+                bump(&self.metrics.store_hits);
+                units_trace::count("engine/store_hit", 1);
+                let entry = *entry;
+                let chunk = OnceLock::new();
+                if let Some(lowered) = entry.chunk {
+                    let _ = chunk.set(Arc::new(lowered));
+                }
+                let artifact =
+                    Artifact { expr: entry.expr, ty: entry.ty, resolved: entry.resolved, chunk };
+                let tkey = self.term_key(&artifact.expr);
+                Some(self.admit_prebuilt(skey, tkey, artifact))
+            }
+            Lookup::Miss => {
+                bump(&self.metrics.store_misses);
+                units_trace::count("engine/store_miss", 1);
+                None
+            }
+            Lookup::Corrupt => {
+                // Quarantined by the store; for the engine it is a miss
+                // with a cause worth counting separately.
+                bump(&self.metrics.store_corrupt);
+                bump(&self.metrics.store_misses);
+                units_trace::count("engine/store_corrupt", 1);
+                None
+            }
+        }
+    }
+
+    /// Writes a freshly admitted artifact through to the persistent
+    /// store, best-effort. Only the source-keyed path writes
+    /// ([`Engine::load_expr`] has no source text to verify against), and
+    /// on the bytecode backend the chunk is lowered first so a
+    /// warm-started process gets run-ready artifacts.
+    fn store_write(&self, skey: u64, source: Option<&str>, artifact: &Arc<Artifact>) {
+        let (Some(store), Some(source)) = (self.store.as_ref(), source) else { return };
+        if !store.writable() {
+            return;
+        }
+        if self.backend == Backend::Bytecode {
+            let _ = artifact.chunk();
+        }
+        let entry = units_store::Entry {
+            expr: artifact.expr.clone(),
+            ty: artifact.ty.clone(),
+            resolved: artifact.resolved.clone(),
+            chunk: artifact.chunk.get().map(|c| (**c).clone()),
+        };
+        if store.write(skey, source, &entry) {
+            bump(&self.metrics.store_writes);
+            units_trace::count("engine/store_write", 1);
+        }
     }
 
     /// The un-guarded load pipeline: cache probes, then
@@ -834,6 +993,12 @@ impl EngineInner {
             self.record_hit(true);
             return Ok(artifact);
         }
+        // The persistent store sits between the in-memory probe and the
+        // parser: a verified disk entry skips parse, check, resolve, and
+        // (when the writer lowered) the bytecode lowering too.
+        if let Some(artifact) = self.store_probe(skey, source) {
+            return Ok(artifact);
+        }
         bump(&self.metrics.parses);
         let expr = parse_file(source)?;
         let tkey = self.term_key(&expr);
@@ -841,7 +1006,7 @@ impl EngineInner {
             self.record_hit(false);
             return Ok(artifact);
         }
-        self.admit(skey, tkey, expr)
+        self.admit(skey, tkey, expr, Some(source))
     }
 
     /// One governed run of `artifact`: unwind boundary, recovery policy,

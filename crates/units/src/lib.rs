@@ -66,6 +66,7 @@ pub use engine::LoadedRef;
 pub use error::Error;
 pub use metrics::{
     CacheMetrics, LatencyStats, MetricsSnapshot, PoolMetrics, RecoveryMetrics, RunMetrics,
+    StoreMetrics,
 };
 pub use observe::{observe_expr, observe_value, Observation};
 #[cfg(feature = "trace")]

@@ -44,6 +44,11 @@ pub(crate) struct EngineMetrics {
     pub fallbacks: AtomicU64,
     pub recovered_runs: AtomicU64,
     pub flight_dumps: AtomicU64,
+    pub flight_dump_failures: AtomicU64,
+    pub store_hits: AtomicU64,
+    pub store_misses: AtomicU64,
+    pub store_corrupt: AtomicU64,
+    pub store_writes: AtomicU64,
     pub invoke_latency: Mutex<DurationStats>,
 }
 
@@ -102,6 +107,13 @@ impl EngineMetrics {
                 reference_fallbacks: self.fallbacks.load(Relaxed),
                 recovered_runs: self.recovered_runs.load(Relaxed),
                 flight_dumps: self.flight_dumps.load(Relaxed),
+                flight_dump_failures: self.flight_dump_failures.load(Relaxed),
+            },
+            store: StoreMetrics {
+                hits: self.store_hits.load(Relaxed),
+                misses: self.store_misses.load(Relaxed),
+                corrupt: self.store_corrupt.load(Relaxed),
+                writes: self.store_writes.load(Relaxed),
             },
             runs: RunMetrics {
                 total: self.runs.load(Relaxed),
@@ -141,6 +153,11 @@ impl EngineMetrics {
             &self.fallbacks,
             &self.recovered_runs,
             &self.flight_dumps,
+            &self.flight_dump_failures,
+            &self.store_hits,
+            &self.store_misses,
+            &self.store_corrupt,
+            &self.store_writes,
         ] {
             counter.store(0, Relaxed);
         }
@@ -191,6 +208,24 @@ pub struct RecoveryMetrics {
     pub recovered_runs: u64,
     /// Flight-recorder post-mortems captured (trace builds only).
     pub flight_dumps: u64,
+    /// `UNITS_FLIGHT_DUMP` file writes that failed (the in-memory dump
+    /// still survives; the failure is counted instead of swallowed).
+    pub flight_dump_failures: u64,
+}
+
+/// Persistent artifact-store behaviour. All zero for an engine built
+/// without [`crate::EngineBuilder::cache_dir`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreMetrics {
+    /// Loads answered by a verified on-disk entry — parse, check,
+    /// resolve, and lowering all skipped.
+    pub hits: u64,
+    /// Store probes that found nothing usable (includes `corrupt`).
+    pub misses: u64,
+    /// Entries that failed verification and were quarantined.
+    pub corrupt: u64,
+    /// Fresh artifacts durably written through to disk.
+    pub writes: u64,
 }
 
 /// Aggregate run outcomes and resource high-water marks.
@@ -237,6 +272,8 @@ pub struct MetricsSnapshot {
     pub pool: PoolMetrics,
     /// Recovery actions by policy stage.
     pub recovery: RecoveryMetrics,
+    /// Persistent artifact-store hits, misses, corruption, and writes.
+    pub store: StoreMetrics,
     /// Run totals, fuel, and store-cell high-water marks.
     pub runs: RunMetrics,
     /// Invoke latency histogram summary (p50/p99).
@@ -251,7 +288,10 @@ impl MetricsSnapshot {
              \"evictions\":{},\"parses\":{},\"entries\":{}}},\
              \"pool\":{{\"batches\":{},\"jobs\":{},\"peak_workers\":{}}},\
              \"recovery\":{{\"fuel_retries\":{},\"reference_fallbacks\":{},\
-             \"recovered_runs\":{},\"flight_dumps\":{}}},\
+             \"recovered_runs\":{},\"flight_dumps\":{},\
+             \"flight_dump_failures\":{}}},\
+             \"store\":{{\"hits\":{},\"misses\":{},\"corrupt\":{},\
+             \"writes\":{}}},\
              \"runs\":{{\"total\":{},\"failures\":{},\"fuel_total\":{},\
              \"fuel_max\":{},\"store_cells_peak\":{}}},\
              \"invoke_latency\":{{\"count\":{},\"min_ns\":{},\"max_ns\":{},\
@@ -269,6 +309,11 @@ impl MetricsSnapshot {
             self.recovery.reference_fallbacks,
             self.recovery.recovered_runs,
             self.recovery.flight_dumps,
+            self.recovery.flight_dump_failures,
+            self.store.hits,
+            self.store.misses,
+            self.store.corrupt,
+            self.store.writes,
             self.runs.total,
             self.runs.failures,
             self.runs.fuel_total,
@@ -310,6 +355,8 @@ mod tests {
         units_trace::json::validate(&json).unwrap();
         assert!(json.contains("\"p50_ns\"") && json.contains("\"p99_ns\""));
         assert!(json.contains("\"parses\""));
+        assert!(json.contains("\"store\"") && json.contains("\"corrupt\""));
+        assert!(json.contains("\"flight_dump_failures\""));
         metrics.reset();
         assert_eq!(metrics.snapshot(0), MetricsSnapshot::default());
     }
